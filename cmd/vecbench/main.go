@@ -1,0 +1,161 @@
+// Command vecbench regenerates every table and figure from the paper's
+// evaluation section (§4) and prints them in the paper's column layout.
+//
+// Usage:
+//
+//	vecbench             regenerate everything
+//	vecbench -table 1    one table (1–4)
+//	vecbench -figure 2   one figure (1–2)
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/example/vectrace/internal/report"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate only this table (1-4)")
+	figure := flag.Int("figure", 0, "regenerate only this figure (1-2)")
+	n := flag.Int("n", 16, "problem size for the figures")
+	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of the paper layout")
+	flag.Parse()
+
+	var err error
+	if *csvOut {
+		err = runCSV(*table, *figure, *n)
+	} else {
+		err = run(*table, *figure, *n)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vecbench:", err)
+		os.Exit(1)
+	}
+}
+
+// runCSV emits the requested artifacts as CSV on stdout, one artifact per
+// invocation (use -table/-figure to select; default regenerates Table 1).
+func runCSV(table, figure, n int) error {
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+	switch {
+	case figure == 1 || figure == 2:
+		var rows []report.FigureRow
+		var err error
+		if figure == 1 {
+			rows, err = report.Figure1(n)
+		} else {
+			rows, err = report.Figure2(n)
+		}
+		if err != nil {
+			return err
+		}
+		w.Write([]string{"analysis", "statement", "partitions", "avg_size", "max_size"})
+		for _, r := range rows {
+			w.Write([]string{r.Analysis, r.Statement, strconv.Itoa(r.Partitions), f(r.AvgSize), strconv.Itoa(r.MaxSize)})
+		}
+	case table == 2:
+		rows, err := report.Table2()
+		if err != nil {
+			return err
+		}
+		w.Write([]string{"benchmark", "packed_pct", "avg_concurrency", "unit_pct", "unit_size", "nonunit_pct", "nonunit_size"})
+		for _, r := range rows {
+			w.Write([]string{r.Benchmark, f(r.PercentPacked), f(r.AvgConcurrency), f(r.UnitPct), f(r.UnitSize), f(r.NonUnitPct), f(r.NonUnitSize)})
+		}
+	case table == 3:
+		rows, err := report.Table3()
+		if err != nil {
+			return err
+		}
+		w.Write([]string{"benchmark", "style", "packed_pct", "avg_concurrency", "unit_pct", "unit_size", "nonunit_pct", "nonunit_size"})
+		for _, r := range rows {
+			w.Write([]string{r.Benchmark, r.Style, f(r.PercentPacked), f(r.AvgConcurrency), f(r.UnitPct), f(r.UnitSize), f(r.NonUnitPct), f(r.NonUnitSize)})
+		}
+	case table == 4:
+		rows, err := report.Table4()
+		if err != nil {
+			return err
+		}
+		w.Write([]string{"benchmark", "machine", "original_cycles", "transformed_cycles", "speedup"})
+		for _, r := range rows {
+			w.Write([]string{r.Benchmark, r.Machine, f(r.OriginalTime), f(r.TransformedTime), f(r.Speedup)})
+		}
+	default:
+		rows, err := report.Table1()
+		if err != nil {
+			return err
+		}
+		w.Write([]string{"benchmark", "loop", "cycles_pct", "packed_pct", "avg_concurrency", "unit_pct", "unit_size", "nonunit_pct", "nonunit_size"})
+		for _, r := range rows {
+			w.Write([]string{r.Benchmark, r.Loop, f(r.PercentCycles), f(r.PercentPacked), f(r.AvgConcurrency), f(r.UnitPct), f(r.UnitSize), f(r.NonUnitPct), f(r.NonUnitSize)})
+		}
+	}
+	return nil
+}
+
+func run(table, figure, n int) error {
+	all := table == 0 && figure == 0
+
+	if all || figure == 1 {
+		rows, err := report.Figure1(n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Figure 1: partitions of Listing 1 (N=%d): Algorithm 1 vs Kumar ==\n", n)
+		fmt.Print(report.RenderFigure(rows))
+		fmt.Println()
+	}
+	if all || figure == 2 {
+		rows, err := report.Figure2(n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Figure 2: partitions of Listing 2 (N=%d): Algorithm 1 vs Larus ==\n", n)
+		fmt.Print(report.RenderFigure(rows))
+		fmt.Println()
+	}
+	if all || table == 1 {
+		rows, err := report.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 1: SPEC CFP2006 hot-loop characterization ==")
+		fmt.Print(report.RenderTable1(rows))
+		fmt.Println()
+	}
+	if all || table == 2 {
+		rows, err := report.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 2: stand-alone computation kernels ==")
+		fmt.Print(report.RenderTable2(rows))
+		fmt.Println()
+	}
+	if all || table == 3 {
+		rows, err := report.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 3: UTDSP array-based vs pointer-based code ==")
+		fmt.Print(report.RenderTable3(rows))
+		fmt.Println()
+	}
+	if all || table == 4 {
+		rows, err := report.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 4: case-study speedups (modeled machines) ==")
+		fmt.Print(report.RenderTable4(rows))
+		fmt.Println()
+	}
+	return nil
+}

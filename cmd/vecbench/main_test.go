@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureRun(t *testing.T, table, figure, n int) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(table, figure, n)
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestFigureOutputs(t *testing.T) {
+	out := captureRun(t, 0, 1, 12)
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "Kumar") {
+		t.Errorf("figure 1 output wrong:\n%s", out)
+	}
+	out = captureRun(t, 0, 2, 12)
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "Larus") {
+		t.Errorf("figure 2 output wrong:\n%s", out)
+	}
+}
+
+func captureCSV(t *testing.T, table, figure, n int) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := runCSV(table, figure, n)
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestCSVOutputs(t *testing.T) {
+	out := captureCSV(t, 4, 0, 16)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 16 { // header + 5 studies × 3 machines
+		t.Fatalf("table 4 CSV has %d lines, want 16", len(lines))
+	}
+	if lines[0] != "benchmark,machine,original_cycles,transformed_cycles,speedup" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if strings.Count(l, ",") != 4 {
+			t.Errorf("malformed CSV row %q", l)
+		}
+	}
+
+	fig := captureCSV(t, 0, 1, 12)
+	if !strings.HasPrefix(fig, "analysis,statement,partitions") {
+		t.Errorf("figure CSV header wrong: %q", strings.SplitN(fig, "\n", 2)[0])
+	}
+}
+
+func TestTableOutputs(t *testing.T) {
+	out := captureRun(t, 2, 0, 16)
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "Gauss-Seidel") {
+		t.Errorf("table 2 output wrong:\n%s", out)
+	}
+	out = captureRun(t, 3, 0, 16)
+	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "Pointer") {
+		t.Errorf("table 3 output wrong:\n%s", out)
+	}
+	out = captureRun(t, 4, 0, 16)
+	if !strings.Contains(out, "Table 4") || !strings.Contains(out, "Speedup") {
+		t.Errorf("table 4 output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,316 @@
+// Command vectrace is the reproduction's command-line front end: it
+// compiles MiniC programs, executes them under instrumentation, and runs
+// the paper's dynamic vectorization-potential analysis plus the supporting
+// static analyses.
+//
+// Usage:
+//
+//	vectrace run file.c              execute and print program output
+//	vectrace ir file.c               dump the VIR module
+//	vectrace profile file.c          hot-loop cycle profile (HPCToolkit stand-in)
+//	vectrace vectorize file.c        static auto-vectorizer verdicts (icc stand-in)
+//	vectrace analyze file.c -line N  dynamic analysis of the loop on line N
+//	vectrace rank file.c             rank hot loops by unexploited potential
+//	vectrace annotate file.c         per-line vectorization-potential listing
+//	vectrace tree file.c             run-time loop tree with profile + verdicts
+//	vectrace trace file.c -o t.vtr   write the execution trace to disk
+//	vectrace speedup a.c b.c         verify equivalence, model the speedup
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/example/vectrace/internal/baseline"
+	"github.com/example/vectrace/internal/core"
+	"github.com/example/vectrace/internal/ddg"
+	"github.com/example/vectrace/internal/interp"
+	"github.com/example/vectrace/internal/ir"
+	"github.com/example/vectrace/internal/opt"
+	"github.com/example/vectrace/internal/pipeline"
+	"github.com/example/vectrace/internal/profile"
+	"github.com/example/vectrace/internal/report"
+	"github.com/example/vectrace/internal/simd"
+	"github.com/example/vectrace/internal/staticvec"
+	"github.com/example/vectrace/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vectrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: vectrace {run|ir|profile|vectorize|analyze|rank|annotate|tree|trace|speedup} file.c [flags]")
+}
+
+func run(args []string) error {
+	if len(args) < 2 {
+		return usage()
+	}
+	cmd, file := args[0], args[1]
+	rest := args[2:]
+
+	if cmd == "speedup" {
+		return speedupCmd(file, rest)
+	}
+
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	mod, err := pipeline.Compile(file, string(src))
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "run":
+		fs := flag.NewFlagSet("run", flag.ContinueOnError)
+		optimize := fs.Bool("O", false, "run constant folding, branch simplification, and DCE first")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if *optimize {
+			opt.Optimize(mod)
+		}
+		res, err := pipeline.Run(mod, false)
+		if err != nil {
+			return err
+		}
+		for _, v := range res.Output {
+			fmt.Printf("%g\n", v)
+		}
+		fmt.Printf("# %d instructions, %d simulated cycles, %d fp ops\n",
+			res.Steps, res.Cycles, res.FPOps)
+		return nil
+
+	case "ir":
+		fmt.Print(mod.String())
+		return nil
+
+	case "profile":
+		fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+		threshold := fs.Float64("threshold", 10, "hot-loop cycle percentage threshold")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		res, err := pipeline.Run(mod, true)
+		if err != nil {
+			return err
+		}
+		verdicts := staticvec.AnalyzeModule(mod)
+		prof := profile.Build(mod, res, verdicts)
+		fmt.Printf("%-24s %8s %10s %8s %9s\n", "loop", "line", "cycles%", "fp-ops", "packed%")
+		for _, st := range prof.Hot(*threshold) {
+			fmt.Printf("%-24s %8d %9.1f%% %8d %8.1f%%\n",
+				st.Func, st.Line, st.PercentCycles, st.FPOps, st.PercentPacked())
+		}
+		return nil
+
+	case "vectorize":
+		verdicts := staticvec.AnalyzeModule(mod)
+		for _, lm := range mod.Loops {
+			v, ok := verdicts[lm.ID]
+			if !ok {
+				continue // not innermost
+			}
+			status := "NOT VECTORIZED: " + v.Reason
+			if v.Vectorized {
+				status = "VECTORIZED"
+				if v.Reduction {
+					status += " (reduction)"
+				}
+			}
+			fmt.Printf("%s:%d (%s): %s\n", file, lm.Line, lm.Func, status)
+		}
+		return nil
+
+	case "analyze":
+		fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+		line := fs.Int("line", 0, "source line of the loop to analyze")
+		instance := fs.Int("instance", 0, "which dynamic execution of the loop to analyze")
+		relax := fs.Bool("relax-reductions", false, "ignore reduction-carried dependences")
+		compare := fs.Bool("baselines", false, "also run the Kumar critical-path baseline")
+		traceFile := fs.String("trace", "", "analyze a previously saved trace instead of re-executing")
+		intOps := fs.Bool("int-ops", false, "also characterize integer add/sub/mul")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		var tr *trace.Trace
+		if *traceFile != "" {
+			// Offline mode, the paper's workflow: the instrumented run
+			// wrote the trace to disk; analysis replays it against the
+			// same module.
+			f, err := os.Open(*traceFile)
+			if err != nil {
+				return err
+			}
+			events, err := trace.Decode(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			tr = &trace.Trace{Module: mod, Events: events}
+		} else {
+			var err error
+			_, tr, err = pipeline.Trace(mod)
+			if err != nil {
+				return err
+			}
+		}
+		opts := ddg.Options{CharacterizeInts: *intOps}
+		var g *ddg.Graph
+		if *line == 0 {
+			g, err = ddg.BuildOpts(tr, opts)
+		} else {
+			var region *trace.Trace
+			region, err = pipeline.LoopRegion(tr, *line, *instance)
+			if err != nil {
+				return err
+			}
+			g, err = ddg.BuildOpts(region, opts)
+		}
+		if err != nil {
+			return err
+		}
+		rep := core.Analyze(g, core.Options{RelaxReductions: *relax})
+		fmt.Print(rep.String())
+		if *compare {
+			p := baseline.Kumar(g)
+			fmt.Printf("kumar: critical path %d, avg parallelism %.1f\n",
+				p.CriticalPath, p.AvgParallelism)
+		}
+		return nil
+
+	case "annotate":
+		fs := flag.NewFlagSet("annotate", flag.ContinueOnError)
+		relax := fs.Bool("relax-reductions", false, "ignore reduction-carried dependences")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		_, tr, err := pipeline.Trace(mod)
+		if err != nil {
+			return err
+		}
+		anns, err := report.AnnotateSource(tr, core.Options{RelaxReductions: *relax})
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.RenderAnnotatedSource(string(src), anns))
+		return nil
+
+	case "tree":
+		res, err := pipeline.Run(mod, true)
+		if err != nil {
+			return err
+		}
+		roots := report.LoopTree(mod, res, staticvec.AnalyzeModule(mod))
+		fmt.Print(report.RenderLoopTree(roots))
+		return nil
+
+	case "rank":
+		fs := flag.NewFlagSet("rank", flag.ContinueOnError)
+		threshold := fs.Float64("threshold", 10, "hot-loop cycle percentage threshold")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		res, tr, err := pipeline.Trace(mod)
+		if err != nil {
+			return err
+		}
+		rows, err := report.RankOpportunities(mod, res, tr, *threshold)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.RenderOpportunities(rows))
+		return nil
+
+	case "trace":
+		fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+		out := fs.String("o", "trace.vtr", "output trace file")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		_, tr, err := pipeline.Trace(mod)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Encode(f, tr.Events); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events to %s\n", len(tr.Events), *out)
+		return nil
+	}
+	return usage()
+}
+
+// speedupCmd models the §4.4 before/after workflow: run the original and a
+// transformed version, check they compute the same outputs, and report the
+// modeled time and speedup on the three Table 4 machines.
+func speedupCmd(origFile string, rest []string) error {
+	if len(rest) < 1 {
+		return fmt.Errorf("usage: vectrace speedup original.c transformed.c")
+	}
+	transFile := rest[0]
+
+	type side struct {
+		mod      *ir.Module
+		res      *interp.Result
+		verdicts map[int]staticvec.Verdict
+	}
+	load := func(file string) (*side, error) {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		mod, err := pipeline.Compile(file, string(src))
+		if err != nil {
+			return nil, err
+		}
+		res, err := pipeline.Run(mod, true)
+		if err != nil {
+			return nil, err
+		}
+		return &side{mod: mod, res: res, verdicts: staticvec.AnalyzeModule(mod)}, nil
+	}
+	orig, err := load(origFile)
+	if err != nil {
+		return err
+	}
+	trans, err := load(transFile)
+	if err != nil {
+		return err
+	}
+
+	// Equivalence check on printed outputs.
+	if len(orig.res.Output) != len(trans.res.Output) {
+		return fmt.Errorf("speedup: versions print %d vs %d values — not equivalent",
+			len(orig.res.Output), len(trans.res.Output))
+	}
+	for i := range orig.res.Output {
+		a, b := orig.res.Output[i], trans.res.Output[i]
+		tol := 1e-9 * (1 + math.Abs(a))
+		if math.Abs(a-b) > tol {
+			return fmt.Errorf("speedup: output %d differs: %v vs %v — versions are not equivalent", i, a, b)
+		}
+	}
+	fmt.Printf("outputs match (%d values)\n\n", len(orig.res.Output))
+
+	fmt.Printf("%-22s %14s %14s %9s\n", "machine", "original", "transformed", "speedup")
+	for _, m := range simd.Machines() {
+		ot := simd.SimulateTime(orig.mod, orig.res, orig.verdicts, m)
+		tt := simd.SimulateTime(trans.mod, trans.res, trans.verdicts, m)
+		fmt.Printf("%-22s %14.0f %14.0f %8.2fx\n", m.Name, ot, tt, ot/tt)
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+// Package vectrace is a from-scratch Go reproduction of "Dynamic
+// Trace-Based Analysis of Vectorization Potential of Applications"
+// (Holewinski et al., PLDI 2012).
+//
+// The library analyzes the dynamic data-dependence graph of a program
+// execution to characterize, per static instruction, the maximal SIMD
+// concurrency available under any dependence-preserving reordering, and
+// subdivides the resulting independent sets by contiguous (unit-stride) and
+// constant non-unit-stride memory access.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-versus-measured results. The root package contains only the
+// benchmark harness (bench_test.go); the implementation lives under
+// internal/ and the runnable entry points under cmd/ and examples/.
+package vectrace

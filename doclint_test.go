@@ -1,0 +1,75 @@
+package vectrace
+
+// doclint_test enforces the documentation contract: every exported
+// identifier in the library packages carries a doc comment. This is a test
+// rather than an external linter so `go test ./...` is the single quality
+// gate.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExportedIdentifiersAreDocumented(t *testing.T) {
+	var undocumented []string
+
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "examples" || name == "cmd" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if decl.Name.IsExported() && decl.Doc == nil {
+					undocumented = append(undocumented,
+						fset.Position(decl.Pos()).String()+" func "+decl.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					switch spec := spec.(type) {
+					case *ast.TypeSpec:
+						if spec.Name.IsExported() && decl.Doc == nil && spec.Doc == nil {
+							undocumented = append(undocumented,
+								fset.Position(spec.Pos()).String()+" type "+spec.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range spec.Names {
+							if n.IsExported() && decl.Doc == nil && spec.Doc == nil && spec.Comment == nil {
+								undocumented = append(undocumented,
+									fset.Position(n.Pos()).String()+" value "+n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(undocumented) > 0 {
+		t.Errorf("%d exported identifiers lack doc comments:\n  %s",
+			len(undocumented), strings.Join(undocumented, "\n  "))
+	}
+}

@@ -1,0 +1,63 @@
+// §4.3 demonstration: the dynamic analysis is invariant to code form.
+//
+// The UTDSP FIR filter is analyzed in its array-based and pointer-based
+// versions. Both produce byte-identical outputs and identical dynamic
+// vectorization metrics — the analysis sees IR-level operations and
+// run-time addresses, not surface syntax. The static vectorizer (the
+// compiler stand-in), by contrast, accepts the array form and rejects the
+// pointer form for unprovable aliasing, reproducing the paper's Table 3
+// asymmetry.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/example/vectrace/internal/core"
+	"github.com/example/vectrace/internal/ddg"
+	"github.com/example/vectrace/internal/kernels"
+	"github.com/example/vectrace/internal/pipeline"
+	"github.com/example/vectrace/internal/staticvec"
+)
+
+func main() {
+	pair := kernels.FIRPair(64, 16)
+	for _, variant := range []struct {
+		style  string
+		kernel kernels.Kernel
+	}{
+		{"array-based", pair.Array},
+		{"pointer-based", pair.Pointer},
+	} {
+		k := variant.kernel
+		mod, res, tr, err := pipeline.CompileAndTrace(k.Name+".c", k.Source)
+		if err != nil {
+			log.Fatal(err)
+		}
+		region, err := pipeline.LoopRegion(tr, k.LineOf("@hot"), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := ddg.Build(region)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := core.Analyze(g, core.Options{})
+
+		verdicts := staticvec.AnalyzeModule(mod)
+		inner := mod.LoopByLine(k.LineOf("@inner"))
+		v := verdicts[inner.ID]
+		status := "vectorized"
+		if !v.Vectorized {
+			status = "NOT vectorized: " + v.Reason
+		}
+
+		fmt.Printf("%s FIR:\n", variant.style)
+		fmt.Printf("  output checksum:        %.9f\n", res.Checksum())
+		fmt.Printf("  avg concurrency:        %.1f\n", rep.AvgConcurrency)
+		fmt.Printf("  unit-stride vec ops:    %.1f%% (avg vector size %.1f)\n",
+			rep.UnitVecOpsPct, rep.UnitAvgVecSize)
+		fmt.Printf("  compiler verdict:       %s\n\n", status)
+	}
+	fmt.Println("identical dynamic metrics, asymmetric compiler results — Table 3 in miniature")
+}

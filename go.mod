@@ -1,0 +1,3 @@
+module github.com/example/vectrace
+
+go 1.22

@@ -1,0 +1,359 @@
+// Package ast defines the abstract syntax tree for MiniC programs.
+//
+// Every node carries the byte offset of its first token; the parser's
+// source.File resolves offsets into line/column positions. Statements that
+// matter to the dynamic analysis (loops, assignments) additionally carry
+// stable integer IDs assigned by the parser, which the lowering phase
+// propagates onto VIR instructions so that analysis reports can be grouped
+// per source loop, the way the paper reports per-loop metrics.
+package ast
+
+import (
+	"github.com/example/vectrace/internal/source"
+	"github.com/example/vectrace/internal/token"
+)
+
+// Node is the interface implemented by all AST nodes.
+type Node interface {
+	// Offset returns the byte offset of the node's first token.
+	Offset() int
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Decl is a top-level declaration node.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// ---------------------------------------------------------------- Types
+
+// TypeExpr is the syntactic form of a type. It is resolved to a types.Type by
+// the sema package.
+type TypeExpr struct {
+	Off     int
+	Kind    TypeKind
+	Name    string    // struct name when Kind == TypeStruct
+	Elem    *TypeExpr // pointee when Kind == TypePointer
+	ArrayOf *TypeExpr // element type when Kind == TypeArray
+	Len     int       // array length when Kind == TypeArray
+}
+
+// TypeKind discriminates TypeExpr forms.
+type TypeKind int
+
+// TypeExpr kinds.
+const (
+	TypeInt TypeKind = iota
+	TypeFloat
+	TypeDouble
+	TypeVoid
+	TypeStruct
+	TypePointer
+	TypeArray
+)
+
+// Offset returns the byte offset of the type expression.
+func (t *TypeExpr) Offset() int { return t.Off }
+
+// ---------------------------------------------------------------- Expressions
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Off   int
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Off   int
+	Value float64
+	Text  string
+}
+
+// Ident is a reference to a named entity (variable, parameter, function).
+type Ident struct {
+	Off  int
+	Name string
+}
+
+// Unary is a prefix operator application: -x, !x, *p (deref), &x (address).
+type Unary struct {
+	Off int
+	Op  token.Kind
+	X   Expr
+}
+
+// Binary is a binary operator application.
+type Binary struct {
+	Off  int
+	Op   token.Kind
+	X, Y Expr
+}
+
+// Index is a subscript a[i]; a may be an array or a pointer.
+type Index struct {
+	Off int
+	X   Expr
+	Idx Expr
+}
+
+// Member is a field access x.f or p->f (Arrow distinguishes them).
+type Member struct {
+	Off   int
+	X     Expr
+	Field string
+	Arrow bool
+}
+
+// Call is a function or builtin call.
+type Call struct {
+	Off  int
+	Fun  *Ident
+	Args []Expr
+}
+
+// Cast is an explicit conversion (T)x.
+type Cast struct {
+	Off int
+	To  *TypeExpr
+	X   Expr
+}
+
+// Offset implementations.
+func (e *IntLit) Offset() int   { return e.Off }
+func (e *FloatLit) Offset() int { return e.Off }
+func (e *Ident) Offset() int    { return e.Off }
+func (e *Unary) Offset() int    { return e.Off }
+func (e *Binary) Offset() int   { return e.Off }
+func (e *Index) Offset() int    { return e.Off }
+func (e *Member) Offset() int   { return e.Off }
+func (e *Call) Offset() int     { return e.Off }
+func (e *Cast) Offset() int     { return e.Off }
+
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*Ident) exprNode()    {}
+func (*Unary) exprNode()    {}
+func (*Binary) exprNode()   {}
+func (*Index) exprNode()    {}
+func (*Member) exprNode()   {}
+func (*Call) exprNode()     {}
+func (*Cast) exprNode()     {}
+
+// ---------------------------------------------------------------- Statements
+
+// VarDecl declares a local or global variable, with an optional initializer
+// (scalars only).
+type VarDecl struct {
+	Off  int
+	Type *TypeExpr
+	Name string
+	Init Expr // may be nil
+}
+
+// Assign is an assignment statement: lhs op rhs where op is =, +=, -=, *=, /=.
+// The parser assigns each assignment a unique ID used by analysis reports.
+type Assign struct {
+	Off int
+	ID  int
+	Op  token.Kind
+	LHS Expr
+	RHS Expr
+}
+
+// IncDec is a postfix x++ or x-- statement.
+type IncDec struct {
+	Off int
+	Op  token.Kind // INC or DEC
+	X   Expr
+}
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	Off int
+	X   Expr
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Off   int
+	Stmts []Stmt
+}
+
+// If is a conditional with an optional else branch.
+type If struct {
+	Off  int
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block, *If, or nil
+}
+
+// For is a C-style for loop. Init and Post may be nil; Cond may be nil
+// (infinite loop). ID is a stable loop identifier; Line is the 1-based
+// source line, used to name loops in reports ("file.c : 55" style).
+type For struct {
+	Off  int
+	ID   int
+	Line int
+	Init Stmt // *Assign, *VarDecl, *IncDec, or nil
+	Cond Expr
+	Post Stmt // *Assign or *IncDec, or nil
+	Body *Block
+}
+
+// While is a while loop, sharing loop IDs with For. DoWhile marks the
+// do { } while (cond); form, whose body runs before the first test.
+type While struct {
+	Off     int
+	ID      int
+	Line    int
+	Cond    Expr
+	Body    *Block
+	DoWhile bool
+}
+
+// Return returns from the enclosing function; X is nil for void returns.
+type Return struct {
+	Off int
+	X   Expr
+}
+
+// Break exits the innermost loop.
+type Break struct{ Off int }
+
+// Continue jumps to the innermost loop's next iteration.
+type Continue struct{ Off int }
+
+// Offset implementations.
+func (s *VarDecl) Offset() int  { return s.Off }
+func (s *Assign) Offset() int   { return s.Off }
+func (s *IncDec) Offset() int   { return s.Off }
+func (s *ExprStmt) Offset() int { return s.Off }
+func (s *Block) Offset() int    { return s.Off }
+func (s *If) Offset() int       { return s.Off }
+func (s *For) Offset() int      { return s.Off }
+func (s *While) Offset() int    { return s.Off }
+func (s *Return) Offset() int   { return s.Off }
+func (s *Break) Offset() int    { return s.Off }
+func (s *Continue) Offset() int { return s.Off }
+
+func (*VarDecl) stmtNode()  {}
+func (*Assign) stmtNode()   {}
+func (*IncDec) stmtNode()   {}
+func (*ExprStmt) stmtNode() {}
+func (*Block) stmtNode()    {}
+func (*If) stmtNode()       {}
+func (*For) stmtNode()      {}
+func (*While) stmtNode()    {}
+func (*Return) stmtNode()   {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+
+// ---------------------------------------------------------------- Declarations
+
+// Param is one function parameter.
+type Param struct {
+	Off  int
+	Type *TypeExpr
+	Name string
+}
+
+// FuncDecl declares a function with a body.
+type FuncDecl struct {
+	Off    int
+	Result *TypeExpr
+	Name   string
+	Params []Param
+	Body   *Block
+}
+
+// GlobalDecl declares a global variable.
+type GlobalDecl struct {
+	Off  int
+	Type *TypeExpr
+	Name string
+	Init Expr // scalar initializer, may be nil
+}
+
+// FieldDecl is one field of a struct declaration.
+type FieldDecl struct {
+	Off  int
+	Type *TypeExpr
+	Name string
+}
+
+// StructDecl declares a named struct type.
+type StructDecl struct {
+	Off    int
+	Name   string
+	Fields []FieldDecl
+}
+
+// Offset implementations.
+func (d *FuncDecl) Offset() int   { return d.Off }
+func (d *GlobalDecl) Offset() int { return d.Off }
+func (d *StructDecl) Offset() int { return d.Off }
+
+func (*FuncDecl) declNode()   {}
+func (*GlobalDecl) declNode() {}
+func (*StructDecl) declNode() {}
+
+// Program is a parsed MiniC translation unit.
+type Program struct {
+	File     *source.File
+	Decls    []Decl
+	NumLoops int // number of loop IDs assigned (IDs are 0..NumLoops-1)
+}
+
+// Loops returns all loop statements in the program in source order, paired
+// with the name of the function that contains each.
+func (p *Program) Loops() []LoopInfo {
+	var out []LoopInfo
+	for _, d := range p.Decls {
+		fd, ok := d.(*FuncDecl)
+		if !ok {
+			continue
+		}
+		collectLoops(fd.Body, fd.Name, &out)
+	}
+	return out
+}
+
+// LoopInfo describes one source loop.
+type LoopInfo struct {
+	ID   int
+	Line int
+	Func string
+}
+
+func collectLoops(s Stmt, fn string, out *[]LoopInfo) {
+	switch s := s.(type) {
+	case *Block:
+		for _, st := range s.Stmts {
+			collectLoops(st, fn, out)
+		}
+	case *If:
+		collectLoops(s.Then, fn, out)
+		if s.Else != nil {
+			collectLoops(s.Else, fn, out)
+		}
+	case *For:
+		*out = append(*out, LoopInfo{ID: s.ID, Line: s.Line, Func: fn})
+		collectLoops(s.Body, fn, out)
+	case *While:
+		*out = append(*out, LoopInfo{ID: s.ID, Line: s.Line, Func: fn})
+		collectLoops(s.Body, fn, out)
+	}
+}

@@ -1,0 +1,96 @@
+package ast_test
+
+import (
+	"testing"
+
+	"github.com/example/vectrace/internal/ast"
+	"github.com/example/vectrace/internal/parser"
+)
+
+func TestLoopsWalker(t *testing.T) {
+	prog, err := parser.Parse("t.c", `
+void helper() {
+  int k;
+  while (k < 5) { k++; }
+}
+void main() {
+  int i;
+  int j;
+  for (i = 0; i < 4; i++) {
+    if (i > 1) {
+      for (j = 0; j < 4; j++) { }
+    }
+  }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := prog.Loops()
+	if len(loops) != 3 {
+		t.Fatalf("loops = %d, want 3", len(loops))
+	}
+	byFunc := map[string]int{}
+	for _, l := range loops {
+		byFunc[l.Func]++
+		if l.Line == 0 {
+			t.Errorf("loop %d missing line", l.ID)
+		}
+	}
+	if byFunc["helper"] != 1 || byFunc["main"] != 2 {
+		t.Fatalf("loops per function = %v", byFunc)
+	}
+	// The loop nested under the if must still be discovered.
+	foundNested := false
+	for _, l := range loops {
+		if l.Func == "main" && l.ID != loops[1].ID {
+			foundNested = true
+		}
+	}
+	if !foundNested {
+		t.Error("nested loop under if not collected")
+	}
+}
+
+func TestOffsets(t *testing.T) {
+	prog, err := parser.Parse("t.c", "int x;\nvoid main() { x = 1 + 2; }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := prog.Decls[0].(*ast.GlobalDecl)
+	if g.Offset() != 0 {
+		t.Errorf("global offset = %d", g.Offset())
+	}
+	fd := prog.Decls[1].(*ast.FuncDecl)
+	if fd.Offset() <= g.Offset() {
+		t.Error("function should come after the global")
+	}
+	asn := fd.Body.Stmts[0].(*ast.Assign)
+	bin := asn.RHS.(*ast.Binary)
+	if !(asn.Offset() < bin.Offset()) {
+		t.Error("expression offsets should be ordered within the statement")
+	}
+	if bin.X.Offset() >= bin.Y.Offset() {
+		t.Error("operand offsets should be ordered")
+	}
+}
+
+func TestTypeExprForms(t *testing.T) {
+	prog, err := parser.Parse("t.c", `
+struct s { double d; };
+struct s *ptrs[4];
+void main() { }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := prog.Decls[1].(*ast.GlobalDecl)
+	// ptrs: array(4) of pointer to struct s.
+	te := g.Type
+	if te.Kind != ast.TypeArray || te.Len != 4 {
+		t.Fatalf("outer type = %+v, want array[4]", te)
+	}
+	if te.ArrayOf.Kind != ast.TypePointer || te.ArrayOf.Elem.Kind != ast.TypeStruct || te.ArrayOf.Elem.Name != "s" {
+		t.Fatalf("element type = %+v, want *struct s", te.ArrayOf)
+	}
+}

@@ -1,0 +1,185 @@
+// Package baseline implements the two prior dynamic-analysis styles the
+// paper contrasts with in §2, over the same DDG:
+//
+//   - Kumar-style fine-grained critical-path analysis [Kumar 1988]: every
+//     dynamic operation is timestamped one past the maximum of its inputs'
+//     timestamps, yielding a parallelism profile and the DDG critical path.
+//     Same-timestamp instances of a statement form that method's partitions
+//     — provably never larger than Algorithm 1's (Figure 1).
+//
+//   - Larus-style loop-level parallelism [Larus 1993]: statements within a
+//     loop iteration execute sequentially; an iteration stalls only when it
+//     reaches a statement that depends on a statement instance of a later-
+//     started iteration that has not yet executed. Concurrency exists only
+//     across iterations of the analyzed loop (Figure 2).
+package baseline
+
+import (
+	"github.com/example/vectrace/internal/ddg"
+	"github.com/example/vectrace/internal/ir"
+)
+
+// KumarTimestamps computes the classic fine-grained parallelism timestamps:
+// every node is scheduled one step after the latest of its predecessors,
+// regardless of which static instruction it instantiates.
+func KumarTimestamps(g *ddg.Graph) []int32 {
+	ts := make([]int32, len(g.Nodes))
+	var preds []int32
+	for i := range g.Nodes {
+		var max int32
+		preds = g.Preds(int32(i), preds[:0])
+		for _, p := range preds {
+			if ts[p] > max {
+				max = ts[p]
+			}
+		}
+		ts[i] = max + 1
+	}
+	return ts
+}
+
+// KumarProfile summarizes the Kumar analysis.
+type KumarProfile struct {
+	// CriticalPath is the largest timestamp: the DAG's critical path length.
+	CriticalPath int32
+	// Histogram[t-1] is the number of operations with timestamp t — the
+	// "parallelism profile".
+	Histogram []int
+	// AvgParallelism is nodes / critical path.
+	AvgParallelism float64
+}
+
+// Kumar computes the critical-path parallelism profile of the whole graph.
+func Kumar(g *ddg.Graph) KumarProfile {
+	ts := KumarTimestamps(g)
+	var cp int32
+	for _, t := range ts {
+		if t > cp {
+			cp = t
+		}
+	}
+	p := KumarProfile{CriticalPath: cp, Histogram: make([]int, cp)}
+	for _, t := range ts {
+		p.Histogram[t-1]++
+	}
+	if cp > 0 {
+		p.AvgParallelism = float64(len(g.Nodes)) / float64(cp)
+	}
+	return p
+}
+
+// PartitionsByTimestamp groups the instances of static instruction id by an
+// arbitrary timestamp assignment (Kumar or Larus), for comparison with
+// Algorithm 1's partitions. The returned slice is ordered by timestamp.
+func PartitionsByTimestamp(g *ddg.Graph, id int32, ts []int32) [][]int32 {
+	byTS := make(map[int32][]int32)
+	var order []int32
+	for i := range g.Nodes {
+		if g.Nodes[i].Instr != id {
+			continue
+		}
+		if _, ok := byTS[ts[i]]; !ok {
+			order = append(order, ts[i])
+		}
+		byTS[ts[i]] = append(byTS[ts[i]], int32(i))
+	}
+	// Sort timestamps ascending (insertion order may interleave).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j] < order[j-1]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	out := make([][]int32, 0, len(order))
+	for _, t := range order {
+		out = append(out, byTS[t])
+	}
+	return out
+}
+
+// LarusResult summarizes the loop-level analysis of one loop region.
+type LarusResult struct {
+	// Iterations is the number of loop iterations observed.
+	Iterations int
+	// Finish[i] is the completion time of node i under the loop-level
+	// execution model (0 for nodes outside any iteration).
+	Finish []int32
+	// Span is the parallel execution time: max finish.
+	Span int32
+	// SequentialTime is the number of in-iteration operations (each costs
+	// one step), so Speedup = SequentialTime/Span is the loop-level
+	// parallelism.
+	SequentialTime int64
+}
+
+// Speedup returns the loop-level parallelism uncovered by the model.
+func (r *LarusResult) Speedup() float64 {
+	if r.Span == 0 {
+		return 1
+	}
+	return float64(r.SequentialTime) / float64(r.Span)
+}
+
+// Larus runs the loop-level parallelism model over a region DDG of the
+// given loop: iterations of loopID may run concurrently, but each iteration
+// executes its statements in program order, stalling at any statement that
+// depends on a not-yet-executed statement instance of another iteration.
+//
+// Iteration boundaries come from the loop's OpLoopIter markers. Nested-loop
+// and called-function events belong to the iteration that spawned them (the
+// model serializes them within the iteration, exactly how Larus' original
+// formulation treats the loop body as a sequential unit).
+// Loop-control instructions (a for-loop's init/condition/increment) are
+// excluded: at the statement level Larus' model analyzes, loop control is
+// implicit in the loop construct, so the induction-variable update chain
+// must not serialize the iterations. Dependences reaching a statement
+// through control instructions are likewise ignored.
+func Larus(g *ddg.Graph, loopID int) *LarusResult {
+	res := &LarusResult{Finish: make([]int32, len(g.Nodes))}
+	iter := -1
+	var curTime int32
+	var preds []int32
+	depth := 0 // nesting depth relative to the analyzed loop's own level
+	for i := range g.Nodes {
+		in := g.Mod.InstrAt(g.Nodes[i].Instr)
+		if in.Op == ir.OpLoopIter && int(in.Loop) == loopID {
+			iter++
+			res.Iterations++
+			curTime = 0
+			continue
+		}
+		// Track call depth only to keep the iteration attribution honest if
+		// regions ever nest functions that themselves contain the loop.
+		switch in.Op {
+		case ir.OpCall:
+			depth++
+		case ir.OpRet:
+			if depth > 0 {
+				depth--
+			}
+		}
+		if iter < 0 || in.Ctl {
+			continue // loop-header events and loop control are not statements
+		}
+		switch in.Op {
+		case ir.OpLoopBegin, ir.OpLoopEnd, ir.OpLoopIter, ir.OpBr:
+			continue // structural markers cost nothing
+		}
+		start := curTime
+		preds = g.Preds(int32(i), preds[:0])
+		for _, p := range preds {
+			if g.Mod.InstrAt(g.Nodes[p].Instr).Ctl {
+				continue // values from loop control are free
+			}
+			if res.Finish[p] > start {
+				start = res.Finish[p]
+			}
+		}
+		res.Finish[i] = start + 1
+		curTime = res.Finish[i]
+		res.SequentialTime++
+		if res.Finish[i] > res.Span {
+			res.Span = res.Finish[i]
+		}
+	}
+	return res
+}

@@ -1,0 +1,294 @@
+// Package cfgutil provides control-flow-graph analyses over VIR functions:
+// predecessor/successor maps, dominator trees (Cooper–Harvey–Kennedy), and
+// natural-loop detection. The static vectorizer uses these to recover loop
+// structure the way a production compiler would, and cross-checks the result
+// against the source-loop IDs the lowering phase recorded.
+package cfgutil
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/example/vectrace/internal/ir"
+)
+
+// CFG is the control-flow graph of one function.
+type CFG struct {
+	Fn    *ir.Function
+	Succs [][]int32
+	Preds [][]int32
+	// RPO is a reverse postorder of the reachable blocks; unreachable
+	// blocks are absent.
+	RPO []int32
+	// rpoIndex[b] is b's position in RPO, or -1 if unreachable.
+	rpoIndex []int32
+}
+
+// New builds the CFG for fn.
+func New(fn *ir.Function) *CFG {
+	n := len(fn.Blocks)
+	c := &CFG{
+		Fn:       fn,
+		Succs:    make([][]int32, n),
+		Preds:    make([][]int32, n),
+		rpoIndex: make([]int32, n),
+	}
+	for _, b := range fn.Blocks {
+		c.Succs[b.Index] = b.Succs(nil)
+	}
+	for b, succs := range c.Succs {
+		for _, s := range succs {
+			c.Preds[s] = append(c.Preds[s], int32(b))
+		}
+	}
+	// Reverse postorder via iterative DFS from block 0.
+	visited := make([]bool, n)
+	var post []int32
+	type stackEntry struct {
+		b    int32
+		next int
+	}
+	stack := []stackEntry{{b: 0}}
+	visited[0] = true
+	for len(stack) > 0 {
+		e := &stack[len(stack)-1]
+		if e.next < len(c.Succs[e.b]) {
+			s := c.Succs[e.b][e.next]
+			e.next++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, stackEntry{b: s})
+			}
+			continue
+		}
+		post = append(post, e.b)
+		stack = stack[:len(stack)-1]
+	}
+	c.RPO = make([]int32, len(post))
+	for i := range post {
+		c.RPO[len(post)-1-i] = post[i]
+	}
+	for i := range c.rpoIndex {
+		c.rpoIndex[i] = -1
+	}
+	for i, b := range c.RPO {
+		c.rpoIndex[b] = int32(i)
+	}
+	return c
+}
+
+// Reachable reports whether block b is reachable from the entry.
+func (c *CFG) Reachable(b int32) bool { return c.rpoIndex[b] >= 0 }
+
+// DomTree holds immediate dominators.
+type DomTree struct {
+	cfg *CFG
+	// Idom[b] is b's immediate dominator, or -1 for the entry and
+	// unreachable blocks.
+	Idom []int32
+}
+
+// Dominators computes the dominator tree using the Cooper–Harvey–Kennedy
+// iterative algorithm over reverse postorder.
+func Dominators(c *CFG) *DomTree {
+	n := len(c.Fn.Blocks)
+	idom := make([]int32, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	if len(c.RPO) == 0 {
+		return &DomTree{cfg: c, Idom: idom}
+	}
+	entry := c.RPO[0]
+	idom[entry] = entry
+	intersect := func(a, b int32) int32 {
+		for a != b {
+			for c.rpoIndex[a] > c.rpoIndex[b] {
+				a = idom[a]
+			}
+			for c.rpoIndex[b] > c.rpoIndex[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.RPO[1:] {
+			var newIdom int32 = -1
+			for _, p := range c.Preds[b] {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[entry] = -1
+	return &DomTree{cfg: c, Idom: idom}
+}
+
+// Dominates reports whether block a dominates block b (reflexively).
+func (d *DomTree) Dominates(a, b int32) bool {
+	for {
+		if a == b {
+			return true
+		}
+		b = d.Idom[b]
+		if b == -1 {
+			return false
+		}
+	}
+}
+
+// Loop is one natural loop.
+type Loop struct {
+	// Header is the loop header block (target of the back edge).
+	Header int32
+	// Blocks lists the loop body blocks (including the header), sorted.
+	Blocks []int32
+	// SourceLoop is the source loop ID the body's instructions carry, or
+	// -1 when the loop has no single source loop (should not happen for
+	// lowered MiniC).
+	SourceLoop int32
+	// Parent is the index (in the Loops result) of the innermost enclosing
+	// loop, or -1.
+	Parent int
+}
+
+// Contains reports whether block b belongs to the loop.
+func (l *Loop) Contains(b int32) bool {
+	i := sort.Search(len(l.Blocks), func(i int) bool { return l.Blocks[i] >= b })
+	return i < len(l.Blocks) && l.Blocks[i] == b
+}
+
+// Loops finds all natural loops of the function: for every back edge
+// tail→header (where header dominates tail), the loop body is every block
+// that can reach the tail without passing through the header. Loops sharing
+// a header are merged. The result is sorted outermost-first by body size.
+func Loops(c *CFG, dom *DomTree) []Loop {
+	bodies := make(map[int32]map[int32]bool) // header → block set
+	for _, b := range c.RPO {
+		for _, s := range c.Succs[b] {
+			if !dom.Dominates(s, b) {
+				continue
+			}
+			// Back edge b→s.
+			body := bodies[s]
+			if body == nil {
+				body = map[int32]bool{s: true}
+				bodies[s] = body
+			}
+			// Walk predecessors from the tail.
+			stack := []int32{b}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[x] {
+					continue
+				}
+				body[x] = true
+				for _, p := range c.Preds[x] {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	var loops []Loop
+	for h, body := range bodies {
+		l := Loop{Header: h, SourceLoop: -1, Parent: -1}
+		for b := range body {
+			l.Blocks = append(l.Blocks, b)
+		}
+		sort.Slice(l.Blocks, func(i, j int) bool { return l.Blocks[i] < l.Blocks[j] })
+		l.SourceLoop = sourceLoopOf(c.Fn, &l)
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		if len(loops[i].Blocks) != len(loops[j].Blocks) {
+			return len(loops[i].Blocks) > len(loops[j].Blocks)
+		}
+		return loops[i].Header < loops[j].Header
+	})
+	// Parent links: the smallest enclosing loop.
+	for i := range loops {
+		for j := i - 1; j >= 0; j-- {
+			if loops[j].Contains(loops[i].Header) && len(loops[j].Blocks) > len(loops[i].Blocks) {
+				loops[i].Parent = j
+			}
+		}
+	}
+	return loops
+}
+
+// sourceLoopOf recovers the source loop ID whose iteration marker lives in
+// the natural loop: the innermost-depth OpLoopIter found in the body.
+func sourceLoopOf(fn *ir.Function, l *Loop) int32 {
+	best := int32(-1)
+	for _, bi := range l.Blocks {
+		for i := range fn.Blocks[bi].Instrs {
+			in := &fn.Blocks[bi].Instrs[i]
+			if in.Op == ir.OpLoopIter && l.Contains(bi) {
+				// The outermost source loop whose marker appears in this
+				// natural loop's header region is the match; natural loops
+				// of inner source loops contain only the inner markers.
+				if best == -1 || in.Loop < best {
+					best = in.Loop
+				}
+			}
+		}
+	}
+	return best
+}
+
+// InnermostLoops returns the loops that contain no other loop.
+func InnermostLoops(loops []Loop) []Loop {
+	inner := make([]bool, len(loops))
+	for i := range inner {
+		inner[i] = true
+	}
+	for i := range loops {
+		if loops[i].Parent >= 0 {
+			inner[loops[i].Parent] = false
+		}
+	}
+	var out []Loop
+	for i := range loops {
+		if inner[i] {
+			out = append(out, loops[i])
+		}
+	}
+	return out
+}
+
+// Check validates structural consistency between natural loops and the
+// source-loop markers: every source loop that executes a back edge must be
+// discovered as a natural loop. Used by tests.
+func Check(fn *ir.Function) error {
+	c := New(fn)
+	dom := Dominators(c)
+	loops := Loops(c, dom)
+	seen := make(map[int32]bool)
+	for i := range loops {
+		if loops[i].SourceLoop >= 0 {
+			seen[loops[i].SourceLoop] = true
+		}
+	}
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.OpLoopIter && c.Reachable(b.Index) && !seen[in.Loop] {
+				return fmt.Errorf("cfgutil: %s: source loop L%d has no natural loop", fn.Name, in.Loop)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package cfgutil_test
+
+import (
+	"testing"
+
+	"github.com/example/vectrace/internal/cfgutil"
+	"github.com/example/vectrace/internal/ir"
+	"github.com/example/vectrace/internal/kernels"
+	"github.com/example/vectrace/internal/pipeline"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	mod, err := pipeline.Compile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func TestStraightLine(t *testing.T) {
+	mod := compile(t, `
+double g;
+void main() { g = 1.0; }
+`)
+	c := cfgutil.New(mod.FuncByName("main"))
+	if len(c.RPO) != 1 {
+		t.Fatalf("RPO = %v, want single block", c.RPO)
+	}
+	dom := cfgutil.Dominators(c)
+	if dom.Idom[0] != -1 {
+		t.Error("entry has no immediate dominator")
+	}
+	if loops := cfgutil.Loops(c, dom); len(loops) != 0 {
+		t.Errorf("loops = %d, want 0", len(loops))
+	}
+}
+
+func TestIfDominators(t *testing.T) {
+	mod := compile(t, `
+double g;
+void main() {
+  int x;
+  x = 1;
+  if (x > 0) { g = 1.0; } else { g = 2.0; }
+  g = g + 1.0;
+}
+`)
+	fn := mod.FuncByName("main")
+	c := cfgutil.New(fn)
+	dom := cfgutil.Dominators(c)
+
+	// Entry dominates everything reachable.
+	for _, b := range c.RPO {
+		if !dom.Dominates(c.RPO[0], b) {
+			t.Errorf("entry should dominate b%d", b)
+		}
+	}
+	// The then-block does not dominate the join block (the else path
+	// bypasses it). Find them via successor structure: entry's condbr has
+	// two successors; the join is the block both branch targets flow to.
+	entry := c.RPO[0]
+	succs := c.Succs[entry]
+	if len(succs) != 2 {
+		t.Fatalf("entry successors = %v, want 2", succs)
+	}
+	joins := c.Succs[succs[0]]
+	if len(joins) == 1 {
+		if dom.Dominates(succs[0], joins[0]) {
+			t.Error("then-branch must not dominate the join")
+		}
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	mod := compile(t, `
+double g;
+void main() {
+  int i;
+  int j;
+  for (i = 0; i < 4; i++) {      // loop 0
+    for (j = 0; j < 4; j++) {    // loop 1
+      g = g + 1.0;
+    }
+  }
+  while (g > 0.5) {              // loop 2
+    g = g - 1.0;
+  }
+}
+`)
+	fn := mod.FuncByName("main")
+	c := cfgutil.New(fn)
+	dom := cfgutil.Dominators(c)
+	loops := cfgutil.Loops(c, dom)
+	if len(loops) != 3 {
+		t.Fatalf("natural loops = %d, want 3", len(loops))
+	}
+
+	bySource := map[int32]*cfgutil.Loop{}
+	for i := range loops {
+		bySource[loops[i].SourceLoop] = &loops[i]
+	}
+	for id := int32(0); id < 3; id++ {
+		if bySource[id] == nil {
+			t.Fatalf("no natural loop for source loop L%d", id)
+		}
+	}
+	// Nesting: loop 1's natural loop is contained in loop 0's.
+	outer, inner := bySource[0], bySource[1]
+	if len(inner.Blocks) >= len(outer.Blocks) {
+		t.Error("inner loop should have fewer blocks than outer")
+	}
+	for _, b := range inner.Blocks {
+		if !outer.Contains(b) {
+			t.Errorf("inner block b%d not inside outer loop", b)
+		}
+	}
+	// The parent links computed by Loops must reflect that nesting.
+	inners := cfgutil.InnermostLoops(loops)
+	srcIDs := map[int32]bool{}
+	for _, l := range inners {
+		srcIDs[l.SourceLoop] = true
+	}
+	if !srcIDs[1] || !srcIDs[2] || srcIDs[0] {
+		t.Errorf("innermost source loops = %v, want {1,2}", srcIDs)
+	}
+}
+
+func TestLoopHeaderDominatesBody(t *testing.T) {
+	mod := compile(t, `
+double g;
+void main() {
+  int i;
+  for (i = 0; i < 4; i++) { g = g + 1.0; }
+}
+`)
+	fn := mod.FuncByName("main")
+	c := cfgutil.New(fn)
+	dom := cfgutil.Dominators(c)
+	loops := cfgutil.Loops(c, dom)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	for _, b := range loops[0].Blocks {
+		if !dom.Dominates(loops[0].Header, b) {
+			t.Errorf("header must dominate body block b%d", b)
+		}
+	}
+}
+
+func TestBreakDoesNotConfuseLoops(t *testing.T) {
+	mod := compile(t, `
+double g;
+void main() {
+  int i;
+  for (i = 0; i < 10; i++) {
+    if (i == 5) { break; }
+    g = g + 1.0;
+  }
+}
+`)
+	fn := mod.FuncByName("main")
+	c := cfgutil.New(fn)
+	dom := cfgutil.Dominators(c)
+	loops := cfgutil.Loops(c, dom)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	if loops[0].SourceLoop != 0 {
+		t.Errorf("source loop = %d", loops[0].SourceLoop)
+	}
+}
+
+func TestCheckOnAllKernels(t *testing.T) {
+	var all []kernels.Kernel
+	for _, b := range kernels.SPEC() {
+		all = append(all, b.Kernel)
+	}
+	for _, cs := range kernels.CaseStudies() {
+		all = append(all, cs.Original, cs.Transformed)
+	}
+	for _, p := range kernels.UTDSP() {
+		all = append(all, p.Array, p.Pointer)
+	}
+	all = append(all, kernels.Listing1(8), kernels.Listing2(8), kernels.Listing3(8), kernels.Listing4(8))
+
+	seen := map[string]bool{}
+	for _, k := range all {
+		if seen[k.Name] {
+			continue
+		}
+		seen[k.Name] = true
+		mod, err := pipeline.Compile(k.Name+".c", k.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		for _, fn := range mod.Funcs {
+			if err := cfgutil.Check(fn); err != nil {
+				t.Errorf("%s: %v", k.Name, err)
+			}
+		}
+	}
+}
+
+func TestUnreachableBlocks(t *testing.T) {
+	mod := compile(t, `
+int f() {
+  return 1;
+  return 2;
+}
+void main() { printi(f()); }
+`)
+	fn := mod.FuncByName("f")
+	c := cfgutil.New(fn)
+	reachable := 0
+	for b := int32(0); int(b) < len(fn.Blocks); b++ {
+		if c.Reachable(b) {
+			reachable++
+		}
+	}
+	if reachable == len(fn.Blocks) {
+		t.Skip("lowering produced no unreachable block for dead code")
+	}
+	// Dominators must still compute without touching unreachable blocks.
+	dom := cfgutil.Dominators(c)
+	for b := int32(0); int(b) < len(fn.Blocks); b++ {
+		if !c.Reachable(b) && dom.Idom[b] != -1 {
+			t.Errorf("unreachable block b%d has idom %d", b, dom.Idom[b])
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"github.com/example/vectrace/internal/ddg"
+	"github.com/example/vectrace/internal/ir"
+)
+
+// reductionInfo describes the reduction structure of one static instruction:
+// which of its dynamic instances consume the previous instance's value
+// through an accumulator (directly through a register, or through a
+// store/load round trip to the same memory location — the s += expr idiom).
+type reductionInfo struct {
+	id int32
+	// accumPred maps instance node index → the predecessor node index that
+	// carries the accumulator value into it.
+	accumPred map[int32]int32
+	// frac is the fraction of instances (beyond the first) that have an
+	// accumulator predecessor.
+	frac float64
+}
+
+// isAccumPred reports whether edge p→n is the accumulator-carried edge of
+// instance n.
+func (r *reductionInfo) isAccumPred(g *ddg.Graph, n, p int32) bool {
+	return r.accumPred[n] == p
+}
+
+// detectReduction inspects the dynamic instances of id and identifies
+// accumulator-carried dependences. It handles the two shapes MiniC lowering
+// produces for reductions:
+//
+//	s += expr     →  load s ; add ; store s   (memory round trip)
+//	s = s + expr  →  the same
+//	register chains within one expression tree (direct instance → instance)
+//
+// Only add/sub/mul candidates are considered (div is not reassociable).
+// Returns nil when the instruction shows no reduction structure (fewer than
+// half of its instances carry an accumulator edge).
+func detectReduction(g *ddg.Graph, id int32) *reductionInfo {
+	in := g.Mod.InstrAt(id)
+	if !(in.Op == ir.OpBin && in.Type.IsFloat()) {
+		return nil
+	}
+	if in.Bin != ir.AddOp && in.Bin != ir.SubOp && in.Bin != ir.MulOp {
+		return nil
+	}
+	info := &reductionInfo{id: id, accumPred: make(map[int32]int32)}
+	instances := 0
+	var preds []int32
+	for i := range g.Nodes {
+		if g.Nodes[i].Instr != id {
+			continue
+		}
+		instances++
+		preds = g.Preds(int32(i), preds[:0])
+		for _, p := range preds {
+			if carriesAccum(g, p, id, g.Nodes[i].StoreAddr) {
+				info.accumPred[int32(i)] = p
+				break
+			}
+		}
+	}
+	if instances < 3 {
+		return nil
+	}
+	info.frac = float64(len(info.accumPred)) / float64(instances-1)
+	if info.frac < 0.5 {
+		return nil
+	}
+	return info
+}
+
+// carriesAccum reports whether predecessor node p delivers the accumulator
+// value into an instance of id: either p is itself an instance of id
+// (register-carried accumulation), or p is a load of the SAME location the
+// consuming instance stores its result back to (the s += expr round trip,
+// where consumerStoreAddr is the instance's result-store address). The
+// same-location requirement distinguishes true reductions from array
+// recurrences like B[j][i] = B[j-1][i]·A[i], whose chain walks distinct
+// addresses and is not reassociable into a vector reduction.
+func carriesAccum(g *ddg.Graph, p int32, id int32, consumerStoreAddr int64) bool {
+	if p == ddg.NoPred {
+		return false
+	}
+	nd := &g.Nodes[p]
+	if nd.Instr == id {
+		return true
+	}
+	in := g.Mod.InstrAt(nd.Instr)
+	if in.Op != ir.OpLoad || consumerStoreAddr == 0 || nd.Addr != consumerStoreAddr {
+		return false
+	}
+	// A load's memory predecessor is the producing store; find it among the
+	// load's preds (the other pred is the address computation).
+	var preds []int32
+	preds = g.Preds(p, preds)
+	for _, sp := range preds {
+		snd := &g.Nodes[sp]
+		sin := g.Mod.InstrAt(snd.Instr)
+		if sin.Op != ir.OpStore || snd.Addr != nd.Addr {
+			continue
+		}
+		// The store's value producer is one of its preds that is an
+		// instance of id.
+		var sPreds []int32
+		sPreds = g.Preds(sp, sPreds)
+		for _, vp := range sPreds {
+			if g.Nodes[vp].Instr == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsReduction reports whether the static instruction id behaves as a
+// reduction in this execution (≥50% of its instances carry an accumulator
+// dependence). The paper uses this to explain why "Percent Packed" can
+// exceed "Percent Vec. Ops": icc vectorizes reductions while the base
+// analysis treats the chain as sequential.
+func IsReduction(g *ddg.Graph, id int32) bool {
+	return detectReduction(g, id) != nil
+}

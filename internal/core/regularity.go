@@ -1,0 +1,103 @@
+package core
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"github.com/example/vectrace/internal/ir"
+	"github.com/example/vectrace/internal/trace"
+)
+
+// Regularity characterizes how structured a loop's control flow is — the
+// refinement the paper proposes as future work in §4.4: "distinguish
+// computations with irregular data-dependent control flow from ones where
+// the control flow is more structured and vectorization potential is more
+// likely to be actually realizable through code transformations."
+//
+// Each iteration of the loop is reduced to its control signature: the
+// sequence of static instructions it executed (including work in nested
+// loops and callees). A loop whose iterations all share one signature — a
+// clean streaming kernel — is perfectly regular; a worklist algorithm like
+// the povray bounding-box traversal scatters across many signatures.
+type Regularity struct {
+	// Iterations is the number of dynamic iterations observed, across all
+	// dynamic executions of the loop.
+	Iterations int
+	// DistinctShapes is the number of distinct control signatures.
+	DistinctShapes int
+	// ModalFraction is the fraction of iterations following the most
+	// common signature: 1.0 means fully structured control flow.
+	ModalFraction float64
+	// ShapeFractions lists the signature frequencies in decreasing order
+	// (at most the top 8), for reporting.
+	ShapeFractions []float64
+}
+
+// Realizable applies the paper's intended use: potential in a loop with
+// highly regular control flow is likely exploitable by code transformation,
+// while an irregular loop needs algorithm-level work by a domain expert.
+func (r Regularity) Realizable() bool { return r.ModalFraction >= 0.75 }
+
+// ControlRegularity computes the control signature distribution of a source
+// loop over every dynamic execution in the trace.
+func ControlRegularity(tr *trace.Trace, loopID int) Regularity {
+	counts := make(map[uint64]int)
+	total := 0
+	for _, region := range tr.Regions(loopID) {
+		events := tr.RegionEvents(region)
+		h := fnv.New64a()
+		inIteration := false
+		depth := 0
+		var buf [4]byte
+		flush := func() {
+			if inIteration {
+				counts[h.Sum64()]++
+				total++
+				h.Reset()
+			}
+		}
+		for _, ev := range events {
+			in := tr.Module.InstrAt(ev.ID)
+			switch in.Op {
+			case ir.OpLoopIter:
+				// Only this loop's own markers delimit iterations; nested
+				// loops' markers are part of the iteration body.
+				if int(in.Loop) == loopID && depth == 0 {
+					flush()
+					inIteration = true
+					continue
+				}
+			case ir.OpCall:
+				depth++
+			case ir.OpRet:
+				if depth > 0 {
+					depth--
+				}
+			}
+			if inIteration {
+				buf[0] = byte(ev.ID)
+				buf[1] = byte(ev.ID >> 8)
+				buf[2] = byte(ev.ID >> 16)
+				buf[3] = byte(ev.ID >> 24)
+				h.Write(buf[:])
+			}
+		}
+		flush()
+	}
+
+	r := Regularity{Iterations: total, DistinctShapes: len(counts)}
+	if total == 0 {
+		return r
+	}
+	fracs := make([]float64, 0, len(counts))
+	for _, c := range counts {
+		fracs = append(fracs, float64(c)/float64(total))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(fracs)))
+	r.ModalFraction = fracs[0]
+	if len(fracs) > 8 {
+		fracs = fracs[:8]
+	}
+	r.ShapeFractions = fracs
+	return r
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/example/vectrace/internal/ddg"
+)
+
+// InstrReport is the analysis result for one candidate static instruction
+// within one analyzed region.
+type InstrReport struct {
+	ID   int32
+	Line int
+	// AssignID is the source assignment statement the instruction was
+	// lowered from (-1 if none); reports group by it to speak the paper's
+	// statement-level language ("two of the eight addition operations").
+	AssignID int32
+	// Text is the instruction's printable form, for case-study inspection.
+	Text string
+
+	Instances  int
+	Partitions int
+	// CriticalPath is the largest timestamp (minimum sequential steps).
+	CriticalPath int32
+	// AvgPartitionSize = Instances / Partitions: the instruction's
+	// available fine-grained concurrency.
+	AvgPartitionSize float64
+
+	Unit    StrideSummary
+	NonUnit StrideSummary
+
+	// IsReduction marks instructions whose instances form an accumulator
+	// chain in this execution.
+	IsReduction bool
+}
+
+// StrideSummary is the per-instruction slice of a stride analysis.
+type StrideSummary struct {
+	VecOps        int
+	Subpartitions int
+	SumSizes      int
+}
+
+// AvgVecSize returns the mean non-singleton subpartition size.
+func (s StrideSummary) AvgVecSize() float64 {
+	if s.Subpartitions == 0 {
+		return 0
+	}
+	return float64(s.SumSizes) / float64(s.Subpartitions)
+}
+
+// Report is the analysis result for one region (typically one hot-loop
+// sub-trace), aggregating the columns of the paper's Tables 1–3.
+type Report struct {
+	// TotalCandidateOps is the number of dynamic floating-point candidate
+	// operations in the region: the denominator of the percentage metrics.
+	TotalCandidateOps int
+	// TotalNodes is the region's dynamic instruction count.
+	TotalNodes int
+
+	// AvgConcurrency is the paper's "Average Concur." column: the mean
+	// parallel-partition size across the partitions of all candidate
+	// instructions (singletons included).
+	AvgConcurrency float64
+
+	// UnitVecOpsPct / UnitAvgVecSize are the "Unit Stride" columns:
+	// percentage of candidate operations in non-singleton unit-stride
+	// subpartitions, and those subpartitions' average size.
+	UnitVecOpsPct  float64
+	UnitAvgVecSize float64
+
+	// NonUnitVecOpsPct / NonUnitAvgVecSize are the "Non-unit Stride"
+	// columns, from the §3.3 wait-list analysis.
+	NonUnitVecOpsPct  float64
+	NonUnitAvgVecSize float64
+
+	// PerInstr holds per-instruction detail, sorted by source line then ID.
+	PerInstr []InstrReport
+}
+
+// Analyze runs the complete §3 pipeline over the graph: Algorithm 1 per
+// candidate instruction, unit-stride subpartitioning of every parallel
+// partition, and the non-unit stride analysis of the leftovers.
+func Analyze(g *ddg.Graph, opts Options) *Report {
+	rep := &Report{TotalNodes: g.NumNodes()}
+	instances := g.CandidateInstances()
+	ids := make([]int32, 0, len(instances))
+	for id := range instances {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	totalOps := 0
+	totalPartitions := 0
+	unitVecOps, unitSubparts, unitSum := 0, 0, 0
+	nonVecOps, nonSubparts, nonSum := 0, 0, 0
+
+	ts := make([]int32, len(g.Nodes))
+	for _, id := range ids {
+		fillTimestamps(g, id, opts, ts)
+		parts := partitionByTimestamp(g, id, ts)
+		n := len(instances[id])
+		totalOps += n
+		totalPartitions += len(parts)
+
+		elem := elemSizeOf(g, id)
+		ust := unitStrideStats(g, parts, elem)
+		nst := nonUnitStrideStats(g, ust.Singletons, ts)
+
+		unitVecOps += ust.VecOps
+		unitSubparts += ust.Subpartitions
+		unitSum += ust.SumSizes
+		nonVecOps += nst.VecOps
+		nonSubparts += nst.Subpartitions
+		nonSum += nst.SumSizes
+
+		in := g.Mod.InstrAt(id)
+		var cp int32
+		for i := range g.Nodes {
+			if g.Nodes[i].Instr == id && ts[i] > cp {
+				cp = ts[i]
+			}
+		}
+		ir := InstrReport{
+			ID:           id,
+			Line:         in.Pos.Line,
+			AssignID:     in.AssignID,
+			Text:         in.String(),
+			Instances:    n,
+			Partitions:   len(parts),
+			CriticalPath: cp,
+			Unit: StrideSummary{
+				VecOps: ust.VecOps, Subpartitions: ust.Subpartitions, SumSizes: ust.SumSizes,
+			},
+			NonUnit: StrideSummary{
+				VecOps: nst.VecOps, Subpartitions: nst.Subpartitions, SumSizes: nst.SumSizes,
+			},
+			IsReduction: IsReduction(g, id),
+		}
+		if len(parts) > 0 {
+			ir.AvgPartitionSize = float64(n) / float64(len(parts))
+		}
+		rep.PerInstr = append(rep.PerInstr, ir)
+	}
+
+	rep.TotalCandidateOps = totalOps
+	if totalPartitions > 0 {
+		rep.AvgConcurrency = float64(totalOps) / float64(totalPartitions)
+	}
+	if totalOps > 0 {
+		rep.UnitVecOpsPct = 100 * float64(unitVecOps) / float64(totalOps)
+		rep.NonUnitVecOpsPct = 100 * float64(nonVecOps) / float64(totalOps)
+	}
+	if unitSubparts > 0 {
+		rep.UnitAvgVecSize = float64(unitSum) / float64(unitSubparts)
+	}
+	if nonSubparts > 0 {
+		rep.NonUnitAvgVecSize = float64(nonSum) / float64(nonSubparts)
+	}
+
+	sort.SliceStable(rep.PerInstr, func(i, j int) bool {
+		if rep.PerInstr[i].Line != rep.PerInstr[j].Line {
+			return rep.PerInstr[i].Line < rep.PerInstr[j].Line
+		}
+		return rep.PerInstr[i].ID < rep.PerInstr[j].ID
+	})
+	return rep
+}
+
+// AnalyzeInstr runs the pipeline for a single static instruction.
+func AnalyzeInstr(g *ddg.Graph, id int32, opts Options) InstrReport {
+	ts := Timestamps(g, id, opts)
+	parts := partitionByTimestamp(g, id, ts)
+	n := 0
+	var cp int32
+	for i := range g.Nodes {
+		if g.Nodes[i].Instr == id {
+			n++
+			if ts[i] > cp {
+				cp = ts[i]
+			}
+		}
+	}
+	elem := elemSizeOf(g, id)
+	ust := unitStrideStats(g, parts, elem)
+	nst := nonUnitStrideStats(g, ust.Singletons, ts)
+	in := g.Mod.InstrAt(id)
+	rep := InstrReport{
+		ID: id, Line: in.Pos.Line, AssignID: in.AssignID, Text: in.String(),
+		Instances: n, Partitions: len(parts), CriticalPath: cp,
+		Unit:        StrideSummary{VecOps: ust.VecOps, Subpartitions: ust.Subpartitions, SumSizes: ust.SumSizes},
+		NonUnit:     StrideSummary{VecOps: nst.VecOps, Subpartitions: nst.Subpartitions, SumSizes: nst.SumSizes},
+		IsReduction: IsReduction(g, id),
+	}
+	if len(parts) > 0 {
+		rep.AvgPartitionSize = float64(n) / float64(len(parts))
+	}
+	return rep
+}
+
+// StatementGroup aggregates the per-instruction reports of one source
+// assignment statement — the granularity the paper's case studies reason at
+// (the Gauss-Seidel study classifies "two out of the eight addition
+// operations" of the stencil statement as vectorizable).
+type StatementGroup struct {
+	AssignID int32
+	Line     int
+	Instrs   []InstrReport
+}
+
+// VectorizableInstrs counts member instructions with any unit-stride
+// vectorizable instances.
+func (s *StatementGroup) VectorizableInstrs() int {
+	n := 0
+	for _, ir := range s.Instrs {
+		if ir.Unit.VecOps > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// GroupByStatement partitions the report's per-instruction entries by their
+// originating source assignment, ordered by first appearance.
+func (r *Report) GroupByStatement() []StatementGroup {
+	index := make(map[int32]int)
+	var out []StatementGroup
+	for _, ir := range r.PerInstr {
+		i, ok := index[ir.AssignID]
+		if !ok {
+			i = len(out)
+			index[ir.AssignID] = i
+			out = append(out, StatementGroup{AssignID: ir.AssignID, Line: ir.Line})
+		}
+		out[i].Instrs = append(out[i].Instrs, ir)
+	}
+	return out
+}
+
+// String renders the report compactly for CLI output.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes=%d fp-ops=%d avg-concurrency=%.1f\n", r.TotalNodes, r.TotalCandidateOps, r.AvgConcurrency)
+	fmt.Fprintf(&b, "unit-stride:     %5.1f%% vec ops, avg vec size %.1f\n", r.UnitVecOpsPct, r.UnitAvgVecSize)
+	fmt.Fprintf(&b, "non-unit stride: %5.1f%% vec ops, avg vec size %.1f\n", r.NonUnitVecOpsPct, r.NonUnitAvgVecSize)
+	for _, ir := range r.PerInstr {
+		red := ""
+		if ir.IsReduction {
+			red = " [reduction]"
+		}
+		fmt.Fprintf(&b, "  line %-4d inst=%-8d parts=%-6d avg=%-8.1f unit=%d(avg %.1f) nonunit=%d(avg %.1f)%s\n",
+			ir.Line, ir.Instances, ir.Partitions, ir.AvgPartitionSize,
+			ir.Unit.VecOps, ir.Unit.AvgVecSize(), ir.NonUnit.VecOps, ir.NonUnit.AvgVecSize(), red)
+	}
+	return b.String()
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/example/vectrace/internal/ddg"
+)
+
+// Subpartition is a set of instances from one parallel partition that are
+// independent AND access memory with a uniform stride: the viable unit of
+// SIMD execution. For the unit-stride analysis the per-component strides are
+// 0 (splat/constant) or the element size; for the non-unit analysis they are
+// any per-component constants.
+type Subpartition struct {
+	// Nodes lists members sorted by memory-access tuple.
+	Nodes []int32
+	// Strides are the per-tuple-component strides (result, operand 1,
+	// operand 2) in bytes; meaningful only when len(Nodes) > 1.
+	Strides [3]int64
+}
+
+// Size returns the subpartition's member count — the achievable vector
+// length for this group.
+func (s *Subpartition) Size() int { return len(s.Nodes) }
+
+// sortByTuple orders instance nodes by their memory-access tuples
+// (lexicographically), the order in which uniform strides become adjacent.
+func sortByTuple(g *ddg.Graph, nodes []int32) []int32 {
+	sorted := make([]int32, len(nodes))
+	copy(sorted, nodes)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a := tupleOf(&g.Nodes[sorted[i]])
+		b := tupleOf(&g.Nodes[sorted[j]])
+		for k := 0; k < 3; k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return sorted
+}
+
+// UnitStrideSubpartitions implements §3.2: the instances of one parallel
+// partition are sorted by operand addresses, then scanned; the current
+// subpartition ends when a component stride is non-zero and non-unit, or
+// differs from the previously observed stride for that component.
+func UnitStrideSubpartitions(g *ddg.Graph, p *Partition, elemSize int64) []Subpartition {
+	sorted := sortByTuple(g, p.Nodes)
+	var out []Subpartition
+	var cur Subpartition
+	flush := func() {
+		if len(cur.Nodes) > 0 {
+			out = append(out, cur)
+		}
+		cur = Subpartition{}
+	}
+	for _, n := range sorted {
+		if len(cur.Nodes) == 0 {
+			cur.Nodes = append(cur.Nodes, n)
+			continue
+		}
+		prev := tupleOf(&g.Nodes[cur.Nodes[len(cur.Nodes)-1]])
+		t := tupleOf(&g.Nodes[n])
+		ok := true
+		var strides [3]int64
+		for k := 0; k < 3; k++ {
+			d := t[k] - prev[k]
+			if d != 0 && d != elemSize {
+				ok = false
+				break
+			}
+			strides[k] = d
+		}
+		if ok && len(cur.Nodes) > 1 {
+			// The stride must match the previously observed stride.
+			if strides != cur.Strides {
+				ok = false
+			}
+		}
+		if !ok {
+			flush()
+			cur.Nodes = append(cur.Nodes, n)
+			continue
+		}
+		cur.Strides = strides
+		cur.Nodes = append(cur.Nodes, n)
+	}
+	flush()
+	return out
+}
+
+// NonUnitStrideSubpartitions implements §3.3: the singleton leftovers of the
+// unit-stride analysis (instances of the same static instruction with the
+// same timestamp) are sorted and scanned with a wait list. When the observed
+// stride differs from the current subpartition's established stride, the
+// instance is waitlisted and the scan continues; waitlisted instances are
+// then re-scanned, each pass forming one subpartition, until none remain.
+// Any constant per-component stride is accepted — including the non-unit
+// strides whose presence signals a profitable data-layout transformation.
+func NonUnitStrideSubpartitions(g *ddg.Graph, nodes []int32) []Subpartition {
+	pending := sortByTuple(g, nodes)
+	var out []Subpartition
+	for len(pending) > 0 {
+		var cur Subpartition
+		var wait []int32
+		established := false
+		for _, n := range pending {
+			if len(cur.Nodes) == 0 {
+				cur.Nodes = append(cur.Nodes, n)
+				continue
+			}
+			prev := tupleOf(&g.Nodes[cur.Nodes[len(cur.Nodes)-1]])
+			t := tupleOf(&g.Nodes[n])
+			var strides [3]int64
+			for k := 0; k < 3; k++ {
+				strides[k] = t[k] - prev[k]
+			}
+			if !established {
+				cur.Strides = strides
+				established = true
+				cur.Nodes = append(cur.Nodes, n)
+				continue
+			}
+			if strides == cur.Strides {
+				cur.Nodes = append(cur.Nodes, n)
+			} else {
+				wait = append(wait, n)
+			}
+		}
+		out = append(out, cur)
+		if len(wait) == len(pending) {
+			// No progress (cannot happen: cur always takes ≥1), but guard
+			// against pathological inputs.
+			break
+		}
+		pending = wait
+	}
+	return out
+}
+
+// StrideStats summarizes one stride analysis over a set of partitions.
+type StrideStats struct {
+	// VecOps counts instances in non-singleton uniform-stride
+	// subpartitions — the potentially vectorizable operations.
+	VecOps int
+	// Subpartitions counts the non-singleton subpartitions.
+	Subpartitions int
+	// SumSizes accumulates their sizes; AvgVecSize = SumSizes/Subpartitions.
+	SumSizes int
+	// Singletons lists the leftover instances (subpartitions of size one),
+	// fed to the non-unit analysis by the §3.3 pipeline.
+	Singletons []int32
+}
+
+// AvgVecSize returns the average non-singleton subpartition size, the
+// paper's "Average Vec. Size" column.
+func (s *StrideStats) AvgVecSize() float64 {
+	if s.Subpartitions == 0 {
+		return 0
+	}
+	return float64(s.SumSizes) / float64(s.Subpartitions)
+}
+
+// unitStrideStats runs §3.2 over all partitions of one instruction.
+// Instances in singleton *parallel* partitions are serial and are excluded
+// from the non-unit follow-up (only "instructions within a non-singleton
+// parallel partition that did not belong in any unit-stride subpartition"
+// are further analyzed).
+func unitStrideStats(g *ddg.Graph, parts []Partition, elemSize int64) StrideStats {
+	var st StrideStats
+	for i := range parts {
+		p := &parts[i]
+		if len(p.Nodes) == 1 {
+			continue // singleton parallel partition: not vectorizable, not waitlisted
+		}
+		for _, sp := range UnitStrideSubpartitions(g, p, elemSize) {
+			if sp.Size() > 1 {
+				st.VecOps += sp.Size()
+				st.Subpartitions++
+				st.SumSizes += sp.Size()
+			} else {
+				st.Singletons = append(st.Singletons, sp.Nodes...)
+			}
+		}
+	}
+	return st
+}
+
+// nonUnitStrideStats runs §3.3 over the unit-stride singletons, grouped by
+// timestamp (the wait-list scan operates on instances "of the same static
+// instruction, and with the same timestamp").
+func nonUnitStrideStats(g *ddg.Graph, singletons []int32, ts []int32) StrideStats {
+	var st StrideStats
+	byTS := make(map[int32][]int32)
+	for _, n := range singletons {
+		byTS[ts[n]] = append(byTS[ts[n]], n)
+	}
+	// Deterministic iteration order.
+	keys := make([]int32, 0, len(byTS))
+	for t := range byTS {
+		keys = append(keys, t)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, t := range keys {
+		group := byTS[t]
+		if len(group) < 2 {
+			continue
+		}
+		for _, sp := range NonUnitStrideSubpartitions(g, group) {
+			if sp.Size() > 1 {
+				st.VecOps += sp.Size()
+				st.Subpartitions++
+				st.SumSizes += sp.Size()
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,183 @@
+// Package core implements the paper's dynamic vectorization-potential
+// analysis: per-static-instruction timestamping of the dynamic
+// data-dependence graph (Algorithm 1), partitioning of instances into
+// maximal independent sets, subdivision of partitions by contiguous
+// (unit/zero-stride) memory access (§3.2), the non-unit constant-stride
+// wait-list analysis (§3.3), and the metrics reported in the paper's tables.
+package core
+
+import (
+	"github.com/example/vectrace/internal/ddg"
+)
+
+// Options configures the analysis.
+type Options struct {
+	// RelaxReductions removes dependence edges due to updates of reduction
+	// accumulators (s += expr chains) when timestamping the reduction
+	// instruction itself. This is the extension the paper sketches in §3
+	// and §4.1 ("our approach could be extended to ignore dependences due
+	// to reductions, which would uncover these additional vectorization
+	// opportunities").
+	RelaxReductions bool
+}
+
+// Timestamps runs Algorithm 1 for static instruction id over the graph and
+// returns per-node timestamps.
+//
+// Nodes are visited in trace order, which is a topological order of the DDG
+// (edges always point backwards in time). Each node receives the maximum
+// timestamp among its flow predecessors, incremented by one when the node is
+// an instance of id. Property 3.1: the resulting timestamp of an instance
+// equals the largest number of id-instances on any DDG path leading to it,
+// so same-timestamp instances are mutually independent and each instance is
+// scheduled as early as possible.
+func Timestamps(g *ddg.Graph, id int32, opts Options) []int32 {
+	ts := make([]int32, len(g.Nodes))
+	fillTimestamps(g, id, opts, ts)
+	return ts
+}
+
+// fillTimestamps is Timestamps with a caller-provided buffer, reused across
+// the per-instruction sweep in Analyze.
+func fillTimestamps(g *ddg.Graph, id int32, opts Options, ts []int32) {
+	var red *reductionInfo
+	if opts.RelaxReductions {
+		red = detectReduction(g, id)
+	}
+	var preds []int32
+	for i := range g.Nodes {
+		nd := &g.Nodes[i]
+		isInstance := nd.Instr == id
+		var max int32
+		preds = g.Preds(int32(i), preds[:0])
+		for _, p := range preds {
+			if isInstance && red != nil && red.isAccumPred(g, int32(i), p) {
+				continue // cut the reduction-carried edge
+			}
+			if ts[p] > max {
+				max = ts[p]
+			}
+		}
+		if isInstance {
+			max++
+		}
+		ts[i] = max
+	}
+}
+
+// Partition groups the dynamic instances of one static instruction that
+// share a timestamp. By Property 3.1 the members are mutually independent:
+// they may execute concurrently under some dependence-preserving reordering
+// of the whole computation.
+type Partition struct {
+	Timestamp int32
+	// Nodes lists member node indices in trace order.
+	Nodes []int32
+}
+
+// Partitions runs Algorithm 1 for id and groups its instances by timestamp,
+// returned in increasing timestamp order.
+func Partitions(g *ddg.Graph, id int32, opts Options) []Partition {
+	ts := Timestamps(g, id, opts)
+	return partitionByTimestamp(g, id, ts)
+}
+
+func partitionByTimestamp(g *ddg.Graph, id int32, ts []int32) []Partition {
+	byTS := make(map[int32][]int32)
+	var maxTS int32
+	for i := range g.Nodes {
+		if g.Nodes[i].Instr != id {
+			continue
+		}
+		t := ts[i]
+		byTS[t] = append(byTS[t], int32(i))
+		if t > maxTS {
+			maxTS = t
+		}
+	}
+	out := make([]Partition, 0, len(byTS))
+	for t := int32(1); t <= maxTS; t++ {
+		if nodes, ok := byTS[t]; ok {
+			out = append(out, Partition{Timestamp: t, Nodes: nodes})
+		}
+	}
+	return out
+}
+
+// ParallelismProfile is the per-instruction analogue of Kumar's parallelism
+// profile: Histogram[t-1] counts the instances of the analyzed instruction
+// scheduled at timestamp t. The paper's Figure 1 visualizes exactly this
+// data for Listing 1's S2.
+type ParallelismProfile struct {
+	Histogram []int
+	// CriticalPath is the number of sequential steps (the largest
+	// timestamp).
+	CriticalPath int32
+	// AvgParallelism is instances / critical path.
+	AvgParallelism float64
+}
+
+// Profile computes the parallelism profile of static instruction id.
+func Profile(g *ddg.Graph, id int32, opts Options) ParallelismProfile {
+	ts := Timestamps(g, id, opts)
+	var max int32
+	n := 0
+	for i := range g.Nodes {
+		if g.Nodes[i].Instr == id {
+			n++
+			if ts[i] > max {
+				max = ts[i]
+			}
+		}
+	}
+	p := ParallelismProfile{CriticalPath: max, Histogram: make([]int, max)}
+	for i := range g.Nodes {
+		if g.Nodes[i].Instr == id && ts[i] > 0 {
+			p.Histogram[ts[i]-1]++
+		}
+	}
+	if max > 0 {
+		p.AvgParallelism = float64(n) / float64(max)
+	}
+	return p
+}
+
+// CriticalPath returns the length of the per-instruction critical path for
+// id: the largest timestamp assigned by Algorithm 1, i.e. the minimum number
+// of sequential steps the instances of id require under any
+// dependence-preserving reordering.
+func CriticalPath(g *ddg.Graph, id int32, opts Options) int32 {
+	ts := Timestamps(g, id, opts)
+	var max int32
+	for i := range g.Nodes {
+		if g.Nodes[i].Instr == id && ts[i] > max {
+			max = ts[i]
+		}
+	}
+	return max
+}
+
+// InstancesOf returns the node indices of id's dynamic instances in trace
+// order.
+func InstancesOf(g *ddg.Graph, id int32) []int32 {
+	var out []int32
+	for i := range g.Nodes {
+		if g.Nodes[i].Instr == id {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// tupleOf returns the memory-access tuple the stride analysis sorts by:
+// (result-store address, operand provenance addresses). Constants and
+// register-resident values contribute the paper's artificial address zero.
+func tupleOf(nd *ddg.Node) [3]int64 {
+	return [3]int64{nd.StoreAddr, nd.OpAddr1, nd.OpAddr2}
+}
+
+// elemSizeOf returns the element byte size of the candidate instruction
+// (4 for float, 8 for double) — the unit stride.
+func elemSizeOf(g *ddg.Graph, id int32) int64 {
+	return g.Mod.InstrAt(id).Type.Size()
+}

@@ -1,0 +1,334 @@
+// Package ddg constructs dynamic data-dependence graphs from execution
+// traces.
+//
+// Following §3 of the paper: each graph node is a dynamic instance of a VIR
+// instruction, and edges are flow dependences only — one instance consumed a
+// value the other produced, through a virtual register or through memory.
+// Anti- and output dependences are excluded ("they do not represent
+// essential features of the computation"), and control dependences are
+// excluded as well; the builder has an option to add both categories back,
+// which leaves every downstream graph analysis unchanged (the paper makes
+// the same observation).
+//
+// Because edges always point backwards in time, trace order is a
+// topological order of the DDG, which the timestamping analyses exploit.
+package ddg
+
+import (
+	"fmt"
+
+	"github.com/example/vectrace/internal/ir"
+	"github.com/example/vectrace/internal/trace"
+)
+
+// NoPred marks an absent predecessor slot.
+const NoPred int32 = -1
+
+// Node is one dynamic instruction instance.
+//
+// P1 and P2 are the common-case flow predecessors (most instructions consume
+// at most two values, and loads additionally depend on the producing store —
+// folded into the two slots plus Extra overflow). Addr is the memory address
+// touched by loads/stores.
+//
+// For candidate floating-point instructions, the builder also records the
+// instance's memory-access tuple used by the stride analysis (§3.2): OpAddrs
+// are the addresses the operand values were loaded from (0 when an operand
+// is a constant or was produced by a non-load instruction — the paper's
+// "artificial address of zero"), and StoreAddr is the address the result was
+// first stored to (0 if never stored).
+type Node struct {
+	Instr     int32 // static instruction ID
+	P1, P2    int32 // flow predecessors, NoPred if absent
+	Addr      int64 // load/store address
+	StoreAddr int64 // where this node's value was first stored
+	OpAddr1   int64 // provenance address of operand X
+	OpAddr2   int64 // provenance address of operand Y
+}
+
+// Graph is a dynamic data-dependence graph over one trace (typically one
+// loop sub-trace).
+type Graph struct {
+	Mod   *ir.Module
+	Nodes []Node
+	// Extra holds overflow predecessors (third and beyond), keyed by node
+	// index; almost always empty except for call instructions.
+	Extra map[int32][]int32
+	// IncludesInts records whether the graph was built with integer
+	// characterization, extending the candidate set.
+	IncludesInts bool
+}
+
+// isCandidate applies the graph's candidate policy to a static instruction.
+func (g *Graph) isCandidate(in *ir.Instr) bool {
+	return in.IsCandidate() || (g.IncludesInts && in.IsIntCandidate())
+}
+
+// NumNodes returns the number of dynamic instances in the graph.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// Preds appends node n's flow predecessors to dst and returns it.
+func (g *Graph) Preds(n int32, dst []int32) []int32 {
+	nd := &g.Nodes[n]
+	if nd.P1 != NoPred {
+		dst = append(dst, nd.P1)
+	}
+	if nd.P2 != NoPred {
+		dst = append(dst, nd.P2)
+	}
+	if g.Extra != nil {
+		dst = append(dst, g.Extra[n]...)
+	}
+	return dst
+}
+
+// Options configures DDG construction.
+type Options struct {
+	// IncludeAntiOutput adds anti (write-after-read) and output
+	// (write-after-write) memory dependences. The paper's analysis runs
+	// with these off; the option exists to measure how much parallelism
+	// the relaxation buys (scalar/array expansion would remove them).
+	IncludeAntiOutput bool
+	// IncludeControl adds run-time control dependences: every instruction
+	// depends on the most recently executed conditional branch. The paper
+	// excludes control dependences "to focus on the data flow and the
+	// optimization potential implied by it" but notes the graph analyses
+	// are unchanged if they are added; this option demonstrates that, and
+	// measures how much potential the control structure hides.
+	IncludeControl bool
+	// CharacterizeInts extends the candidate set to integer add/sub/mul
+	// (§4: the analysis "can be carried out for any type of operations,
+	// e.g., integer arithmetic"): their operand provenance is recorded and
+	// they appear in CandidateInstances.
+	CharacterizeInts bool
+}
+
+// Build constructs the DDG for the given trace.
+func Build(tr *trace.Trace) (*Graph, error) { return BuildOpts(tr, Options{}) }
+
+// BuildOpts constructs the DDG with explicit options.
+func BuildOpts(tr *trace.Trace, opts Options) (*Graph, error) {
+	mod := tr.Module
+	g := &Graph{Mod: mod, Nodes: make([]Node, len(tr.Events)), IncludesInts: opts.CharacterizeInts}
+
+	// lastStore maps element start address → node index of the last store.
+	lastStore := make(map[int64]int32, 1024)
+	// lastReads tracks reader nodes since the last store per address, for
+	// optional anti-dependences.
+	var lastReads map[int64][]int32
+	if opts.IncludeAntiOutput {
+		lastReads = make(map[int64][]int32, 1024)
+	}
+
+	// isLoad records, per node, whether it was a load (operand provenance).
+	// We consult it via the static instruction, so no extra storage needed.
+
+	type frame struct {
+		fn     *ir.Function
+		writer []int32 // register → producing node, NoPred if unwritten
+		// callerDst is the caller register receiving the return value.
+		callerDst ir.Reg
+	}
+	newWriter := func(n int) []int32 {
+		w := make([]int32, n)
+		for i := range w {
+			w[i] = NoPred
+		}
+		return w
+	}
+	var frames []frame
+	pushInitial := func(id int32) {
+		fn := mod.FuncOfInstr(id)
+		frames = append(frames, frame{fn: fn, writer: newWriter(fn.NumRegs), callerDst: ir.RegNone})
+	}
+
+	// producer resolves an operand to the node that produced its value.
+	producer := func(f *frame, o ir.Operand) int32 {
+		if o.Kind == ir.KindReg && int(o.Reg) < len(f.writer) {
+			return f.writer[o.Reg]
+		}
+		return NoPred
+	}
+	// loadAddrOf returns the provenance address for an operand: the address
+	// of the defining load, or 0.
+	loadAddrOf := func(p int32) int64 {
+		if p == NoPred {
+			return 0
+		}
+		if mod.InstrAt(g.Nodes[p].Instr).Op == ir.OpLoad {
+			return g.Nodes[p].Addr
+		}
+		return 0
+	}
+
+	lastBranch := NoPred
+	for i, ev := range tr.Events {
+		n := int32(i)
+		in := mod.InstrAt(ev.ID)
+		if len(frames) == 0 {
+			pushInitial(ev.ID)
+		}
+		f := &frames[len(frames)-1]
+		if f.fn != mod.FuncOfInstr(ev.ID) {
+			// A region sliced mid-call or a malformed trace.
+			return nil, fmt.Errorf("ddg: event %d (instr %d in %s) does not match current frame %s",
+				i, ev.ID, mod.FuncOfInstr(ev.ID).Name, f.fn.Name)
+		}
+
+		nd := &g.Nodes[n]
+		nd.Instr = ev.ID
+		nd.P1, nd.P2 = NoPred, NoPred
+
+		setPreds := func(ps ...int32) {
+			if opts.IncludeControl && lastBranch != NoPred {
+				ps = append(ps, lastBranch)
+			}
+			slot := 0
+			for _, p := range ps {
+				if p == NoPred {
+					continue
+				}
+				switch slot {
+				case 0:
+					nd.P1 = p
+				case 1:
+					nd.P2 = p
+				default:
+					if g.Extra == nil {
+						g.Extra = make(map[int32][]int32)
+					}
+					g.Extra[n] = append(g.Extra[n], p)
+				}
+				slot++
+			}
+		}
+
+		switch in.Op {
+		case ir.OpLoad:
+			px := producer(f, in.X)
+			pm, seen := lastStore[ev.Addr]
+			if !seen {
+				pm = NoPred
+			}
+			setPreds(px, pm)
+			nd.Addr = ev.Addr
+			if lastReads != nil {
+				lastReads[ev.Addr] = append(lastReads[ev.Addr], n)
+			}
+			f.writer[in.Dst] = n
+
+		case ir.OpStore:
+			px := producer(f, in.X)
+			pv := producer(f, in.Y)
+			if opts.IncludeAntiOutput {
+				var extra []int32
+				if prev, ok := lastStore[ev.Addr]; ok {
+					extra = append(extra, prev) // output dependence
+				}
+				extra = append(extra, lastReads[ev.Addr]...) // anti dependences
+				lastReads[ev.Addr] = lastReads[ev.Addr][:0]
+				setPreds(append([]int32{px, pv}, extra...)...)
+			} else {
+				setPreds(px, pv)
+			}
+			nd.Addr = ev.Addr
+			lastStore[ev.Addr] = n
+			// Record result-store provenance on the value's producer: the
+			// first store of a value defines its memory tuple slot.
+			if pv != NoPred && g.Nodes[pv].StoreAddr == 0 {
+				g.Nodes[pv].StoreAddr = ev.Addr
+			}
+
+		case ir.OpCall:
+			callee := mod.Funcs[in.Callee]
+			var argProducers []int32
+			preds := make([]int32, 0, len(in.Args))
+			for _, a := range in.Args {
+				p := producer(f, a)
+				argProducers = append(argProducers, p)
+				preds = append(preds, p)
+			}
+			setPreds(preds...)
+			w := newWriter(callee.NumRegs)
+			copy(w, argProducers)
+			frames = append(frames, frame{fn: callee, writer: w, callerDst: in.Dst})
+
+		case ir.OpRet:
+			retProducer := NoPred
+			if in.X.Kind == ir.KindReg {
+				retProducer = producer(f, in.X)
+			}
+			setPreds(retProducer)
+			callerDst := f.callerDst
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 && callerDst != ir.RegNone {
+				frames[len(frames)-1].writer[callerDst] = retProducer
+			}
+
+		default:
+			px := producer(f, in.X)
+			py := producer(f, in.Y)
+			setPreds(px, py)
+			if opts.IncludeControl && in.Op == ir.OpCondBr {
+				lastBranch = n
+			}
+			if g.isCandidate(in) {
+				nd.OpAddr1 = loadAddrOf(px)
+				nd.OpAddr2 = loadAddrOf(py)
+				if in.X.IsConst() {
+					nd.OpAddr1 = 0
+				}
+				if in.Y.IsConst() {
+					nd.OpAddr2 = 0
+				}
+			}
+			if in.Dst != ir.RegNone {
+				f.writer[in.Dst] = n
+			}
+		}
+	}
+	return g, nil
+}
+
+// CandidateInstances returns, for each candidate static instruction that
+// appears in the graph, the node indices of its dynamic instances in trace
+// order.
+func (g *Graph) CandidateInstances() map[int32][]int32 {
+	out := make(map[int32][]int32)
+	for i := range g.Nodes {
+		in := g.Mod.InstrAt(g.Nodes[i].Instr)
+		if g.isCandidate(in) {
+			out[g.Nodes[i].Instr] = append(out[g.Nodes[i].Instr], int32(i))
+		}
+	}
+	return out
+}
+
+// NumCandidateOps returns the total number of dynamic candidate
+// floating-point operations in the graph — the denominator of the paper's
+// "Percent Vec. Ops" metrics.
+func (g *Graph) NumCandidateOps() int {
+	n := 0
+	for i := range g.Nodes {
+		if g.isCandidate(g.Mod.InstrAt(g.Nodes[i].Instr)) {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckTopological verifies that every dependence edge points backwards in
+// the trace (invariant 7 in DESIGN.md). It returns an error naming the first
+// violating edge.
+func (g *Graph) CheckTopological() error {
+	var buf []int32
+	for i := range g.Nodes {
+		buf = g.Preds(int32(i), buf[:0])
+		for _, p := range buf {
+			if p >= int32(i) {
+				return fmt.Errorf("ddg: edge from node %d to non-earlier node %d", i, p)
+			}
+		}
+	}
+	return nil
+}

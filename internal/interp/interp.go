@@ -1,0 +1,666 @@
+// Package interp executes VIR modules over a flat, byte-addressed memory,
+// playing the role of the paper's instrumented native execution.
+//
+// The interpreter is deliberately faithful to the machine-level facts the
+// dynamic analysis depends on: globals and frame slots occupy real byte
+// addresses with C layout, loads and stores touch those addresses with the
+// element's true size, and every executed instruction can be observed by a
+// Tracer. It also maintains a simple cycle model used by the profile package
+// to select hot loops, standing in for the paper's HPCToolkit sampling.
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/example/vectrace/internal/ir"
+)
+
+// Tracer observes executed instructions. Exec is called once per dynamic
+// instance, with the accessed address for loads/stores (0 otherwise).
+type Tracer interface {
+	Exec(id int32, addr int64)
+}
+
+// TraceSink is the canonical Tracer: it appends events to a slice that can
+// be wrapped into a trace.Trace.
+type TraceSink struct {
+	Events []struct {
+		ID   int32
+		Addr int64
+	}
+}
+
+// Exec implements Tracer.
+func (s *TraceSink) Exec(id int32, addr int64) {
+	s.Events = append(s.Events, struct {
+		ID   int32
+		Addr int64
+	}{id, addr})
+}
+
+// Config controls execution limits and instrumentation.
+type Config struct {
+	// Tracer observes every executed instruction; nil disables tracing.
+	Tracer Tracer
+	// MaxSteps bounds the number of executed instructions (0 means the
+	// default of 500M); exceeding it returns an error rather than hanging.
+	MaxSteps int64
+	// MaxDepth bounds call-stack depth (0 means 10000).
+	MaxDepth int
+	// StackSize is the per-execution stack arena in bytes (0 means 8 MiB).
+	StackSize int64
+	// CountLoopCycles enables per-loop cycle attribution (see Result.LoopCycles).
+	CountLoopCycles bool
+}
+
+// OpCounts tallies dynamic instructions by cost class, for the SIMD
+// execution model.
+type OpCounts struct {
+	FPAdd  int64 // FP add/sub (and neg)
+	FPMul  int64
+	FPDiv  int64
+	Load   int64
+	Store  int64
+	Intr   int64 // math intrinsics
+	Branch int64
+	Other  int64 // integer/address bookkeeping
+}
+
+// Total returns the total dynamic instruction count.
+func (c *OpCounts) Total() int64 {
+	return c.FPAdd + c.FPMul + c.FPDiv + c.Load + c.Store + c.Intr + c.Branch + c.Other
+}
+
+// Add accumulates other into c.
+func (c *OpCounts) Add(other *OpCounts) {
+	c.FPAdd += other.FPAdd
+	c.FPMul += other.FPMul
+	c.FPDiv += other.FPDiv
+	c.Load += other.Load
+	c.Store += other.Store
+	c.Intr += other.Intr
+	c.Branch += other.Branch
+	c.Other += other.Other
+}
+
+// Result summarizes one execution.
+type Result struct {
+	// Steps is the number of dynamic instructions executed.
+	Steps int64
+	// Cycles is the total simulated cycle count.
+	Cycles int64
+	// LoopCycles maps source loop ID → cycles attributed to that loop as
+	// the innermost active loop (exclusive attribution; callers roll up
+	// inclusive totals via the module's loop parent links).
+	LoopCycles map[int]int64
+	// LoopFPOps maps source loop ID → candidate floating-point operations
+	// executed with that loop innermost; key -1 collects ops outside any
+	// loop. Populated when Config.CountLoopCycles is set.
+	LoopFPOps map[int]int64
+	// LoopOps maps source loop ID → per-class dynamic op counts with that
+	// loop innermost (key -1 for code outside loops). Populated when
+	// Config.CountLoopCycles is set.
+	LoopOps map[int]*OpCounts
+	// LoopParents records each executed loop's run-time parent: the loop
+	// that was innermost when this loop was first entered (-1 for top
+	// level). Unlike the module's static nesting, this crosses function
+	// calls — a loop inside a callee is a run-time child of the calling
+	// loop, which is how profilers attribute inclusive time.
+	LoopParents map[int]int
+	// Output collects values passed to the print/printi builtins, in order.
+	Output []float64
+	// FPOps counts executed candidate floating-point operations.
+	FPOps int64
+}
+
+// Checksum returns a digest of the program output, used by tests to confirm
+// that transformed kernels compute the same values as the originals.
+func (r *Result) Checksum() float64 {
+	s := 0.0
+	for i, v := range r.Output {
+		s += v * float64(i%7+1)
+	}
+	return s
+}
+
+// Cost returns the simulated cycle cost of one instruction. The model is a
+// simple in-order scalar machine: FP add/sub/mul are a few cycles, division
+// and math intrinsics are expensive, memory operations cost a cache-hit
+// latency, and bookkeeping integer ops are cheap. Absolute values are
+// arbitrary; only relative magnitudes matter for hot-loop selection.
+func Cost(in *ir.Instr) int64 {
+	switch in.Op {
+	case ir.OpBin:
+		if in.Type.IsFloat() {
+			if in.Bin == ir.DivOp {
+				return 20
+			}
+			return 4
+		}
+		return 1
+	case ir.OpNeg:
+		if in.Type.IsFloat() {
+			return 2
+		}
+		return 1
+	case ir.OpCmp, ir.OpNot, ir.OpCast, ir.OpPtrAdd, ir.OpGlobalAddr, ir.OpFrameAddr:
+		return 1
+	case ir.OpLoad, ir.OpStore:
+		return 4
+	case ir.OpIntrinsic:
+		return 40
+	case ir.OpCall, ir.OpRet:
+		return 5
+	case ir.OpBr, ir.OpCondBr:
+		return 1
+	case ir.OpPrint:
+		return 1
+	}
+	return 1
+}
+
+// classify buckets one executed instruction into oc's cost classes.
+func classify(in *ir.Instr, oc *OpCounts) {
+	switch in.Op {
+	case ir.OpBin:
+		if in.Type.IsFloat() {
+			switch in.Bin {
+			case ir.AddOp, ir.SubOp:
+				oc.FPAdd++
+			case ir.MulOp:
+				oc.FPMul++
+			case ir.DivOp:
+				oc.FPDiv++
+			default:
+				oc.Other++
+			}
+		} else {
+			oc.Other++
+		}
+	case ir.OpNeg:
+		if in.Type.IsFloat() {
+			oc.FPAdd++
+		} else {
+			oc.Other++
+		}
+	case ir.OpLoad:
+		oc.Load++
+	case ir.OpStore:
+		oc.Store++
+	case ir.OpIntrinsic:
+		oc.Intr++
+	case ir.OpBr, ir.OpCondBr:
+		oc.Branch++
+	default:
+		oc.Other++
+	}
+}
+
+type frame struct {
+	fn        *ir.Function
+	regs      []uint64
+	base      int64 // frame base address
+	retDst    ir.Reg
+	retBlock  int32 // caller resume position
+	retIndex  int32
+	loopsOpen int // loops opened within this frame (for early-return cleanup)
+}
+
+// Machine executes a module. A Machine is single-use per Run call but may be
+// reused for repeated runs of the same module.
+type Machine struct {
+	Mod *ir.Module
+	Cfg Config
+
+	mem       []byte
+	frames    []frame
+	stackTop  int64
+	frameBase int64 // first stack address; below it lie the globals
+	loopStack []int32
+	res       Result
+}
+
+// New returns a Machine for the module.
+func New(mod *ir.Module, cfg Config) *Machine {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 500_000_000
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 10000
+	}
+	if cfg.StackSize == 0 {
+		cfg.StackSize = 8 << 20
+	}
+	return &Machine{Mod: mod, Cfg: cfg}
+}
+
+// Run executes the module's entry function (by name) and returns the
+// execution summary.
+func (m *Machine) Run(entry string) (*Result, error) {
+	fn := m.Mod.FuncByName(entry)
+	if fn == nil {
+		return nil, fmt.Errorf("interp: no function %q", entry)
+	}
+	if fn.NumParams != 0 {
+		return nil, fmt.Errorf("interp: entry function %q must take no parameters", entry)
+	}
+
+	memSize := m.Mod.GlobalsEnd() + m.Cfg.StackSize
+	m.mem = make([]byte, memSize)
+	for _, g := range m.Mod.Globals {
+		copy(m.mem[g.Addr:g.Addr+g.Size], g.Init)
+	}
+	m.stackTop = m.Mod.GlobalsEnd()
+	// Align the stack base.
+	m.stackTop = (m.stackTop + 15) / 16 * 16
+	m.frameBase = m.stackTop
+
+	m.res = Result{}
+	if m.Cfg.CountLoopCycles {
+		m.res.LoopCycles = make(map[int]int64)
+		m.res.LoopFPOps = make(map[int]int64)
+		m.res.LoopOps = make(map[int]*OpCounts)
+		m.res.LoopParents = make(map[int]int)
+	}
+	m.frames = m.frames[:0]
+	m.loopStack = m.loopStack[:0]
+	m.pushFrame(fn, ir.RegNone, 0, 0)
+
+	if err := m.loop(); err != nil {
+		return nil, err
+	}
+	return &m.res, nil
+}
+
+func (m *Machine) pushFrame(fn *ir.Function, retDst ir.Reg, retBlock, retIndex int32) {
+	base := m.stackTop
+	m.stackTop += fn.FrameSize
+	if m.stackTop > int64(len(m.mem)) {
+		panic("interp: stack overflow (arena exhausted)")
+	}
+	m.frames = append(m.frames, frame{
+		fn:       fn,
+		regs:     make([]uint64, fn.NumRegs),
+		base:     base,
+		retDst:   retDst,
+		retBlock: retBlock,
+		retIndex: retIndex,
+	})
+}
+
+func (m *Machine) top() *frame { return &m.frames[len(m.frames)-1] }
+
+// operand resolves an operand to its raw 64-bit value in the current frame.
+func (m *Machine) operand(f *frame, o ir.Operand) uint64 {
+	switch o.Kind {
+	case ir.KindReg:
+		return f.regs[o.Reg]
+	case ir.KindConstInt, ir.KindConstFloat:
+		return o.Imm
+	}
+	return 0
+}
+
+func (m *Machine) loadMem(addr int64, t ir.ScalarType) (uint64, error) {
+	if addr < ir.GlobalBase || addr+t.Size() > int64(len(m.mem)) {
+		return 0, fmt.Errorf("interp: load from invalid address %#x", addr)
+	}
+	switch t {
+	case ir.F32:
+		b := binary.LittleEndian.Uint32(m.mem[addr:])
+		return math.Float64bits(float64(math.Float32frombits(b))), nil
+	default:
+		return binary.LittleEndian.Uint64(m.mem[addr:]), nil
+	}
+}
+
+func (m *Machine) storeMem(addr int64, t ir.ScalarType, v uint64) error {
+	if addr < ir.GlobalBase || addr+t.Size() > int64(len(m.mem)) {
+		return fmt.Errorf("interp: store to invalid address %#x", addr)
+	}
+	switch t {
+	case ir.F32:
+		f := float32(math.Float64frombits(v))
+		binary.LittleEndian.PutUint32(m.mem[addr:], math.Float32bits(f))
+	default:
+		binary.LittleEndian.PutUint64(m.mem[addr:], v)
+	}
+	return nil
+}
+
+// loop is the main dispatch loop.
+func (m *Machine) loop() error {
+	var blockIdx, instrIdx int32
+	f := m.top()
+	tracer := m.Cfg.Tracer
+	for {
+		if instrIdx >= int32(len(f.fn.Blocks[blockIdx].Instrs)) {
+			return fmt.Errorf("interp: %s: fell off end of block b%d", f.fn.Name, blockIdx)
+		}
+		in := &f.fn.Blocks[blockIdx].Instrs[instrIdx]
+
+		m.res.Steps++
+		if m.res.Steps > m.Cfg.MaxSteps {
+			return fmt.Errorf("interp: exceeded %d steps (infinite loop?)", m.Cfg.MaxSteps)
+		}
+		// Frame-slot traffic models register pressure a real compiler would
+		// eliminate (mem2reg), so loads/stores of stack addresses are
+		// charged as cheap bookkeeping rather than cache accesses.
+		frameAccess := false
+		if in.Op == ir.OpLoad || in.Op == ir.OpStore {
+			frameAccess = int64(m.operand(f, in.X)) >= m.frameBase
+		}
+		c := Cost(in)
+		if frameAccess {
+			c = 1
+		}
+		m.res.Cycles += c
+		if m.res.LoopCycles != nil {
+			cur := -1
+			if len(m.loopStack) > 0 {
+				cur = int(m.loopStack[len(m.loopStack)-1])
+			}
+			m.res.LoopCycles[cur] += c
+			oc := m.res.LoopOps[cur]
+			if oc == nil {
+				oc = &OpCounts{}
+				m.res.LoopOps[cur] = oc
+			}
+			if frameAccess {
+				oc.Other++
+			} else {
+				classify(in, oc)
+			}
+			if in.IsCandidate() {
+				m.res.LoopFPOps[cur]++
+			}
+		}
+
+		var traceAddr int64
+
+		switch in.Op {
+		case ir.OpBin:
+			x := m.operand(f, in.X)
+			y := m.operand(f, in.Y)
+			v, err := evalBin(in, x, y)
+			if err != nil {
+				return fmt.Errorf("%w (at line %d)", err, in.Pos.Line)
+			}
+			f.regs[in.Dst] = v
+			if in.IsCandidate() {
+				m.res.FPOps++
+			}
+
+		case ir.OpNeg:
+			x := m.operand(f, in.X)
+			if in.Type.IsFloat() {
+				f.regs[in.Dst] = math.Float64bits(-math.Float64frombits(x))
+			} else {
+				f.regs[in.Dst] = uint64(-int64(x))
+			}
+
+		case ir.OpNot:
+			x := m.operand(f, in.X)
+			if x == 0 {
+				f.regs[in.Dst] = 1
+			} else {
+				f.regs[in.Dst] = 0
+			}
+
+		case ir.OpCmp:
+			x := m.operand(f, in.X)
+			y := m.operand(f, in.Y)
+			f.regs[in.Dst] = evalCmp(in, x, y)
+
+		case ir.OpCast:
+			f.regs[in.Dst] = evalCast(in, m.operand(f, in.X))
+
+		case ir.OpLoad:
+			addr := int64(m.operand(f, in.X))
+			v, err := m.loadMem(addr, in.Type)
+			if err != nil {
+				return fmt.Errorf("%w (at line %d)", err, in.Pos.Line)
+			}
+			f.regs[in.Dst] = v
+			traceAddr = addr
+
+		case ir.OpStore:
+			addr := int64(m.operand(f, in.X))
+			if err := m.storeMem(addr, in.Type, m.operand(f, in.Y)); err != nil {
+				return fmt.Errorf("%w (at line %d)", err, in.Pos.Line)
+			}
+			traceAddr = addr
+
+		case ir.OpGlobalAddr:
+			f.regs[in.Dst] = uint64(m.Mod.Globals[in.Global].Addr)
+
+		case ir.OpFrameAddr:
+			f.regs[in.Dst] = uint64(f.base + f.fn.Slots[in.Slot].Offset)
+
+		case ir.OpPtrAdd:
+			base := int64(m.operand(f, in.X))
+			idx := int64(m.operand(f, in.Y))
+			f.regs[in.Dst] = uint64(base + idx*in.Scale + in.Off)
+
+		case ir.OpCall:
+			if len(m.frames) >= m.Cfg.MaxDepth {
+				return fmt.Errorf("interp: call depth exceeds %d", m.Cfg.MaxDepth)
+			}
+			callee := m.Mod.Funcs[in.Callee]
+			if tracer != nil {
+				tracer.Exec(in.ID, 0)
+			}
+			args := make([]uint64, len(in.Args))
+			for i, a := range in.Args {
+				args[i] = m.operand(f, a)
+			}
+			m.pushFrame(callee, in.Dst, blockIdx, instrIdx+1)
+			f = m.top()
+			copy(f.regs, args)
+			blockIdx, instrIdx = 0, 0
+			continue
+
+		case ir.OpIntrinsic:
+			x := math.Float64frombits(m.operand(f, in.X))
+			f.regs[in.Dst] = math.Float64bits(evalIntrinsic(in.Intr, x))
+
+		case ir.OpPrint:
+			v := m.operand(f, in.X)
+			if in.Type == ir.I64 {
+				m.res.Output = append(m.res.Output, float64(int64(v)))
+			} else {
+				m.res.Output = append(m.res.Output, math.Float64frombits(v))
+			}
+
+		case ir.OpBr:
+			if tracer != nil {
+				tracer.Exec(in.ID, 0)
+			}
+			blockIdx, instrIdx = in.Then, 0
+			continue
+
+		case ir.OpCondBr:
+			if tracer != nil {
+				tracer.Exec(in.ID, 0)
+			}
+			if m.operand(f, in.X) != 0 {
+				blockIdx = in.Then
+			} else {
+				blockIdx = in.Else
+			}
+			instrIdx = 0
+			continue
+
+		case ir.OpRet:
+			if tracer != nil {
+				tracer.Exec(in.ID, 0)
+			}
+			// Close loops left open by an early return.
+			for f.loopsOpen > 0 {
+				m.loopStack = m.loopStack[:len(m.loopStack)-1]
+				f.loopsOpen--
+			}
+			retVal := uint64(0)
+			hasVal := in.X.Kind != ir.KindNone
+			if hasVal {
+				retVal = m.operand(f, in.X)
+			}
+			m.stackTop = f.base
+			retDst, rb, ri := f.retDst, f.retBlock, f.retIndex
+			m.frames = m.frames[:len(m.frames)-1]
+			if len(m.frames) == 0 {
+				return nil
+			}
+			f = m.top()
+			if retDst != ir.RegNone && hasVal {
+				f.regs[retDst] = retVal
+			}
+			blockIdx, instrIdx = rb, ri
+			continue
+
+		case ir.OpLoopBegin:
+			if m.res.LoopParents != nil {
+				if _, seen := m.res.LoopParents[int(in.Loop)]; !seen {
+					parent := -1
+					if len(m.loopStack) > 0 {
+						parent = int(m.loopStack[len(m.loopStack)-1])
+					}
+					m.res.LoopParents[int(in.Loop)] = parent
+				}
+			}
+			m.loopStack = append(m.loopStack, in.Loop)
+			f.loopsOpen++
+
+		case ir.OpLoopEnd:
+			if f.loopsOpen > 0 {
+				m.loopStack = m.loopStack[:len(m.loopStack)-1]
+				f.loopsOpen--
+			}
+
+		case ir.OpLoopIter:
+			// Iteration marker: no effect on machine state.
+
+		default:
+			return fmt.Errorf("interp: unknown opcode %s", in.Op)
+		}
+
+		if tracer != nil {
+			tracer.Exec(in.ID, traceAddr)
+		}
+		instrIdx++
+	}
+}
+
+func evalBin(in *ir.Instr, x, y uint64) (uint64, error) {
+	if in.Type.IsFloat() {
+		a := math.Float64frombits(x)
+		b := math.Float64frombits(y)
+		var r float64
+		switch in.Bin {
+		case ir.AddOp:
+			r = a + b
+		case ir.SubOp:
+			r = a - b
+		case ir.MulOp:
+			r = a * b
+		case ir.DivOp:
+			r = a / b
+		default:
+			return 0, fmt.Errorf("interp: %s on float operands", in.Bin)
+		}
+		if in.Type == ir.F32 {
+			r = float64(float32(r))
+		}
+		return math.Float64bits(r), nil
+	}
+	a := int64(x)
+	b := int64(y)
+	switch in.Bin {
+	case ir.AddOp:
+		return uint64(a + b), nil
+	case ir.SubOp:
+		return uint64(a - b), nil
+	case ir.MulOp:
+		return uint64(a * b), nil
+	case ir.DivOp:
+		if b == 0 {
+			return 0, fmt.Errorf("interp: integer division by zero")
+		}
+		return uint64(a / b), nil
+	case ir.RemOp:
+		if b == 0 {
+			return 0, fmt.Errorf("interp: integer remainder by zero")
+		}
+		return uint64(a % b), nil
+	}
+	return 0, fmt.Errorf("interp: unknown binop")
+}
+
+func evalCmp(in *ir.Instr, x, y uint64) uint64 {
+	var lt, eq bool
+	if in.From.IsFloat() {
+		a := math.Float64frombits(x)
+		b := math.Float64frombits(y)
+		lt, eq = a < b, a == b
+	} else {
+		a, b := int64(x), int64(y)
+		lt, eq = a < b, a == b
+	}
+	var r bool
+	switch in.Pred {
+	case ir.CmpEQ:
+		r = eq
+	case ir.CmpNE:
+		r = !eq
+	case ir.CmpLT:
+		r = lt
+	case ir.CmpLE:
+		r = lt || eq
+	case ir.CmpGT:
+		r = !lt && !eq
+	case ir.CmpGE:
+		r = !lt
+	}
+	if r {
+		return 1
+	}
+	return 0
+}
+
+func evalCast(in *ir.Instr, x uint64) uint64 {
+	switch {
+	case in.From == ir.I64 && in.Type.IsFloat():
+		v := float64(int64(x))
+		if in.Type == ir.F32 {
+			v = float64(float32(v))
+		}
+		return math.Float64bits(v)
+	case in.From.IsFloat() && in.Type == ir.I64:
+		return uint64(int64(math.Float64frombits(x)))
+	case in.From == ir.F64 && in.Type == ir.F32:
+		return math.Float64bits(float64(float32(math.Float64frombits(x))))
+	case in.From == ir.F32 && in.Type == ir.F64:
+		return x // already widened in the register file
+	}
+	return x
+}
+
+func evalIntrinsic(intr ir.Intrinsic, x float64) float64 {
+	switch intr {
+	case ir.IntrExp:
+		return math.Exp(x)
+	case ir.IntrSqrt:
+		return math.Sqrt(x)
+	case ir.IntrSin:
+		return math.Sin(x)
+	case ir.IntrCos:
+		return math.Cos(x)
+	case ir.IntrFabs:
+		return math.Abs(x)
+	case ir.IntrLog:
+		return math.Log(x)
+	}
+	return x
+}

@@ -1,0 +1,344 @@
+// Package ir defines VIR, the virtual-register intermediate representation
+// that MiniC programs are lowered to and that the instrumenting interpreter
+// executes.
+//
+// VIR plays the role LLVM IR plays in the paper: the dynamic analysis
+// consumes *dynamic instances of VIR instructions*, and dependences are
+// tracked "through memory and virtual registers" exactly as described in §3.
+// Named locals live in frame slots accessed via explicit Load/Store (the
+// LLVM alloca idiom), so register dataflow is single-assignment per dynamic
+// instance without needing SSA phi nodes.
+//
+// Instructions are a single fat struct rather than an interface hierarchy:
+// the interpreter dispatches on Opcode in a tight loop, and the analysis
+// passes index instructions by their module-unique static ID.
+package ir
+
+import "github.com/example/vectrace/internal/source"
+
+// Reg is a function-local virtual register number.
+type Reg int32
+
+// RegNone marks "no destination register".
+const RegNone Reg = -1
+
+// Opcode identifies an instruction kind.
+type Opcode uint8
+
+// Instruction opcodes.
+const (
+	OpInvalid Opcode = iota
+
+	// OpBin computes Dst = X <Bin> Y with scalar type Type.
+	OpBin
+	// OpNeg computes Dst = -X.
+	OpNeg
+	// OpNot computes Dst = (X == 0) as 0/1.
+	OpNot
+	// OpCmp computes Dst = X <Pred> Y as 0/1, comparing with type From.
+	OpCmp
+	// OpCast converts X from scalar type From to Type.
+	OpCast
+
+	// OpLoad loads Dst from address X with element type Type.
+	OpLoad
+	// OpStore stores Y to address X with element type Type.
+	OpStore
+
+	// OpGlobalAddr sets Dst to the address of module global Global.
+	OpGlobalAddr
+	// OpFrameAddr sets Dst to the address of frame slot Slot.
+	OpFrameAddr
+	// OpPtrAdd computes Dst = X + Y*Scale + Off (address arithmetic; the
+	// GEP analogue). Y may be a constant zero operand for pure offsets.
+	OpPtrAdd
+
+	// OpCall invokes function Callee with Args; result (if any) in Dst.
+	OpCall
+	// OpIntrinsic computes Dst = Intr(X) for math intrinsics.
+	OpIntrinsic
+	// OpPrint writes operand X (type Type) to the interpreter output.
+	OpPrint
+
+	// OpBr jumps unconditionally to block Then.
+	OpBr
+	// OpCondBr jumps to Then if X is non-zero, else to Else.
+	OpCondBr
+	// OpRet returns from the function, with value X if the function has a
+	// result.
+	OpRet
+
+	// OpLoopBegin / OpLoopEnd bracket each source loop's dynamic execution
+	// (entry and exit, not per-iteration). They carry the loop ID in Loop
+	// and let the tracer capture per-loop sub-traces the way the paper
+	// "started a subtrace upon loop entry and terminated it upon loop exit".
+	OpLoopBegin
+	OpLoopEnd
+	// OpLoopIter marks the start of each iteration of its loop (emitted as
+	// the first instruction of the loop body). The Larus-style loop-level
+	// baseline uses these markers to split a region into iterations.
+	OpLoopIter
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid", OpBin: "bin", OpNeg: "neg", OpNot: "not",
+	OpCmp: "cmp", OpCast: "cast", OpLoad: "load", OpStore: "store",
+	OpGlobalAddr: "gaddr", OpFrameAddr: "faddr", OpPtrAdd: "ptradd",
+	OpCall: "call", OpIntrinsic: "intr", OpPrint: "print",
+	OpBr: "br", OpCondBr: "condbr", OpRet: "ret",
+	OpLoopBegin: "loop.begin", OpLoopEnd: "loop.end", OpLoopIter: "loop.iter",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (o Opcode) IsTerminator() bool {
+	return o == OpBr || o == OpCondBr || o == OpRet
+}
+
+// ScalarType is the machine-level type of a value or memory element.
+type ScalarType uint8
+
+// Scalar types. I64 doubles as the boolean carrier (0/1).
+const (
+	I64 ScalarType = iota
+	F32
+	F64
+)
+
+// Size returns the in-memory byte size of the scalar type.
+func (t ScalarType) Size() int64 {
+	if t == F32 {
+		return 4
+	}
+	return 8
+}
+
+// IsFloat reports whether t is a floating-point type.
+func (t ScalarType) IsFloat() bool { return t == F32 || t == F64 }
+
+func (t ScalarType) String() string {
+	switch t {
+	case I64:
+		return "i64"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	}
+	return "t?"
+}
+
+// BinOp is an arithmetic operator for OpBin.
+type BinOp uint8
+
+// Arithmetic operators.
+const (
+	AddOp BinOp = iota
+	SubOp
+	MulOp
+	DivOp
+	RemOp
+)
+
+func (b BinOp) String() string {
+	switch b {
+	case AddOp:
+		return "add"
+	case SubOp:
+		return "sub"
+	case MulOp:
+		return "mul"
+	case DivOp:
+		return "div"
+	case RemOp:
+		return "rem"
+	}
+	return "bin?"
+}
+
+// CmpPred is a comparison predicate for OpCmp.
+type CmpPred uint8
+
+// Comparison predicates.
+const (
+	CmpEQ CmpPred = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+func (p CmpPred) String() string {
+	switch p {
+	case CmpEQ:
+		return "eq"
+	case CmpNE:
+		return "ne"
+	case CmpLT:
+		return "lt"
+	case CmpLE:
+		return "le"
+	case CmpGT:
+		return "gt"
+	case CmpGE:
+		return "ge"
+	}
+	return "cmp?"
+}
+
+// Intrinsic identifies a unary math intrinsic.
+type Intrinsic uint8
+
+// Math intrinsics (all double → double).
+const (
+	IntrExp Intrinsic = iota
+	IntrSqrt
+	IntrSin
+	IntrCos
+	IntrFabs
+	IntrLog
+)
+
+func (i Intrinsic) String() string {
+	switch i {
+	case IntrExp:
+		return "exp"
+	case IntrSqrt:
+		return "sqrt"
+	case IntrSin:
+		return "sin"
+	case IntrCos:
+		return "cos"
+	case IntrFabs:
+		return "fabs"
+	case IntrLog:
+		return "log"
+	}
+	return "intr?"
+}
+
+// OperandKind discriminates instruction operands.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	KindNone OperandKind = iota
+	KindReg
+	KindConstInt
+	KindConstFloat
+)
+
+// Operand is a register reference or an immediate constant. Immediates keep
+// constants out of the dynamic dependence graph, matching the paper's
+// treatment ("for constants ... an artificial address of zero is used").
+type Operand struct {
+	Kind OperandKind
+	Reg  Reg
+	Imm  uint64 // int64 bits for KindConstInt, float64 bits for KindConstFloat
+}
+
+// RegOp returns a register operand.
+func RegOp(r Reg) Operand { return Operand{Kind: KindReg, Reg: r} }
+
+// IntConst returns an integer immediate operand.
+func IntConst(v int64) Operand { return Operand{Kind: KindConstInt, Imm: uint64(v)} }
+
+// FloatConst returns a floating-point immediate operand.
+func FloatConst(v float64) Operand {
+	return Operand{Kind: KindConstFloat, Imm: f64bits(v)}
+}
+
+// IsConst reports whether the operand is an immediate.
+func (o Operand) IsConst() bool { return o.Kind == KindConstInt || o.Kind == KindConstFloat }
+
+// ConstInt returns the integer immediate value.
+func (o Operand) ConstInt() int64 { return int64(o.Imm) }
+
+// ConstFloat returns the floating-point immediate value.
+func (o Operand) ConstFloat() float64 { return f64frombits(o.Imm) }
+
+// Instr is one VIR instruction. Field use depends on Op; unused fields are
+// zero. See the Opcode documentation for each opcode's contract.
+type Instr struct {
+	// ID is the module-unique static instruction ID, assigned by
+	// Module.Finalize. It is the identity the dynamic analysis partitions by
+	// ("each candidate static instruction s is analyzed independently").
+	ID int32
+
+	Op   Opcode
+	Dst  Reg
+	Type ScalarType // operation / element / conversion-target type
+	From ScalarType // source type for OpCast, compare type for OpCmp
+
+	Bin  BinOp
+	Pred CmpPred
+	Intr Intrinsic
+
+	X, Y Operand
+
+	Scale int64 // OpPtrAdd element scale
+	Off   int64 // OpPtrAdd constant byte offset
+
+	Global int32 // OpGlobalAddr: global index
+	Slot   int32 // OpFrameAddr: frame slot index
+	Callee int32 // OpCall: function index
+	Args   []Operand
+
+	Then, Else int32 // branch target block indices
+
+	// Pos is the source position of the originating expression/statement.
+	Pos source.Pos
+	// Loop is the innermost enclosing source loop ID, or -1.
+	Loop int32
+	// Ctl marks loop-control instructions (a for-loop's init/condition/
+	// increment, a while-loop's condition). Statement-level models like
+	// the Larus loop-level baseline treat loop control as implicit in the
+	// loop construct rather than as statements of the body.
+	Ctl bool
+	// AssignID is the source assignment-statement ID the instruction was
+	// lowered from, or -1; used to group report lines by statement.
+	AssignID int32
+}
+
+// IsCandidate reports whether the instruction is one the paper's analysis
+// characterizes for SIMD potential: a floating-point add, sub, mul, or div
+// ("the set of floating-point instructions that have vector counterparts in
+// SIMD architectures", §3). All other instructions still participate in
+// dependences but are not themselves characterized.
+func (in *Instr) IsCandidate() bool {
+	return in.Op == OpBin && in.Type.IsFloat() && in.Bin != RemOp
+}
+
+// IsIntCandidate reports whether the instruction is an integer arithmetic
+// operation with SIMD counterparts (add/sub/mul). The paper notes the
+// analysis "can be carried out for any type of operations, e.g., integer
+// arithmetic" (§4); the DDG builder and analyzer characterize these when
+// integer characterization is requested. Integer division has no packed
+// form on the modeled ISAs and is excluded.
+func (in *Instr) IsIntCandidate() bool {
+	return in.Op == OpBin && in.Type == I64 &&
+		(in.Bin == AddOp || in.Bin == SubOp || in.Bin == MulOp)
+}
+
+// Uses appends the register operands read by the instruction to regs and
+// returns the extended slice.
+func (in *Instr) Uses(regs []Reg) []Reg {
+	add := func(o Operand) {
+		if o.Kind == KindReg {
+			regs = append(regs, o.Reg)
+		}
+	}
+	add(in.X)
+	add(in.Y)
+	for _, a := range in.Args {
+		add(a)
+	}
+	return regs
+}

@@ -1,0 +1,432 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildTestModule assembles a tiny well-formed module by hand:
+//
+//	func main() { g = 2.0 * g; ret }
+func buildTestModule() *Module {
+	m := &Module{Name: "test"}
+	m.Globals = append(m.Globals, GlobalVar{Name: "g", Size: 8, Align: 8})
+
+	f := &Function{Name: "main"}
+	b := f.NewBlock()
+	addr := f.NewReg()
+	val := f.NewReg()
+	dbl := f.NewReg()
+	b.Instrs = append(b.Instrs,
+		Instr{Op: OpGlobalAddr, Dst: addr, Global: 0, Loop: -1},
+		Instr{Op: OpLoad, Dst: val, Type: F64, X: RegOp(addr), Loop: -1},
+		Instr{Op: OpBin, Dst: dbl, Type: F64, Bin: MulOp, X: FloatConst(2), Y: RegOp(val), Loop: -1},
+		Instr{Op: OpStore, Dst: RegNone, Type: F64, X: RegOp(addr), Y: RegOp(dbl), Loop: -1},
+		Instr{Op: OpRet, Dst: RegNone, Loop: -1},
+	)
+	m.AddFunc(f)
+	m.Finalize()
+	return m
+}
+
+func TestFinalizeAssignsIDs(t *testing.T) {
+	m := buildTestModule()
+	if m.NumInstrs != 5 {
+		t.Fatalf("NumInstrs = %d, want 5", m.NumInstrs)
+	}
+	for id := int32(0); id < int32(m.NumInstrs); id++ {
+		if got := m.InstrAt(id).ID; got != id {
+			t.Errorf("InstrAt(%d).ID = %d", id, got)
+		}
+	}
+	if m.FuncOfInstr(2).Name != "main" {
+		t.Error("FuncOfInstr wrong")
+	}
+	if m.FuncByName("main") == nil || m.FuncByName("nope") != nil {
+		t.Error("FuncByName wrong")
+	}
+}
+
+func TestGlobalAddresses(t *testing.T) {
+	m := &Module{Name: "g"}
+	m.Globals = append(m.Globals,
+		GlobalVar{Name: "a", Size: 4, Align: 4},
+		GlobalVar{Name: "b", Size: 8, Align: 8}, // must be aligned up
+		GlobalVar{Name: "c", Size: 1, Align: 1},
+	)
+	f := &Function{Name: "main"}
+	b := f.NewBlock()
+	b.Instrs = append(b.Instrs, Instr{Op: OpRet, Dst: RegNone})
+	m.AddFunc(f)
+	m.Finalize()
+
+	if m.Globals[0].Addr != GlobalBase {
+		t.Errorf("a at %#x, want %#x", m.Globals[0].Addr, GlobalBase)
+	}
+	if m.Globals[1].Addr%8 != 0 {
+		t.Errorf("b misaligned at %#x", m.Globals[1].Addr)
+	}
+	if m.Globals[1].Addr < m.Globals[0].Addr+4 {
+		t.Error("b overlaps a")
+	}
+	if m.GlobalsEnd() != m.Globals[2].Addr+1 {
+		t.Errorf("GlobalsEnd = %#x", m.GlobalsEnd())
+	}
+}
+
+func TestFrameLayout(t *testing.T) {
+	f := &Function{Name: "f"}
+	f.AddSlot("a", 4, 4)
+	f.AddSlot("b", 8, 8)
+	f.AddSlot("c", 1, 1)
+	f.layoutFrame()
+	if f.Slots[0].Offset != 0 {
+		t.Errorf("a at %d", f.Slots[0].Offset)
+	}
+	if f.Slots[1].Offset != 8 {
+		t.Errorf("b at %d, want 8 (aligned)", f.Slots[1].Offset)
+	}
+	if f.Slots[2].Offset != 16 {
+		t.Errorf("c at %d, want 16", f.Slots[2].Offset)
+	}
+	if f.FrameSize%16 != 0 {
+		t.Errorf("frame size %d not 16-aligned", f.FrameSize)
+	}
+}
+
+func TestIsCandidate(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want bool
+	}{
+		{Instr{Op: OpBin, Type: F64, Bin: AddOp}, true},
+		{Instr{Op: OpBin, Type: F64, Bin: SubOp}, true},
+		{Instr{Op: OpBin, Type: F32, Bin: MulOp}, true},
+		{Instr{Op: OpBin, Type: F64, Bin: DivOp}, true},
+		{Instr{Op: OpBin, Type: I64, Bin: AddOp}, false}, // integer
+		{Instr{Op: OpBin, Type: F64, Bin: RemOp}, false}, // no FP rem
+		{Instr{Op: OpNeg, Type: F64}, false},             // unary excluded
+		{Instr{Op: OpLoad, Type: F64}, false},
+		{Instr{Op: OpIntrinsic}, false},
+	}
+	for i, c := range cases {
+		if got := c.in.IsCandidate(); got != c.want {
+			t.Errorf("case %d: IsCandidate = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestOperands(t *testing.T) {
+	o := IntConst(-7)
+	if !o.IsConst() || o.ConstInt() != -7 {
+		t.Error("IntConst round trip")
+	}
+	f := FloatConst(2.5)
+	if !f.IsConst() || f.ConstFloat() != 2.5 {
+		t.Error("FloatConst round trip")
+	}
+	r := RegOp(3)
+	if r.IsConst() || r.Reg != 3 {
+		t.Error("RegOp")
+	}
+}
+
+func TestUses(t *testing.T) {
+	in := Instr{Op: OpCall, X: RegOp(1), Y: IntConst(0), Args: []Operand{RegOp(2), FloatConst(1), RegOp(3)}}
+	regs := in.Uses(nil)
+	if len(regs) != 3 || regs[0] != 1 || regs[1] != 2 || regs[2] != 3 {
+		t.Errorf("Uses = %v", regs)
+	}
+}
+
+func TestBlockSuccs(t *testing.T) {
+	f := &Function{Name: "f"}
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	b0.Instrs = append(b0.Instrs, Instr{Op: OpCondBr, Dst: RegNone, X: IntConst(1), Then: b1.Index, Else: b2.Index})
+	b1.Instrs = append(b1.Instrs, Instr{Op: OpBr, Dst: RegNone, Then: b2.Index})
+	b2.Instrs = append(b2.Instrs, Instr{Op: OpRet, Dst: RegNone})
+
+	if s := b0.Succs(nil); len(s) != 2 || s[0] != 1 || s[1] != 2 {
+		t.Errorf("b0 succs = %v", s)
+	}
+	if s := b1.Succs(nil); len(s) != 1 || s[0] != 2 {
+		t.Errorf("b1 succs = %v", s)
+	}
+	if s := b2.Succs(nil); len(s) != 0 {
+		t.Errorf("b2 succs = %v", s)
+	}
+}
+
+func TestVerifyAcceptsWellFormed(t *testing.T) {
+	m := buildTestModule()
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	mk := func(mutate func(m *Module)) error {
+		m := buildTestModule()
+		mutate(m)
+		return m.Verify()
+	}
+	cases := []struct {
+		name   string
+		mutate func(m *Module)
+		want   string
+	}{
+		{
+			"terminator mid-block",
+			func(m *Module) {
+				b := m.Funcs[0].Blocks[0]
+				b.Instrs[1] = Instr{Op: OpRet, Dst: RegNone, ID: b.Instrs[1].ID}
+			},
+			"middle of block",
+		},
+		{
+			"missing terminator",
+			func(m *Module) {
+				b := m.Funcs[0].Blocks[0]
+				b.Instrs[4] = Instr{Op: OpNot, Dst: 0, X: IntConst(0), ID: b.Instrs[4].ID}
+			},
+			"does not end with a terminator",
+		},
+		{
+			"register out of range",
+			func(m *Module) {
+				b := m.Funcs[0].Blocks[0]
+				b.Instrs[2].X = RegOp(99)
+			},
+			"out of range",
+		},
+		{
+			"bad global index",
+			func(m *Module) {
+				m.Funcs[0].Blocks[0].Instrs[0].Global = 5
+			},
+			"global g5 out of range",
+		},
+		{
+			"bad branch target",
+			func(m *Module) {
+				b := m.Funcs[0].Blocks[0]
+				b.Instrs[4] = Instr{Op: OpBr, Dst: RegNone, Then: 9, ID: b.Instrs[4].ID}
+			},
+			"branch target",
+		},
+		{
+			"missing destination",
+			func(m *Module) {
+				m.Funcs[0].Blocks[0].Instrs[1].Dst = RegNone
+			},
+			"missing destination",
+		},
+	}
+	for _, c := range cases {
+		err := mk(c.mutate)
+		if err == nil {
+			t.Errorf("%s: verification passed, want error containing %q", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err.Error(), c.want)
+		}
+	}
+}
+
+func TestVerifyUnfinalized(t *testing.T) {
+	m := &Module{Name: "raw"}
+	if err := m.Verify(); err == nil || !strings.Contains(err.Error(), "not finalized") {
+		t.Errorf("unfinalized module should fail verification, got %v", err)
+	}
+}
+
+func TestLoopMetadata(t *testing.T) {
+	m := &Module{Name: "loops"}
+	m.Loops = []LoopMeta{
+		{ID: 0, Line: 10, Func: "main", Parent: -1, Depth: 0},
+		{ID: 1, Line: 11, Func: "main", Parent: 0, Depth: 1},
+		{ID: 2, Line: 20, Func: "main", Parent: 0, Depth: 1},
+		{ID: 3, Line: 21, Func: "main", Parent: 2, Depth: 2},
+	}
+	if m.LoopByID(2).Line != 20 || m.LoopByID(7) != nil {
+		t.Error("LoopByID")
+	}
+	if m.LoopByLine(11).ID != 1 || m.LoopByLine(99) != nil {
+		t.Error("LoopByLine")
+	}
+	ch := m.LoopChildren(0)
+	if len(ch) != 2 || ch[0] != 1 || ch[1] != 2 {
+		t.Errorf("LoopChildren(0) = %v", ch)
+	}
+}
+
+func TestPrinterOutput(t *testing.T) {
+	m := buildTestModule()
+	s := m.String()
+	for _, want := range []string{"global g", "func main", "gaddr g0", "load.f64", "mul.f64", "store.f64", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printout missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestScalarTypeProperties(t *testing.T) {
+	if I64.Size() != 8 || F64.Size() != 8 || F32.Size() != 4 {
+		t.Error("scalar sizes")
+	}
+	if I64.IsFloat() || !F32.IsFloat() || !F64.IsFloat() {
+		t.Error("IsFloat")
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	if OpBin.String() != "bin" || OpLoopIter.String() != "loop.iter" {
+		t.Error("opcode strings")
+	}
+	if !OpRet.IsTerminator() || !OpBr.IsTerminator() || !OpCondBr.IsTerminator() {
+		t.Error("terminators")
+	}
+	if OpLoad.IsTerminator() {
+		t.Error("load is not a terminator")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	binWant := map[BinOp]string{AddOp: "add", SubOp: "sub", MulOp: "mul", DivOp: "div", RemOp: "rem", BinOp(99): "bin?"}
+	for k, w := range binWant {
+		if k.String() != w {
+			t.Errorf("BinOp(%d) = %q, want %q", k, k.String(), w)
+		}
+	}
+	cmpWant := map[CmpPred]string{CmpEQ: "eq", CmpNE: "ne", CmpLT: "lt", CmpLE: "le", CmpGT: "gt", CmpGE: "ge", CmpPred(99): "cmp?"}
+	for k, w := range cmpWant {
+		if k.String() != w {
+			t.Errorf("CmpPred(%d) = %q, want %q", k, k.String(), w)
+		}
+	}
+	intrWant := map[Intrinsic]string{IntrExp: "exp", IntrSqrt: "sqrt", IntrSin: "sin", IntrCos: "cos", IntrFabs: "fabs", IntrLog: "log", Intrinsic(99): "intr?"}
+	for k, w := range intrWant {
+		if k.String() != w {
+			t.Errorf("Intrinsic(%d) = %q, want %q", k, k.String(), w)
+		}
+	}
+	if ScalarType(9).String() != "t?" || Opcode(99).String() != "op?" {
+		t.Error("unknown enums should print placeholders")
+	}
+	if I64.String() != "i64" || F32.String() != "f32" || F64.String() != "f64" {
+		t.Error("scalar type names")
+	}
+}
+
+func TestInstrStringAllOpcodes(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpBin, Dst: 1, Type: F64, Bin: MulOp, X: RegOp(0), Y: FloatConst(2)}, "mul.f64"},
+		{Instr{Op: OpNeg, Dst: 1, Type: F32, X: RegOp(0)}, "neg.f32"},
+		{Instr{Op: OpNot, Dst: 1, X: RegOp(0)}, "not"},
+		{Instr{Op: OpCmp, Dst: 1, From: I64, Pred: CmpLE, X: RegOp(0), Y: IntConst(4)}, "cmp.le.i64"},
+		{Instr{Op: OpCast, Dst: 1, From: I64, Type: F64, X: RegOp(0)}, "cast.i64.f64"},
+		{Instr{Op: OpLoad, Dst: 1, Type: F64, X: RegOp(0)}, "load.f64"},
+		{Instr{Op: OpStore, Dst: RegNone, Type: F64, X: RegOp(0), Y: RegOp(1)}, "store.f64"},
+		{Instr{Op: OpGlobalAddr, Dst: 1, Global: 3}, "gaddr g3"},
+		{Instr{Op: OpFrameAddr, Dst: 1, Slot: 2}, "faddr s2"},
+		{Instr{Op: OpPtrAdd, Dst: 1, X: RegOp(0), Y: IntConst(2), Scale: 8, Off: 16}, "ptradd"},
+		{Instr{Op: OpCall, Dst: 1, Callee: 0, Args: []Operand{RegOp(0), FloatConst(1)}}, "call f0"},
+		{Instr{Op: OpIntrinsic, Dst: 1, Intr: IntrSqrt, X: RegOp(0)}, "sqrt"},
+		{Instr{Op: OpPrint, Dst: RegNone, Type: F64, X: RegOp(0)}, "print.f64"},
+		{Instr{Op: OpBr, Dst: RegNone, Then: 4}, "br b4"},
+		{Instr{Op: OpCondBr, Dst: RegNone, X: RegOp(0), Then: 1, Else: 2}, "condbr"},
+		{Instr{Op: OpRet, Dst: RegNone}, "ret"},
+		{Instr{Op: OpRet, Dst: RegNone, X: FloatConst(1.5)}, "ret 1.5"},
+		{Instr{Op: OpLoopBegin, Dst: RegNone, Loop: 2}, "loop.begin L2"},
+		{Instr{Op: OpLoopEnd, Dst: RegNone, Loop: 2}, "loop.end L2"},
+		{Instr{Op: OpLoopIter, Dst: RegNone, Loop: 2}, "loop.iter L2"},
+	}
+	for i, c := range cases {
+		got := c.in.String()
+		if !strings.Contains(got, c.want) {
+			t.Errorf("case %d: String() = %q, want substring %q", i, got, c.want)
+		}
+	}
+	// Operand with no kind prints a placeholder.
+	if (Operand{}).String() != "_" {
+		t.Error("empty operand should print _")
+	}
+}
+
+func TestIsIntCandidate(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want bool
+	}{
+		{Instr{Op: OpBin, Type: I64, Bin: AddOp}, true},
+		{Instr{Op: OpBin, Type: I64, Bin: SubOp}, true},
+		{Instr{Op: OpBin, Type: I64, Bin: MulOp}, true},
+		{Instr{Op: OpBin, Type: I64, Bin: DivOp}, false},
+		{Instr{Op: OpBin, Type: I64, Bin: RemOp}, false},
+		{Instr{Op: OpBin, Type: F64, Bin: AddOp}, false},
+		{Instr{Op: OpLoad, Type: I64}, false},
+	}
+	for i, c := range cases {
+		if got := c.in.IsIntCandidate(); got != c.want {
+			t.Errorf("case %d: IsIntCandidate = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestModuleHelpers(t *testing.T) {
+	m := buildTestModule()
+	f := m.Funcs[0]
+	if f.NumInstrs() != 5 {
+		t.Errorf("NumInstrs = %d", f.NumInstrs())
+	}
+	m.Validate() // must not panic on a well-formed module
+
+	// CandidateIDs over the whole module finds the one FP multiply.
+	ids := m.CandidateIDs(-1)
+	if len(ids) != 1 {
+		t.Fatalf("candidates = %v", ids)
+	}
+	// With a loop filter on a loop that does not exist, nothing matches.
+	if got := m.CandidateIDs(7); len(got) != 0 {
+		t.Errorf("CandidateIDs(7) = %v, want empty", got)
+	}
+}
+
+func TestLoopMembershipNesting(t *testing.T) {
+	m := &Module{Name: "nest"}
+	m.Loops = []LoopMeta{
+		{ID: 0, Parent: -1},
+		{ID: 1, Parent: 0},
+		{ID: 2, Parent: 1},
+		{ID: 3, Parent: -1},
+	}
+	f := &Function{Name: "main"}
+	b := f.NewBlock()
+	d := f.NewReg()
+	// One candidate in each loop.
+	for loop := int32(0); loop < 4; loop++ {
+		b.Instrs = append(b.Instrs, Instr{
+			Op: OpBin, Dst: d, Type: F64, Bin: AddOp,
+			X: FloatConst(0), Y: FloatConst(0), Loop: loop,
+		})
+	}
+	b.Instrs = append(b.Instrs, Instr{Op: OpRet, Dst: RegNone, Loop: -1})
+	m.AddFunc(f)
+	m.Finalize()
+
+	if got := len(m.CandidateIDs(0)); got != 3 {
+		t.Errorf("loop 0 subtree candidates = %d, want 3 (self + two nested)", got)
+	}
+	if got := len(m.CandidateIDs(1)); got != 2 {
+		t.Errorf("loop 1 subtree candidates = %d, want 2", got)
+	}
+	if got := len(m.CandidateIDs(3)); got != 1 {
+		t.Errorf("loop 3 candidates = %d, want 1", got)
+	}
+}

@@ -1,0 +1,115 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in a stable textual form for debugging and
+// golden tests.
+func (m *Module) String() string {
+	var b strings.Builder
+	for _, g := range m.Globals {
+		fmt.Fprintf(&b, "global %s size=%d align=%d\n", g.Name, g.Size, g.Align)
+	}
+	for _, f := range m.Funcs {
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// String renders the function body.
+func (f *Function) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(params=%d regs=%d frame=%d)", f.Name, f.NumParams, f.NumRegs, f.FrameSize)
+	if f.HasResult {
+		fmt.Fprintf(&b, " -> %s", f.Result)
+	}
+	b.WriteString(" {\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "b%d:\n", blk.Index)
+		for i := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s\n", blk.Instrs[i].String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case KindNone:
+		return "_"
+	case KindReg:
+		return fmt.Sprintf("r%d", o.Reg)
+	case KindConstInt:
+		return fmt.Sprintf("%d", o.ConstInt())
+	case KindConstFloat:
+		return fmt.Sprintf("%g", o.ConstFloat())
+	}
+	return "?"
+}
+
+// String renders one instruction.
+func (in *Instr) String() string {
+	dst := ""
+	if in.Dst != RegNone {
+		dst = fmt.Sprintf("r%d = ", in.Dst)
+	}
+	var body string
+	switch in.Op {
+	case OpBin:
+		body = fmt.Sprintf("%s.%s %s, %s", in.Bin, in.Type, in.X, in.Y)
+	case OpNeg:
+		body = fmt.Sprintf("neg.%s %s", in.Type, in.X)
+	case OpNot:
+		body = fmt.Sprintf("not %s", in.X)
+	case OpCmp:
+		body = fmt.Sprintf("cmp.%s.%s %s, %s", in.Pred, in.From, in.X, in.Y)
+	case OpCast:
+		body = fmt.Sprintf("cast.%s.%s %s", in.From, in.Type, in.X)
+	case OpLoad:
+		body = fmt.Sprintf("load.%s [%s]", in.Type, in.X)
+	case OpStore:
+		body = fmt.Sprintf("store.%s [%s], %s", in.Type, in.X, in.Y)
+	case OpGlobalAddr:
+		body = fmt.Sprintf("gaddr g%d", in.Global)
+	case OpFrameAddr:
+		body = fmt.Sprintf("faddr s%d", in.Slot)
+	case OpPtrAdd:
+		body = fmt.Sprintf("ptradd %s + %s*%d + %d", in.X, in.Y, in.Scale, in.Off)
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.String()
+		}
+		body = fmt.Sprintf("call f%d(%s)", in.Callee, strings.Join(args, ", "))
+	case OpIntrinsic:
+		body = fmt.Sprintf("%s %s", in.Intr, in.X)
+	case OpPrint:
+		body = fmt.Sprintf("print.%s %s", in.Type, in.X)
+	case OpBr:
+		body = fmt.Sprintf("br b%d", in.Then)
+	case OpCondBr:
+		body = fmt.Sprintf("condbr %s, b%d, b%d", in.X, in.Then, in.Else)
+	case OpRet:
+		if in.X.Kind == KindNone {
+			body = "ret"
+		} else {
+			body = fmt.Sprintf("ret %s", in.X)
+		}
+	case OpLoopBegin:
+		body = fmt.Sprintf("loop.begin L%d", in.Loop)
+	case OpLoopEnd:
+		body = fmt.Sprintf("loop.end L%d", in.Loop)
+	case OpLoopIter:
+		body = fmt.Sprintf("loop.iter L%d", in.Loop)
+	default:
+		body = in.Op.String()
+	}
+	loc := ""
+	if in.Pos.IsValid() {
+		loc = fmt.Sprintf("  ; line %d", in.Pos.Line)
+	}
+	return dst + body + loc
+}

@@ -1,0 +1,159 @@
+package ir
+
+import "fmt"
+
+// Verify checks module well-formedness and returns the first violation
+// found, or nil. It is run by the lowering pipeline after construction, so
+// later phases (interpreter, static vectorizer) may assume these invariants:
+//
+//   - every block is non-empty and ends with exactly one terminator
+//   - no terminator appears before the end of a block
+//   - branch targets and call/function/global/slot indices are in range
+//   - register numbers are within the function's register count
+//   - instruction IDs are consistent with Finalize numbering
+func (m *Module) Verify() error {
+	if m.funcByName == nil {
+		return fmt.Errorf("ir: module %q not finalized", m.Name)
+	}
+	wantID := int32(0)
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("ir: %s: function has no blocks", f.Name)
+		}
+		for _, b := range f.Blocks {
+			if len(b.Instrs) == 0 {
+				return fmt.Errorf("ir: %s: block b%d is empty", f.Name, b.Index)
+			}
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.ID != wantID {
+					return fmt.Errorf("ir: %s: b%d[%d] has ID %d, want %d (module not finalized?)", f.Name, b.Index, i, in.ID, wantID)
+				}
+				wantID++
+				last := i == len(b.Instrs)-1
+				if in.Op.IsTerminator() != last {
+					if last {
+						return fmt.Errorf("ir: %s: block b%d does not end with a terminator", f.Name, b.Index)
+					}
+					return fmt.Errorf("ir: %s: terminator %s in the middle of block b%d", f.Name, in.Op, b.Index)
+				}
+				if err := m.verifyInstr(f, b, in); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Module) verifyInstr(f *Function, b *Block, in *Instr) error {
+	ctx := func(format string, args ...any) error {
+		return fmt.Errorf("ir: %s: b%d: %s: %s", f.Name, b.Index, in.Op, fmt.Sprintf(format, args...))
+	}
+	checkReg := func(r Reg) error {
+		if r < 0 || int(r) >= f.NumRegs {
+			return ctx("register r%d out of range [0,%d)", r, f.NumRegs)
+		}
+		return nil
+	}
+	checkOp := func(o Operand) error {
+		if o.Kind == KindReg {
+			return checkReg(o.Reg)
+		}
+		return nil
+	}
+	checkBlock := func(idx int32) error {
+		if idx < 0 || int(idx) >= len(f.Blocks) {
+			return ctx("branch target b%d out of range", idx)
+		}
+		return nil
+	}
+
+	if in.Dst != RegNone {
+		if err := checkReg(in.Dst); err != nil {
+			return err
+		}
+	}
+	for _, o := range []Operand{in.X, in.Y} {
+		if err := checkOp(o); err != nil {
+			return err
+		}
+	}
+	for _, a := range in.Args {
+		if err := checkOp(a); err != nil {
+			return err
+		}
+	}
+
+	needsDst := false
+	switch in.Op {
+	case OpBin, OpNeg, OpNot, OpCmp, OpCast, OpLoad, OpGlobalAddr, OpFrameAddr, OpPtrAdd, OpIntrinsic:
+		needsDst = true
+	}
+	if needsDst && in.Dst == RegNone {
+		return ctx("missing destination register")
+	}
+
+	switch in.Op {
+	case OpGlobalAddr:
+		if in.Global < 0 || int(in.Global) >= len(m.Globals) {
+			return ctx("global g%d out of range", in.Global)
+		}
+	case OpFrameAddr:
+		if in.Slot < 0 || int(in.Slot) >= len(f.Slots) {
+			return ctx("slot s%d out of range", in.Slot)
+		}
+	case OpCall:
+		if in.Callee < 0 || int(in.Callee) >= len(m.Funcs) {
+			return ctx("callee f%d out of range", in.Callee)
+		}
+		callee := m.Funcs[in.Callee]
+		if len(in.Args) != callee.NumParams {
+			return ctx("call to %s has %d args, want %d", callee.Name, len(in.Args), callee.NumParams)
+		}
+		if callee.HasResult && in.Dst == RegNone {
+			// Permitted: result discarded.
+			_ = callee
+		}
+		if !callee.HasResult && in.Dst != RegNone {
+			return ctx("void call to %s has a destination", callee.Name)
+		}
+	case OpBr:
+		if err := checkBlock(in.Then); err != nil {
+			return err
+		}
+	case OpCondBr:
+		if err := checkBlock(in.Then); err != nil {
+			return err
+		}
+		if err := checkBlock(in.Else); err != nil {
+			return err
+		}
+		if in.X.Kind == KindNone {
+			return ctx("missing condition operand")
+		}
+	case OpRet:
+		if f.HasResult && in.X.Kind == KindNone {
+			return ctx("missing return value for non-void function")
+		}
+	case OpBin:
+		if in.X.Kind == KindNone || in.Y.Kind == KindNone {
+			return ctx("missing operand")
+		}
+		if in.Bin == RemOp && in.Type != I64 {
+			return ctx("rem requires i64 operands")
+		}
+	case OpLoad, OpStore:
+		if in.X.Kind == KindNone {
+			return ctx("missing address operand")
+		}
+		if in.Op == OpStore && in.Y.Kind == KindNone {
+			return ctx("missing value operand")
+		}
+	case OpLoopBegin, OpLoopEnd, OpLoopIter:
+		if in.Loop < 0 {
+			return ctx("loop marker without loop ID")
+		}
+	}
+	return nil
+}

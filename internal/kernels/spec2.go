@@ -1,0 +1,391 @@
+package kernels
+
+import "fmt"
+
+// Additional Table 1 loops. The paper reports several hot loops per
+// benchmark; these entries model the rows whose dependence/stride shapes
+// differ from the primary kernels in spec.go.
+
+// specExtra returns the second wave of Table 1 loop kernels.
+func specExtra() []SpecBenchmark {
+	return []SpecBenchmark{
+		specBwavesBackSubst(),
+		specMilcGauge(),
+		specGromacsNS(),
+		specLeslie3dY(),
+		specNamdPairlist(),
+		specPovrayCSG(),
+		specCalculixFrontal(),
+		specWrfVertical(),
+	}
+}
+
+// specBwavesBackSubst models block_solver.f:176: the back-substitution
+// sweep of the block solver, whose recurrence runs across cells — far less
+// concurrency than the forward mat-vec (the paper reports avg concurrency
+// 8.3 vs 39.9 and packed 66.4%: the 5-wide inner loops still vectorize).
+func specBwavesBackSubst() SpecBenchmark {
+	const cells = 384
+	k := Kernel{Name: "410.bwaves-backsub", Desc: "block solver back-substitution", Source: fmt.Sprintf(`
+double y[%d][5];
+double x[%d][5];
+double D[5][5];
+
+void main() {
+  int c;
+  int mi;
+  int mj;
+  int C = %d;
+  for (mi = 0; mi < 5; mi++) {     /* @init-d */
+    for (mj = 0; mj < 5; mj++) {
+      D[mi][mj] = 0.02 * mi - 0.01 * mj + 0.5;
+    }
+  }
+  for (c = 0; c < C; c++) {        /* @init-y */
+    for (mi = 0; mi < 5; mi++) {
+      y[c][mi] = 0.5 + 0.01 * mi + 0.0002 * c;
+    }
+  }
+  for (mi = 0; mi < 5; mi++) {     /* @seed */
+    x[C-1][mi] = y[C-1][mi];
+  }
+  for (c = C - 2; c >= 0; c = c - 1) {  /* @hot */
+    for (mi = 0; mi < 5; mi++) {
+      double s = y[c][mi];
+      for (mj = 0; mj < 5; mj++) {      /* @mac-loop */
+        s = s - D[mi][mj] * x[c+1][mj]; /* @mac */
+      }
+      x[c][mi] = s;
+    }
+  }
+  print(x[0][0]);
+  print(x[0][4]);
+}
+`, cells, cells, cells)}
+	return SpecBenchmark{Name: "410.bwaves", Kernel: k, Targets: []SpecTarget{
+		{Label: "block_solver.f : 176", Marker: "@hot"},
+	}}
+}
+
+// specMilcGauge models gauge_stuff.c/path_product.c: chained su3
+// matrix-matrix products along lattice paths. Each path is a serial chain
+// of products, but every site's path is independent — the paper reports
+// enormous concurrency (10453–73316), zero packed, and a large non-unit
+// share at the matrix stride.
+func specMilcGauge() SpecBenchmark {
+	const sites = 256
+	k := Kernel{Name: "433.milc-gauge", Desc: "chained su3 path products over sites", Source: fmt.Sprintf(`
+struct cplx { double r; double i; };
+struct su3m { struct cplx e[2][2]; };
+
+struct su3m link0[%d];
+struct su3m link1[%d];
+struct su3m link2[%d];
+struct su3m acc[%d];
+
+void main() {
+  int s;
+  int i;
+  int j;
+  int kk;
+  int S = %d;
+  for (s = 0; s < S; s++) {        /* @init */
+    for (i = 0; i < 2; i++) {
+      for (j = 0; j < 2; j++) {
+        link0[s].e[i][j].r = 0.4 + 0.001 * s + 0.01 * i;
+        link0[s].e[i][j].i = 0.1 - 0.002 * s + 0.01 * j;
+        link1[s].e[i][j].r = 0.3 + 0.0015 * s - 0.01 * i;
+        link1[s].e[i][j].i = 0.2 + 0.001 * s - 0.02 * j;
+        link2[s].e[i][j].r = 0.25 - 0.001 * s;
+        link2[s].e[i][j].i = 0.15 + 0.0005 * s;
+      }
+    }
+  }
+  for (s = 0; s < S; s++) {        /* @hot */
+    /* acc = link0 * link1 (complex 2x2 product) */
+    for (i = 0; i < 2; i++) {
+      for (j = 0; j < 2; j++) {    /* @prod1 */
+        double xr = 0.0;
+        double xi = 0.0;
+        for (kk = 0; kk < 2; kk++) {
+          xr = xr + link0[s].e[i][kk].r * link1[s].e[kk][j].r -
+                    link0[s].e[i][kk].i * link1[s].e[kk][j].i;   /* @xr */
+          xi = xi + link0[s].e[i][kk].r * link1[s].e[kk][j].i +
+                    link0[s].e[i][kk].i * link1[s].e[kk][j].r;
+        }
+        acc[s].e[i][j].r = xr;
+        acc[s].e[i][j].i = xi;
+      }
+    }
+    /* acc = acc * link2: extends each site's chain */
+    for (i = 0; i < 2; i++) {
+      for (j = 0; j < 2; j++) {    /* @prod2 */
+        double yr = 0.0;
+        double yi = 0.0;
+        for (kk = 0; kk < 2; kk++) {
+          yr = yr + acc[s].e[i][kk].r * link2[s].e[kk][j].r -
+                    acc[s].e[i][kk].i * link2[s].e[kk][j].i;     /* @yr */
+          yi = yi + acc[s].e[i][kk].r * link2[s].e[kk][j].i +
+                    acc[s].e[i][kk].i * link2[s].e[kk][j].r;
+        }
+        acc[s].e[i][j].r = yr * 0.5 + acc[s].e[i][j].r * 0.5;
+        acc[s].e[i][j].i = yi * 0.5 + acc[s].e[i][j].i * 0.5;
+      }
+    }
+  }
+  print(acc[0].e[0][0].r);
+  print(acc[%d].e[1][1].i);
+}
+`, sites, sites, sites, sites, sites, sites-1)}
+	return SpecBenchmark{Name: "433.milc", Kernel: k, Targets: []SpecTarget{
+		{Label: "path_product.c : 49", Marker: "@hot"},
+	}}
+}
+
+// specGromacsNS models the ns.c neighbor-search loops: all-pairs distance
+// checks with a data-dependent count update — branchy, irregular output,
+// zero packed, but the distance arithmetic itself is concurrent.
+func specGromacsNS() SpecBenchmark {
+	const atoms = 96
+	k := Kernel{Name: "435.gromacs-ns", Desc: "neighbor-search distance checks", Source: fmt.Sprintf(`
+double px[%d];
+double py[%d];
+double pz[%d];
+int count[%d];
+
+void main() {
+  int i;
+  int j;
+  int A = %d;
+  double cut2 = 1.2;
+  for (i = 0; i < A; i++) {     /* @init */
+    px[i] = sin(0.3 * i) * 2.0;
+    py[i] = cos(0.23 * i) * 2.0;
+    pz[i] = sin(0.17 * i + 1.0) * 2.0;
+    count[i] = 0;
+  }
+  for (i = 0; i < A; i++) {     /* @hot */
+    for (j = i + 1; j < A; j++) {   /* @pairs */
+      double dx = px[i] - px[j];    /* @dx */
+      double dy = py[i] - py[j];
+      double dz = pz[i] - pz[j];
+      double r2 = dx * dx + dy * dy + dz * dz;   /* @r2 */
+      if (r2 < cut2) {
+        count[i] = count[i] + 1;
+      }
+    }
+  }
+  printi(count[0]);
+  printi(count[%d]);
+}
+`, atoms, atoms, atoms, atoms, atoms, atoms/2)}
+	return SpecBenchmark{Name: "435.gromacs", Kernel: k, Targets: []SpecTarget{
+		{Label: "ns.c : 1264", Marker: "@hot"},
+	}}
+}
+
+// specLeslie3dY models the cross-direction flux sweep (tml.f:889): the same
+// flux stencil as tml.f:522 but differencing along the slower-varying j
+// dimension. The loads remain unit-stride in i (the inner loop), so the
+// loop still vectorizes — the contrast with the i-difference loop is the
+// dependence direction, not the stride.
+func specLeslie3dY() SpecBenchmark {
+	const n = 20
+	k := Kernel{Name: "437.leslie3d-y", Desc: "flux differences along j", Source: fmt.Sprintf(`
+double q[%d][%d][%d];
+double fy[%d][%d][%d];
+
+void main() {
+  int i;
+  int j;
+  int kk;
+  int N = %d;
+  for (kk = 0; kk < N; kk++) {      /* @init */
+    for (j = 0; j < N; j++) {
+      for (i = 0; i < N; i++) {
+        q[kk][j][i] = 1.5 + 0.02 * i - 0.01 * j + 0.005 * kk;
+      }
+    }
+  }
+  for (kk = 0; kk < N; kk++) {      /* @hot */
+    for (j = 0; j < N - 1; j++) {
+      for (i = 0; i < N; i++) {     /* @flux */
+        fy[kk][j][i] = 0.5 * (q[kk][j+1][i] - q[kk][j][i]) +
+                       0.125 * (q[kk][j+1][i] + q[kk][j][i]);  /* @S */
+      }
+    }
+  }
+  print(fy[0][0][0]);
+  print(fy[%d][%d][%d]);
+}
+`, n, n, n, n, n, n, n, n-1, n-2, n-1)}
+	return SpecBenchmark{Name: "437.leslie3d", Kernel: k, Targets: []SpecTarget{
+		{Label: "tml.f : 889", Marker: "@hot"},
+	}}
+}
+
+// specNamdPairlist models ComputeList.C:71: building the pairlist itself —
+// distance tests with data-dependent appends to a list (an irregular store
+// stream), zero packed.
+func specNamdPairlist() SpecBenchmark {
+	const atoms = 128
+	k := Kernel{Name: "444.namd-list", Desc: "pairlist construction", Source: fmt.Sprintf(`
+double px[%d];
+double py[%d];
+double pz[%d];
+int list[%d];
+int nPairs;
+
+void main() {
+  int i;
+  int j;
+  int n;
+  int A = %d;
+  double cut2 = 2.0;
+  for (i = 0; i < A; i++) {     /* @init */
+    px[i] = sin(0.21 * i) * 2.5;
+    py[i] = cos(0.19 * i) * 2.5;
+    pz[i] = sin(0.11 * i + 0.7) * 2.5;
+  }
+  n = 0;
+  for (i = 0; i < A; i++) {     /* @hot */
+    for (j = i + 1; j < A; j++) {
+      double dx = px[i] - px[j];     /* @dx */
+      double dy = py[i] - py[j];
+      double dz = pz[i] - pz[j];
+      double r2 = dx * dx + dy * dy + dz * dz;  /* @r2 */
+      if (r2 < cut2 && n < %d) {
+        list[n] = i * A + j;
+        n = n + 1;
+      }
+    }
+  }
+  nPairs = n;
+  printi(n);
+}
+`, atoms, atoms, atoms, atoms*atoms/4, atoms, atoms*atoms/4)}
+	return SpecBenchmark{Name: "444.namd", Kernel: k, Targets: []SpecTarget{
+		{Label: "ComputeList.C : 71", Marker: "@hot"},
+	}}
+}
+
+// specPovrayCSG models csg.cpp:248: per-object constructive-solid-geometry
+// tests — tiny fixed-size vector arithmetic under data-dependent branching,
+// with the paper's characteristically small average vector sizes.
+func specPovrayCSG() SpecBenchmark {
+	const objs = 384
+	k := Kernel{Name: "453.povray-csg", Desc: "CSG inside-test sweep", Source: fmt.Sprintf(`
+double ox[%d];
+double oy[%d];
+double rad[%d];
+double hits;
+
+void main() {
+  int o;
+  int O = %d;
+  double qx = 0.3;
+  double qy = 0.6;
+  double h = 0.0;
+  for (o = 0; o < O; o++) {     /* @init */
+    ox[o] = sin(0.4 * o);
+    oy[o] = cos(0.27 * o);
+    rad[o] = 0.3 + 0.2 * sin(0.05 * o) * sin(0.05 * o);
+  }
+  for (o = 0; o < O; o++) {     /* @hot */
+    double dx = qx - ox[o];     /* @dx */
+    double dy = qy - oy[o];
+    double d2 = dx * dx + dy * dy;   /* @d2 */
+    if (d2 < rad[o] * rad[o]) {
+      h = h + 1.0;
+      if (d2 < 0.01) {
+        h = h + 0.5;
+      }
+    }
+  }
+  hits = h;
+  print(h);
+}
+`, objs, objs, objs, objs)}
+	return SpecBenchmark{Name: "453.povray", Kernel: k, Targets: []SpecTarget{
+		{Label: "csg.cpp : 248", Marker: "@hot"},
+	}}
+}
+
+// specCalculixFrontal models FrontMtx_update.c:207: dense frontal-matrix
+// rank updates, F[i][j] -= L[i] * U[j] with j innermost — fully
+// vectorizable dense linear algebra (the paper reports 91.5% packed).
+func specCalculixFrontal() SpecBenchmark {
+	const front = 48
+	k := Kernel{Name: "454.calculix-front", Desc: "frontal matrix rank update", Source: fmt.Sprintf(`
+double F[%d][%d];
+double L[%d];
+double U[%d];
+
+void main() {
+  int i;
+  int j;
+  int r;
+  int N = %d;
+  for (i = 0; i < N; i++) {      /* @init */
+    L[i] = 0.02 * i + 0.3;
+    U[i] = 0.7 - 0.01 * i;
+    for (j = 0; j < N; j++) {
+      F[i][j] = 1.0 + 0.001 * (i + j);
+    }
+  }
+  for (r = 0; r < 4; r++) {      /* @hot */
+    for (i = 0; i < N; i++) {
+      for (j = 0; j < N; j++) {  /* @rank1 */
+        F[i][j] = F[i][j] - L[i] * U[j];   /* @S */
+      }
+    }
+  }
+  print(F[0][0]);
+  print(F[%d][%d]);
+}
+`, front, front, front, front, front, front-1, front-1)}
+	return SpecBenchmark{Name: "454.calculix", Kernel: k, Targets: []SpecTarget{
+		{Label: "FrontMtx_update.c : 207", Marker: "@hot"},
+	}}
+}
+
+// specWrfVertical models solve_em.F90:884: a vertical (k-direction) column
+// update. In the Fortran original k is the fastest dimension for these
+// arrays; in C layout the column walk strides by a full plane — the
+// non-unit-stride signature (the paper reports avg vec sizes of 117 at
+// non-unit stride 29.1 for the related rows).
+func specWrfVertical() SpecBenchmark {
+	const n = 18
+	k := Kernel{Name: "481.wrf-vert", Desc: "vertical column integration", Source: fmt.Sprintf(`
+double w[%d][%d][%d];
+double rho[%d][%d][%d];
+double out[%d][%d][%d];
+
+void main() {
+  int i;
+  int j;
+  int kk;
+  int N = %d;
+  for (kk = 0; kk < N; kk++) {      /* @init */
+    for (j = 0; j < N; j++) {
+      for (i = 0; i < N; i++) {
+        w[kk][j][i] = 0.1 + 0.01 * kk - 0.002 * (i + j);
+        rho[kk][j][i] = 1.2 - 0.003 * kk;
+      }
+    }
+  }
+  for (j = 0; j < N; j++) {         /* @hot */
+    for (i = 0; i < N; i++) {
+      for (kk = 0; kk < N - 1; kk++) {   /* @column */
+        out[kk][j][i] = 0.5 * (w[kk][j][i] + w[kk+1][j][i]) * rho[kk][j][i];  /* @S */
+      }
+    }
+  }
+  print(out[0][0][0]);
+  print(out[%d][%d][%d]);
+}
+`, n, n, n, n, n, n, n, n, n, n, n-2, n-1, n-1)}
+	return SpecBenchmark{Name: "481.wrf", Kernel: k, Targets: []SpecTarget{
+		{Label: "solve_em.F90 : 884", Marker: "@hot"},
+	}}
+}

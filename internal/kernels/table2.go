@@ -1,0 +1,228 @@
+package kernels
+
+import "fmt"
+
+// GaussSeidel is the paper's 2-D 9-point Gauss-Seidel stencil (Listing 5,
+// original form). The innermost loop carries a flow dependence through
+// A[i][j-1], so production compilers refuse to vectorize it; the dynamic
+// analysis nevertheless finds unit-stride potential in the row-(i-1)
+// additions and non-unit (wavefront-diagonal) potential in the chained
+// operations.
+func GaussSeidel(n, t int) Kernel {
+	src := fmt.Sprintf(`
+double A[%d][%d];
+
+void main() {
+  int t;
+  int i;
+  int j;
+  int N = %d;
+  int T = %d;
+  double cnst = 1.0 / 9.0;
+  for (i = 0; i < N; i++) {       /* @init-outer */
+    for (j = 0; j < N; j++) {
+      A[i][j] = 0.001 * (i + 2 * j) + 1.0;
+    }
+  }
+  for (t = 0; t < T; t++) {       /* @time-loop */
+    for (i = 1; i < N - 1; i++) {   /* @i-loop */
+      for (j = 1; j < N - 1; j++) { /* @j-loop */
+        A[i][j] = (A[i-1][j-1] + A[i-1][j] +
+                   A[i-1][j+1] + A[i][j-1] +
+                   A[i][j] + A[i][j+1] +
+                   A[i+1][j-1] + A[i+1][j] +
+                   A[i+1][j+1]) * cnst;   /* @S */
+      }
+    }
+  }
+  print(A[N/2][N/2]);
+  print(A[1][1]);
+  print(A[N-2][N-2]);
+}
+`, n, n, n, t)
+	return Kernel{Name: "gauss-seidel", Source: src,
+		Desc: "2-D 9-point Gauss-Seidel stencil (paper Listing 5, original)"}
+}
+
+// GaussSeidelTransformed is the paper's manually transformed Gauss-Seidel
+// (Listing 5, transformed form): the row-(i-1)/(i)/(i+1) contributions that
+// do not participate in the j recurrence are split into a first, fully
+// vectorizable j loop writing temp[], and a second loop that keeps only the
+// A[i][j-1] recurrence.
+func GaussSeidelTransformed(n, t int) Kernel {
+	src := fmt.Sprintf(`
+double A[%d][%d];
+double temp[%d];
+
+void main() {
+  int t;
+  int i;
+  int j;
+  int N = %d;
+  int T = %d;
+  double cnst = 1.0 / 9.0;
+  for (i = 0; i < N; i++) {       /* @init-outer */
+    for (j = 0; j < N; j++) {
+      A[i][j] = 0.001 * (i + 2 * j) + 1.0;
+    }
+  }
+  for (t = 0; t < T; t++) {       /* @time-loop */
+    for (i = 1; i < N - 1; i++) {   /* @i-loop */
+      for (j = 1; j < N - 1; j++) { /* @vec-loop */
+        temp[j] = A[i-1][j-1] + A[i-1][j] +
+                  A[i-1][j+1] + A[i][j] +
+                  A[i][j+1] + A[i+1][j-1] +
+                  A[i+1][j] + A[i+1][j+1];   /* @T */
+      }
+      for (j = 1; j < N - 1; j++) { /* @serial-loop */
+        A[i][j] = cnst * (A[i][j-1] + temp[j]);  /* @S */
+      }
+    }
+  }
+  print(A[N/2][N/2]);
+  print(A[1][1]);
+  print(A[N-2][N-2]);
+}
+`, n, n, n, n, t)
+	return Kernel{Name: "gauss-seidel-transformed", Source: src,
+		Desc: "Gauss-Seidel after the paper's loop-splitting transformation (Listing 5)"}
+}
+
+// PDESolver is the core computation of the 2-D PDE grid solver from PETSc's
+// solid-fuel-ignition example (paper Listing 6, original form): a per-block
+// kernel whose innermost loop contains a data-dependent boundary-condition
+// check that forces compilers to be conservative.
+//
+// The grid is blocksGrid×blocksGrid blocks of blockN×blockN cells.
+func PDESolver(blockN, blocksGrid int) Kernel {
+	src := fmt.Sprintf(`
+double x[%d][%d];
+double f[%d][%d];
+
+void solveBlock(int xs, int ys, int xm, int ym, int mx, int my,
+                double hydhx, double hxdhy, double sc) {
+  int i;
+  int j;
+  double u;
+  double uxx;
+  double uyy;
+  for (j = ys; j < ys + ym; j++) {     /* @block-j */
+    for (i = xs; i < xs + xm; i++) {   /* @block-i */
+      if (i == 0 || j == 0 || i == mx - 1 || j == my - 1) {
+        f[j][i] = x[j][i];
+      } else {
+        u = x[j][i];
+        uxx = (2.0 * u - x[j][i-1] - x[j][i+1]) * hydhx;   /* @uxx */
+        uyy = (2.0 * u - x[j-1][i] - x[j+1][i]) * hxdhy;   /* @uyy */
+        f[j][i] = uxx + uyy - sc * exp(u);                  /* @F */
+      }
+    }
+  }
+}
+
+void main() {
+  int i;
+  int j;
+  int bi;
+  int bj;
+  int B = %d;
+  int G = %d;
+  int M = %d;
+  for (j = 0; j < M; j++) {        /* @init-j */
+    for (i = 0; i < M; i++) {
+      x[j][i] = 0.05 + 0.0001 * (i + j) + 0.00001 * i * j;
+    }
+  }
+  for (bj = 0; bj < G; bj++) {     /* @grid-j */
+    for (bi = 0; bi < G; bi++) {   /* @grid-i */
+      solveBlock(bi * B, bj * B, B, B, M, M, 1.0, 1.0, 0.5);
+    }
+  }
+  print(f[0][0]);
+  print(f[M/2][M/2]);
+  print(f[M-1][M-1]);
+}
+`, blockN*blocksGrid, blockN*blocksGrid, blockN*blocksGrid, blockN*blocksGrid,
+		blockN, blocksGrid, blockN*blocksGrid)
+	return Kernel{Name: "pde-solver", Source: src,
+		Desc: "2-D PDE grid solver per-block kernel (PETSc ex5 shape; paper Listing 6, original)"}
+}
+
+// PDESolverTransformed is the paper's transformed PDE solver (Listing 6):
+// the boundary test is hoisted out of the per-cell loops, so interior blocks
+// run a clean, vectorizable loop nest while boundary blocks keep the
+// original branchy code.
+func PDESolverTransformed(blockN, blocksGrid int) Kernel {
+	src := fmt.Sprintf(`
+double x[%d][%d];
+double f[%d][%d];
+
+void solveBoundary(int xs, int ys, int xm, int ym, int mx, int my,
+                   double hydhx, double hxdhy, double sc) {
+  int i;
+  int j;
+  double u;
+  double uxx;
+  double uyy;
+  for (j = ys; j < ys + ym; j++) {     /* @bnd-j */
+    for (i = xs; i < xs + xm; i++) {   /* @bnd-i */
+      if (i == 0 || j == 0 || i == mx - 1 || j == my - 1) {
+        f[j][i] = x[j][i];
+      } else {
+        u = x[j][i];
+        uxx = (2.0 * u - x[j][i-1] - x[j][i+1]) * hydhx;
+        uyy = (2.0 * u - x[j-1][i] - x[j+1][i]) * hxdhy;
+        f[j][i] = uxx + uyy - sc * exp(u);
+      }
+    }
+  }
+}
+
+void solveInterior(int xs, int ys, int xm, int ym,
+                   double hydhx, double hxdhy, double sc) {
+  int i;
+  int j;
+  double u;
+  double uxx;
+  double uyy;
+  for (j = ys; j < ys + ym; j++) {     /* @int-j */
+    for (i = xs; i < xs + xm; i++) {   /* @int-i */
+      u = x[j][i];
+      uxx = (2.0 * u - x[j][i-1] - x[j][i+1]) * hydhx;   /* @uxx */
+      uyy = (2.0 * u - x[j-1][i] - x[j+1][i]) * hxdhy;   /* @uyy */
+      f[j][i] = uxx + uyy - sc * exp(u);                  /* @F */
+    }
+  }
+}
+
+void main() {
+  int i;
+  int j;
+  int bi;
+  int bj;
+  int B = %d;
+  int G = %d;
+  int M = %d;
+  for (j = 0; j < M; j++) {        /* @init-j */
+    for (i = 0; i < M; i++) {
+      x[j][i] = 0.05 + 0.0001 * (i + j) + 0.00001 * i * j;
+    }
+  }
+  for (bj = 0; bj < G; bj++) {     /* @grid-j */
+    for (bi = 0; bi < G; bi++) {   /* @grid-i */
+      if (bj == 0 || bi == 0 || bj == G - 1 || bi == G - 1) {
+        solveBoundary(bi * B, bj * B, B, B, M, M, 1.0, 1.0, 0.5);
+      } else {
+        solveInterior(bi * B, bj * B, B, B, 1.0, 1.0, 0.5);
+      }
+    }
+  }
+  print(f[0][0]);
+  print(f[M/2][M/2]);
+  print(f[M-1][M-1]);
+}
+`, blockN*blocksGrid, blockN*blocksGrid, blockN*blocksGrid, blockN*blocksGrid,
+		blockN, blocksGrid, blockN*blocksGrid)
+	return Kernel{Name: "pde-solver-transformed", Source: src,
+		Desc: "PDE solver with the boundary check hoisted per block (paper Listing 6, transformed)"}
+}

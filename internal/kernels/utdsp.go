@@ -1,0 +1,516 @@
+package kernels
+
+import "fmt"
+
+// Pair bundles the array-based and pointer-based versions of one UTDSP
+// kernel (§4.3, Table 3). Both versions compute identical outputs; the
+// dynamic analysis must produce identical metrics for both (it sees only
+// IR-level operations and addresses), while the static vectorizer — like
+// icc — rejects the pointer form for unprovable aliasing.
+type Pair struct {
+	Name    string
+	Array   Kernel
+	Pointer Kernel
+}
+
+// UTDSP returns all six kernel pairs of Table 3, sized for analysis runs.
+func UTDSP() []Pair {
+	return []Pair{
+		FIRPair(64, 16),
+		FFTPair(64),
+		IIRPair(256),
+		LATNRMPair(64, 8),
+		LMSFIRPair(64, 16),
+		MULTPair(16),
+	}
+}
+
+// FIRPair is a direct-form FIR filter: y[i] = Σj c[j]·x[i+j]. The inner sum
+// is a vectorizable reduction in the array form.
+func FIRPair(n, taps int) Pair {
+	array := Kernel{Name: "fir-array", Desc: "UTDSP FIR, array form", Source: fmt.Sprintf(`
+double x[%d];
+double c[%d];
+double y[%d];
+
+void main() {
+  int i;
+  int j;
+  int N = %d;
+  int T = %d;
+  for (i = 0; i < N + T; i++) {   /* @init */
+    x[i] = 0.02 * i - 0.5;
+  }
+  for (j = 0; j < T; j++) {
+    c[j] = 1.0 / (1.0 + j);
+  }
+  for (i = 0; i < N; i++) {       /* @hot */
+    double s = 0.0;
+    for (j = 0; j < T; j++) {     /* @inner */
+      s = s + c[j] * x[i + j];    /* @mac */
+    }
+    y[i] = s;
+  }
+  print(y[0]);
+  print(y[N/2]);
+  print(y[N-1]);
+}
+`, n+taps, taps, n, n, taps)}
+	pointer := Kernel{Name: "fir-pointer", Desc: "UTDSP FIR, pointer form", Source: fmt.Sprintf(`
+double x[%d];
+double c[%d];
+double y[%d];
+
+void main() {
+  int i;
+  int j;
+  int N = %d;
+  int T = %d;
+  double *px;
+  double *pc;
+  double *py;
+  px = x;
+  for (i = 0; i < N + T; i++) {   /* @init */
+    *px = 0.02 * i - 0.5;
+    px = px + 1;
+  }
+  pc = c;
+  for (j = 0; j < T; j++) {
+    *pc = 1.0 / (1.0 + j);
+    pc = pc + 1;
+  }
+  py = y;
+  for (i = 0; i < N; i++) {       /* @hot */
+    double s = 0.0;
+    pc = c;
+    px = x + i;
+    for (j = 0; j < T; j++) {     /* @inner */
+      s = s + *pc * *px;          /* @mac */
+      pc = pc + 1;
+      px = px + 1;
+    }
+    *py = s;
+    py = py + 1;
+  }
+  print(y[0]);
+  print(y[N/2]);
+  print(y[N-1]);
+}
+`, n+taps, taps, n, n, taps)}
+	return Pair{Name: "FIR", Array: array, Pointer: pointer}
+}
+
+// FFTPair is one radix-2 decimation-in-time pass structure with ping-pong
+// buffers: each stage combines pairs of elements from the input buffer into
+// the output buffer, then the buffers swap roles. (The UTDSP kernel computes
+// a full FFT; the reproduction keeps the butterfly access pattern, which is
+// what the analysis characterizes.)
+func FFTPair(n int) Pair {
+	array := Kernel{Name: "fft-array", Desc: "UTDSP FFT butterflies, array form", Source: fmt.Sprintf(`
+double re_a[%d];
+double im_a[%d];
+double re_b[%d];
+double im_b[%d];
+double wr[%d];
+double wi[%d];
+
+void main() {
+  int i;
+  int half;
+  int N = %d;
+  for (i = 0; i < N; i++) {        /* @init */
+    re_a[i] = sin(0.1 * i);
+    im_a[i] = cos(0.1 * i);
+    wr[i] = cos(0.3 * i);
+    wi[i] = sin(0.3 * i);
+  }
+  half = N / 2;
+  while (half >= 1) {              /* @stages */
+    for (i = 0; i < half; i++) {   /* @hot */
+      double tr = wr[i] * re_a[i + half] - wi[i] * im_a[i + half];  /* @tw */
+      double ti = wr[i] * im_a[i + half] + wi[i] * re_a[i + half];
+      re_b[i] = re_a[i] + tr;      /* @bf */
+      im_b[i] = im_a[i] + ti;
+      re_b[i + half] = re_a[i] - tr;
+      im_b[i + half] = im_a[i] - ti;
+    }
+    for (i = 0; i < 2 * half; i++) { /* @copyback */
+      re_a[i] = re_b[i];
+      im_a[i] = im_b[i];
+    }
+    half = half / 2;
+  }
+  print(re_a[0]);
+  print(im_a[0]);
+}
+`, n, n, n, n, n, n, n)}
+	pointer := Kernel{Name: "fft-pointer", Desc: "UTDSP FFT butterflies, pointer form", Source: fmt.Sprintf(`
+double re_a[%d];
+double im_a[%d];
+double re_b[%d];
+double im_b[%d];
+double wr[%d];
+double wi[%d];
+
+void main() {
+  int i;
+  int half;
+  int N = %d;
+  for (i = 0; i < N; i++) {        /* @init */
+    re_a[i] = sin(0.1 * i);
+    im_a[i] = cos(0.1 * i);
+    wr[i] = cos(0.3 * i);
+    wi[i] = sin(0.3 * i);
+  }
+  half = N / 2;
+  while (half >= 1) {              /* @stages */
+    double *pra = re_a;
+    double *pia = im_a;
+    double *prah = re_a + half;
+    double *piah = im_a + half;
+    double *prb = re_b;
+    double *pib = im_b;
+    double *prbh = re_b + half;
+    double *pibh = im_b + half;
+    double *pwr = wr;
+    double *pwi = wi;
+    for (i = 0; i < half; i++) {   /* @hot */
+      double tr = *pwr * *prah - *pwi * *piah;   /* @tw */
+      double ti = *pwr * *piah + *pwi * *prah;
+      *prb = *pra + tr;            /* @bf */
+      *pib = *pia + ti;
+      *prbh = *pra - tr;
+      *pibh = *pia - ti;
+      pra = pra + 1; pia = pia + 1; prah = prah + 1; piah = piah + 1;
+      prb = prb + 1; pib = pib + 1; prbh = prbh + 1; pibh = pibh + 1;
+      pwr = pwr + 1; pwi = pwi + 1;
+    }
+    pra = re_a;
+    pia = im_a;
+    prb = re_b;
+    pib = im_b;
+    for (i = 0; i < 2 * half; i++) { /* @copyback */
+      *pra = *prb;
+      *pia = *pib;
+      pra = pra + 1; pia = pia + 1; prb = prb + 1; pib = pib + 1;
+    }
+    half = half / 2;
+  }
+  print(re_a[0]);
+  print(im_a[0]);
+}
+`, n, n, n, n, n, n, n)}
+	return Pair{Name: "FFT", Array: array, Pointer: pointer}
+}
+
+// IIRPair is a direct-form-II biquad IIR filter: the recurrence through the
+// delay line serializes the sample loop; per-sample arithmetic retains some
+// fine-grained concurrency.
+func IIRPair(n int) Pair {
+	array := Kernel{Name: "iir-array", Desc: "UTDSP IIR biquad, array form", Source: fmt.Sprintf(`
+double x[%d];
+double y[%d];
+
+void main() {
+  int i;
+  int N = %d;
+  double b0 = 0.2;
+  double b1 = 0.35;
+  double b2 = 0.2;
+  double a1 = -0.4;
+  double a2 = 0.15;
+  double w1 = 0.0;
+  double w2 = 0.0;
+  for (i = 0; i < N; i++) {   /* @init */
+    x[i] = sin(0.05 * i) + 0.3 * cos(0.21 * i);
+  }
+  for (i = 0; i < N; i++) {   /* @hot */
+    double w = x[i] - a1 * w1 - a2 * w2;   /* @w */
+    y[i] = b0 * w + b1 * w1 + b2 * w2;     /* @y */
+    w2 = w1;
+    w1 = w;
+  }
+  print(y[0]);
+  print(y[N/2]);
+  print(y[N-1]);
+}
+`, n, n, n)}
+	pointer := Kernel{Name: "iir-pointer", Desc: "UTDSP IIR biquad, pointer form", Source: fmt.Sprintf(`
+double x[%d];
+double y[%d];
+
+void main() {
+  int i;
+  int N = %d;
+  double b0 = 0.2;
+  double b1 = 0.35;
+  double b2 = 0.2;
+  double a1 = -0.4;
+  double a2 = 0.15;
+  double w1 = 0.0;
+  double w2 = 0.0;
+  double *px;
+  double *py;
+  px = x;
+  for (i = 0; i < N; i++) {   /* @init */
+    *px = sin(0.05 * i) + 0.3 * cos(0.21 * i);
+    px = px + 1;
+  }
+  px = x;
+  py = y;
+  for (i = 0; i < N; i++) {   /* @hot */
+    double w = *px - a1 * w1 - a2 * w2;    /* @w */
+    *py = b0 * w + b1 * w1 + b2 * w2;      /* @y */
+    w2 = w1;
+    w1 = w;
+    px = px + 1;
+    py = py + 1;
+  }
+  print(y[0]);
+  print(y[N/2]);
+  print(y[N-1]);
+}
+`, n, n, n)}
+	return Pair{Name: "IIR", Array: array, Pointer: pointer}
+}
+
+// LATNRMPair is a normalized lattice filter: per-sample stage recurrences
+// with normalization multiplies.
+func LATNRMPair(n, order int) Pair {
+	array := Kernel{Name: "latnrm-array", Desc: "UTDSP LATNRM lattice filter, array form", Source: fmt.Sprintf(`
+double x[%d];
+double y[%d];
+double k1[%d];
+double k2[%d];
+double d[%d];
+
+void main() {
+  int i;
+  int j;
+  int N = %d;
+  int ORDER = %d;
+  for (i = 0; i < N; i++) {     /* @initx */
+    x[i] = sin(0.07 * i);
+  }
+  for (j = 0; j < ORDER; j++) {
+    k1[j] = 0.5 / (1.0 + j);
+    k2[j] = 0.25 / (1.0 + j);
+    d[j] = 0.0;
+  }
+  for (i = 0; i < N; i++) {     /* @hot */
+    double top = x[i];
+    for (j = 0; j < ORDER; j++) {   /* @stage */
+      double left = top - k1[j] * d[j];    /* @left */
+      double down = d[j] + k2[j] * left;   /* @down */
+      d[j] = down;
+      top = left * k2[j];                  /* @norm */
+    }
+    y[i] = top;
+  }
+  print(y[0]);
+  print(y[N/2]);
+  print(y[N-1]);
+}
+`, n, n, order, order, order, n, order)}
+	pointer := Kernel{Name: "latnrm-pointer", Desc: "UTDSP LATNRM lattice filter, pointer form", Source: fmt.Sprintf(`
+double x[%d];
+double y[%d];
+double k1[%d];
+double k2[%d];
+double d[%d];
+
+void main() {
+  int i;
+  int j;
+  int N = %d;
+  int ORDER = %d;
+  double *px;
+  for (i = 0; i < N; i++) {     /* @initx */
+    x[i] = sin(0.07 * i);
+  }
+  for (j = 0; j < ORDER; j++) {
+    k1[j] = 0.5 / (1.0 + j);
+    k2[j] = 0.25 / (1.0 + j);
+    d[j] = 0.0;
+  }
+  px = x;
+  for (i = 0; i < N; i++) {     /* @hot */
+    double top = *px;
+    double *pk1 = k1;
+    double *pk2 = k2;
+    double *pd = d;
+    for (j = 0; j < ORDER; j++) {   /* @stage */
+      double left = top - *pk1 * *pd;    /* @left */
+      double down = *pd + *pk2 * left;   /* @down */
+      *pd = down;
+      top = left * *pk2;                 /* @norm */
+      pk1 = pk1 + 1;
+      pk2 = pk2 + 1;
+      pd = pd + 1;
+    }
+    y[i] = top;
+    px = px + 1;
+  }
+  print(y[0]);
+  print(y[N/2]);
+  print(y[N-1]);
+}
+`, n, n, order, order, order, n, order)}
+	return Pair{Name: "LATNRM", Array: array, Pointer: pointer}
+}
+
+// LMSFIRPair is an LMS adaptive FIR: a delay-line convolution written
+// backwards (descending stride, the UTDSP idiom) followed by a coefficient
+// update — both defeat the static vectorizer, while the dynamic analysis
+// still finds cross-sample concurrency.
+func LMSFIRPair(n, taps int) Pair {
+	array := Kernel{Name: "lmsfir-array", Desc: "UTDSP LMSFIR adaptive filter, array form", Source: fmt.Sprintf(`
+double x[%d];
+double dref[%d];
+double c[%d];
+double y[%d];
+
+void main() {
+  int i;
+  int j;
+  int N = %d;
+  int T = %d;
+  double mu = 0.002;
+  for (i = 0; i < N + T; i++) {   /* @init */
+    x[i] = sin(0.03 * i) + 0.2;
+    dref[i] = 0.8 * sin(0.03 * i + 0.1);
+  }
+  for (j = 0; j < T; j++) {
+    c[j] = 0.0;
+  }
+  for (i = 0; i < N; i++) {       /* @hot */
+    double s = 0.0;
+    for (j = 0; j < T; j++) {     /* @conv */
+      s = s + c[j] * x[i + T - 1 - j];   /* @mac */
+    }
+    y[i] = s;
+    double e = dref[i] - s;
+    for (j = 0; j < T; j++) {     /* @update */
+      c[j] = c[j] + mu * e * x[i + T - 1 - j];  /* @upd */
+    }
+  }
+  print(y[N-1]);
+  print(c[0]);
+  print(c[T-1]);
+}
+`, n+taps, n+taps, taps, n, n, taps)}
+	pointer := Kernel{Name: "lmsfir-pointer", Desc: "UTDSP LMSFIR adaptive filter, pointer form", Source: fmt.Sprintf(`
+double x[%d];
+double dref[%d];
+double c[%d];
+double y[%d];
+
+void main() {
+  int i;
+  int j;
+  int N = %d;
+  int T = %d;
+  double mu = 0.002;
+  for (i = 0; i < N + T; i++) {   /* @init */
+    x[i] = sin(0.03 * i) + 0.2;
+    dref[i] = 0.8 * sin(0.03 * i + 0.1);
+  }
+  for (j = 0; j < T; j++) {
+    c[j] = 0.0;
+  }
+  for (i = 0; i < N; i++) {       /* @hot */
+    double s = 0.0;
+    double *pc = c;
+    double *px = x + i + T - 1;
+    for (j = 0; j < T; j++) {     /* @conv */
+      s = s + *pc * *px;          /* @mac */
+      pc = pc + 1;
+      px = px - 1;
+    }
+    y[i] = s;
+    double e = dref[i] - s;
+    pc = c;
+    px = x + i + T - 1;
+    for (j = 0; j < T; j++) {     /* @update */
+      *pc = *pc + mu * e * *px;   /* @upd */
+      pc = pc + 1;
+      px = px - 1;
+    }
+  }
+  print(y[N-1]);
+  print(c[0]);
+  print(c[T-1]);
+}
+`, n+taps, n+taps, taps, n, n, taps)}
+	return Pair{Name: "LMSFIR", Array: array, Pointer: pointer}
+}
+
+// MULTPair is a dense matrix multiply in the ikj order, whose innermost
+// loop streams B's and C's rows with unit stride: icc vectorizes the array
+// form (the paper reports ~50% packed) but not the pointer form.
+func MULTPair(n int) Pair {
+	array := Kernel{Name: "mult-array", Desc: "UTDSP MULT matrix multiply, array form", Source: fmt.Sprintf(`
+double A[%d][%d];
+double B[%d][%d];
+double C[%d][%d];
+
+void main() {
+  int i;
+  int j;
+  int k;
+  int N = %d;
+  for (i = 0; i < N; i++) {      /* @init */
+    for (j = 0; j < N; j++) {
+      A[i][j] = 0.01 * (i + j) + 0.001 * i;
+      B[i][j] = 0.02 * (i - j) + 1.0;
+      C[i][j] = 0.0;
+    }
+  }
+  for (i = 0; i < N; i++) {      /* @hot */
+    for (k = 0; k < N; k++) {    /* @mid */
+      for (j = 0; j < N; j++) {  /* @inner */
+        C[i][j] = C[i][j] + A[i][k] * B[k][j];   /* @mac */
+      }
+    }
+  }
+  print(C[0][0]);
+  print(C[N/2][N/2]);
+  print(C[N-1][N-1]);
+}
+`, n, n, n, n, n, n, n)}
+	pointer := Kernel{Name: "mult-pointer", Desc: "UTDSP MULT matrix multiply, pointer form", Source: fmt.Sprintf(`
+double A[%d][%d];
+double B[%d][%d];
+double C[%d][%d];
+
+void main() {
+  int i;
+  int j;
+  int k;
+  int N = %d;
+  for (i = 0; i < N; i++) {      /* @init */
+    for (j = 0; j < N; j++) {
+      A[i][j] = 0.01 * (i + j) + 0.001 * i;
+      B[i][j] = 0.02 * (i - j) + 1.0;
+      C[i][j] = 0.0;
+    }
+  }
+  for (i = 0; i < N; i++) {      /* @hot */
+    for (k = 0; k < N; k++) {    /* @mid */
+      double a = A[i][k];
+      double *pb = B[k];
+      double *pcc = C[i];
+      for (j = 0; j < N; j++) {  /* @inner */
+        *pcc = *pcc + a * *pb;   /* @mac */
+        pb = pb + 1;
+        pcc = pcc + 1;
+      }
+    }
+  }
+  print(C[0][0]);
+  print(C[N/2][N/2]);
+  print(C[N-1][N-1]);
+}
+`, n, n, n, n, n, n, n)}
+	return Pair{Name: "MULT", Array: array, Pointer: pointer}
+}

@@ -1,0 +1,226 @@
+// Package lexer implements a hand-written scanner for MiniC source text.
+// It supports C-style line and block comments and C numeric literals
+// (decimal integers, floating-point with optional exponent).
+package lexer
+
+import (
+	"github.com/example/vectrace/internal/source"
+	"github.com/example/vectrace/internal/token"
+)
+
+// Lexer scans a MiniC file into tokens.
+type Lexer struct {
+	file   *source.File
+	src    string
+	offset int // current read offset
+	errs   *source.ErrorList
+}
+
+// New returns a Lexer over the given file, reporting errors to errs.
+func New(file *source.File, errs *source.ErrorList) *Lexer {
+	return &Lexer{file: file, src: file.Content, errs: errs}
+}
+
+// All scans the entire file and returns the token stream, ending with EOF.
+func (l *Lexer) All() []token.Token {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+func (l *Lexer) errorf(offset int, format string, args ...any) {
+	// Cap error count so pathological inputs do not flood diagnostics.
+	if l.errs.Len() < 50 {
+		l.errs.Add(l.file.Name, l.file.PosFor(offset), format, args...)
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.offset < len(l.src) {
+		return l.src[l.offset]
+	}
+	return 0
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.offset+n < len(l.src) {
+		return l.src[l.offset+n]
+	}
+	return 0
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.offset < len(l.src) {
+		c := l.src[l.offset]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.offset++
+		case c == '/' && l.peekAt(1) == '/':
+			for l.offset < len(l.src) && l.src[l.offset] != '\n' {
+				l.offset++
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			start := l.offset
+			l.offset += 2
+			closed := false
+			for l.offset+1 < len(l.src) {
+				if l.src[l.offset] == '*' && l.src[l.offset+1] == '/' {
+					l.offset += 2
+					closed = true
+					break
+				}
+				l.offset++
+			}
+			if !closed {
+				l.offset = len(l.src)
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	start := l.offset
+	if l.offset >= len(l.src) {
+		return token.Token{Kind: token.EOF, Offset: start}
+	}
+	c := l.src[l.offset]
+
+	switch {
+	case isLetter(c):
+		for l.offset < len(l.src) && (isLetter(l.src[l.offset]) || isDigit(l.src[l.offset])) {
+			l.offset++
+		}
+		lit := l.src[start:l.offset]
+		kind := token.Lookup(lit)
+		if kind != token.IDENT {
+			return token.Token{Kind: kind, Offset: start}
+		}
+		return token.Token{Kind: token.IDENT, Lit: lit, Offset: start}
+
+	case isDigit(c) || (c == '.' && isDigit(l.peekAt(1))):
+		return l.number(start)
+	}
+
+	// Operators and delimiters.
+	l.offset++
+	two := func(next byte, ifTwo, ifOne token.Kind) token.Token {
+		if l.peek() == next {
+			l.offset++
+			return token.Token{Kind: ifTwo, Offset: start}
+		}
+		return token.Token{Kind: ifOne, Offset: start}
+	}
+	switch c {
+	case '+':
+		if l.peek() == '+' {
+			l.offset++
+			return token.Token{Kind: token.INC, Offset: start}
+		}
+		return two('=', token.ADD_ASSIGN, token.ADD)
+	case '-':
+		switch l.peek() {
+		case '-':
+			l.offset++
+			return token.Token{Kind: token.DEC, Offset: start}
+		case '>':
+			l.offset++
+			return token.Token{Kind: token.ARROW, Offset: start}
+		}
+		return two('=', token.SUB_ASSIGN, token.SUB)
+	case '*':
+		return two('=', token.MUL_ASSIGN, token.MUL)
+	case '/':
+		return two('=', token.QUO_ASSIGN, token.QUO)
+	case '%':
+		return token.Token{Kind: token.REM, Offset: start}
+	case '=':
+		return two('=', token.EQL, token.ASSIGN)
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '<':
+		return two('=', token.LEQ, token.LSS)
+	case '>':
+		return two('=', token.GEQ, token.GTR)
+	case '&':
+		return two('&', token.LAND, token.AND)
+	case '|':
+		if l.peek() == '|' {
+			l.offset++
+			return token.Token{Kind: token.LOR, Offset: start}
+		}
+		l.errorf(start, "unexpected character %q (bitwise-or is not supported)", c)
+		return token.Token{Kind: token.ILLEGAL, Lit: string(c), Offset: start}
+	case '(':
+		return token.Token{Kind: token.LPAREN, Offset: start}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Offset: start}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Offset: start}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Offset: start}
+	case '[':
+		return token.Token{Kind: token.LBRACKET, Offset: start}
+	case ']':
+		return token.Token{Kind: token.RBRACKET, Offset: start}
+	case ',':
+		return token.Token{Kind: token.COMMA, Offset: start}
+	case ';':
+		return token.Token{Kind: token.SEMICOLON, Offset: start}
+	case '.':
+		return token.Token{Kind: token.PERIOD, Offset: start}
+	}
+	l.errorf(start, "unexpected character %q", c)
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Offset: start}
+}
+
+// number scans an integer or floating-point literal starting at start.
+func (l *Lexer) number(start int) token.Token {
+	isFloat := false
+	for l.offset < len(l.src) && isDigit(l.src[l.offset]) {
+		l.offset++
+	}
+	if l.peek() == '.' && l.peekAt(1) != '.' {
+		isFloat = true
+		l.offset++
+		for l.offset < len(l.src) && isDigit(l.src[l.offset]) {
+			l.offset++
+		}
+	}
+	if c := l.peek(); c == 'e' || c == 'E' {
+		// Exponent part: e[+-]?digits. Only consume if digits follow.
+		save := l.offset
+		l.offset++
+		if c := l.peek(); c == '+' || c == '-' {
+			l.offset++
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for l.offset < len(l.src) && isDigit(l.src[l.offset]) {
+				l.offset++
+			}
+		} else {
+			l.offset = save
+		}
+	}
+	lit := l.src[start:l.offset]
+	if isFloat {
+		return token.Token{Kind: token.FLOAT, Lit: lit, Offset: start}
+	}
+	return token.Token{Kind: token.INT, Lit: lit, Offset: start}
+}

@@ -1,0 +1,186 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/example/vectrace/internal/source"
+	"github.com/example/vectrace/internal/token"
+)
+
+func scan(t *testing.T, src string) ([]token.Token, *source.ErrorList) {
+	t.Helper()
+	var errs source.ErrorList
+	f := source.NewFile("t.c", src)
+	return New(f, &errs).All(), &errs
+}
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Kind
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	toks, errs := scan(t, src)
+	if errs.Len() != 0 {
+		t.Fatalf("%q: unexpected errors: %v", src, errs.Err())
+	}
+	want = append(want, token.EOF)
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("%q: got %v, want %v", src, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%q: token %d = %v, want %v", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, "+ - * / %", token.ADD, token.SUB, token.MUL, token.QUO, token.REM)
+	expectKinds(t, "== != < <= > >=", token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ)
+	expectKinds(t, "&& || ! &", token.LAND, token.LOR, token.NOT, token.AND)
+	expectKinds(t, "= += -= *= /=", token.ASSIGN, token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN)
+	expectKinds(t, "++ -- ->", token.INC, token.DEC, token.ARROW)
+	expectKinds(t, "( ) { } [ ] , ; .", token.LPAREN, token.RPAREN, token.LBRACE,
+		token.RBRACE, token.LBRACKET, token.RBRACKET, token.COMMA, token.SEMICOLON, token.PERIOD)
+}
+
+func TestMaximalMunch(t *testing.T) {
+	// "a+++b" lexes as a ++ + b, the C rule.
+	expectKinds(t, "a+++b", token.IDENT, token.INC, token.ADD, token.IDENT)
+	expectKinds(t, "a--b", token.IDENT, token.DEC, token.IDENT)
+	expectKinds(t, "a->b", token.IDENT, token.ARROW, token.IDENT)
+	expectKinds(t, "a<=b", token.IDENT, token.LEQ, token.IDENT)
+	expectKinds(t, "a< =b", token.IDENT, token.LSS, token.ASSIGN, token.IDENT)
+}
+
+func TestIdentifiersAndKeywords(t *testing.T) {
+	toks, errs := scan(t, "for foo _bar x1 While")
+	if errs.Len() != 0 {
+		t.Fatal(errs.Err())
+	}
+	if toks[0].Kind != token.FOR {
+		t.Errorf("token 0 = %v, want for", toks[0].Kind)
+	}
+	for i, want := range []string{"foo", "_bar", "x1", "While"} {
+		tk := toks[i+1]
+		if tk.Kind != token.IDENT || tk.Lit != want {
+			t.Errorf("token %d = %v %q, want IDENT %q", i+1, tk.Kind, tk.Lit, want)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind token.Kind
+		lit  string
+	}{
+		{"0", token.INT, "0"},
+		{"42", token.INT, "42"},
+		{"3.14", token.FLOAT, "3.14"},
+		{"0.5", token.FLOAT, "0.5"},
+		{".5", token.FLOAT, ".5"},
+		{"1e6", token.FLOAT, "1e6"},
+		{"1E6", token.FLOAT, "1E6"},
+		{"1e-6", token.FLOAT, "1e-6"},
+		{"2.5e+10", token.FLOAT, "2.5e+10"},
+		{"7.", token.FLOAT, "7."},
+	}
+	for _, c := range cases {
+		toks, errs := scan(t, c.src)
+		if errs.Len() != 0 {
+			t.Errorf("%q: %v", c.src, errs.Err())
+			continue
+		}
+		if toks[0].Kind != c.kind || toks[0].Lit != c.lit {
+			t.Errorf("%q: got %v %q, want %v %q", c.src, toks[0].Kind, toks[0].Lit, c.kind, c.lit)
+		}
+	}
+}
+
+func TestNumberFollowedByIdent(t *testing.T) {
+	// "1e" without digits is INT 1 then IDENT e (no exponent consumed).
+	expectKinds(t, "1e", token.INT, token.IDENT)
+	expectKinds(t, "1e+", token.INT, token.IDENT, token.ADD)
+}
+
+func TestComments(t *testing.T) {
+	expectKinds(t, "a // trailing comment\nb", token.IDENT, token.IDENT)
+	expectKinds(t, "a /* inline */ b", token.IDENT, token.IDENT)
+	expectKinds(t, "/* multi\nline\ncomment */ x", token.IDENT)
+	expectKinds(t, "a/**/b", token.IDENT, token.IDENT)
+	// Comment markers inside comments.
+	expectKinds(t, "/* // nested line */ x", token.IDENT)
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	_, errs := scan(t, "a /* oops")
+	if errs.Len() == 0 {
+		t.Fatal("expected error for unterminated comment")
+	}
+	if !strings.Contains(errs.Err().Error(), "unterminated") {
+		t.Errorf("error %q should mention unterminated", errs.Err())
+	}
+}
+
+func TestIllegalCharacters(t *testing.T) {
+	for _, src := range []string{"@", "#", "$", "`", "|"} {
+		toks, errs := scan(t, src)
+		if errs.Len() == 0 {
+			t.Errorf("%q: expected error", src)
+		}
+		if toks[0].Kind != token.ILLEGAL {
+			t.Errorf("%q: got %v, want ILLEGAL", src, toks[0].Kind)
+		}
+	}
+}
+
+func TestOffsets(t *testing.T) {
+	toks, _ := scan(t, "ab  cd\nef")
+	wantOffsets := []int{0, 4, 7}
+	for i, w := range wantOffsets {
+		if toks[i].Offset != w {
+			t.Errorf("token %d offset = %d, want %d", i, toks[i].Offset, w)
+		}
+	}
+}
+
+func TestWholeProgram(t *testing.T) {
+	src := `
+double A[10];
+void main() {
+  int i;
+  for (i = 0; i < 10; i++) {
+    A[i] = 2.0 * i; /* body */
+  }
+}
+`
+	toks, errs := scan(t, src)
+	if errs.Len() != 0 {
+		t.Fatal(errs.Err())
+	}
+	if len(toks) < 30 {
+		t.Fatalf("too few tokens: %d", len(toks))
+	}
+	if toks[len(toks)-1].Kind != token.EOF {
+		t.Fatal("missing EOF")
+	}
+}
+
+func TestEOFStable(t *testing.T) {
+	var errs source.ErrorList
+	lx := New(source.NewFile("t.c", "x"), &errs)
+	lx.Next() // IDENT
+	for i := 0; i < 3; i++ {
+		if tk := lx.Next(); tk.Kind != token.EOF {
+			t.Fatalf("Next after EOF = %v, want EOF", tk.Kind)
+		}
+	}
+}

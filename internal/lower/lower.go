@@ -1,0 +1,919 @@
+// Package lower translates type-checked MiniC ASTs into VIR modules.
+//
+// The translation follows the LLVM -O0 idiom the paper's instrumentation
+// operates on: every named variable (locals and parameters) lives in an
+// addressable frame slot, all access goes through explicit Load/Store, and
+// expression temporaries flow through virtual registers that are written by
+// exactly one static instruction. Dynamic dependences therefore thread
+// through memory and registers exactly as in the paper's DDG (§3).
+package lower
+
+import (
+	"encoding/binary"
+	"math"
+
+	"github.com/example/vectrace/internal/ast"
+	"github.com/example/vectrace/internal/ir"
+	"github.com/example/vectrace/internal/sema"
+	"github.com/example/vectrace/internal/source"
+	"github.com/example/vectrace/internal/token"
+	"github.com/example/vectrace/internal/types"
+)
+
+// Lower translates the program into a finalized, verified VIR module.
+func Lower(prog *ast.Program, info *sema.Info) (*ir.Module, error) {
+	lw := &lowerer{
+		prog:      prog,
+		info:      info,
+		mod:       &ir.Module{Name: prog.File.Name, SrcFile: prog.File.Name},
+		globalIdx: make(map[*sema.Symbol]int32),
+		funcIdx:   make(map[*sema.FuncInfo]int32),
+	}
+	lw.lowerGlobals()
+	// Create all functions up-front so calls can reference them by index
+	// regardless of declaration order.
+	for _, fi := range info.FuncList {
+		f := &ir.Function{Name: fi.Name, NumParams: len(fi.Params)}
+		for _, p := range fi.Params {
+			f.ParamNames = append(f.ParamNames, p.Name)
+		}
+		f.NumRegs = len(fi.Params) // params arrive in r0..rN-1
+		if !types.IsVoid(fi.Sig.Result) {
+			f.HasResult = true
+			f.Result = scalarOf(fi.Sig.Result)
+		}
+		lw.mod.AddFunc(f)
+		lw.funcIdx[fi] = f.Index
+	}
+	for i, fi := range info.FuncList {
+		lw.lowerFunc(lw.mod.Funcs[i], fi)
+	}
+	lw.mod.Finalize()
+	lw.errs.Sort()
+	if err := lw.errs.Err(); err != nil {
+		return lw.mod, err
+	}
+	if err := lw.mod.Verify(); err != nil {
+		return lw.mod, err
+	}
+	return lw.mod, nil
+}
+
+type lowerer struct {
+	prog *ast.Program
+	info *sema.Info
+	mod  *ir.Module
+	errs source.ErrorList
+
+	globalIdx map[*sema.Symbol]int32
+	funcIdx   map[*sema.FuncInfo]int32
+
+	// Per-function state.
+	f         *ir.Function
+	blk       *ir.Block
+	slotOf    map[*sema.Symbol]int32
+	loopStack []int32
+	breaks    []int32 // break target block per open loop
+	conts     []int32 // continue target block per open loop
+	curAssign int32
+	curOff    int  // source offset of the construct being lowered
+	inCtl     bool // lowering a loop's init/cond/post (control, not body)
+}
+
+func (lw *lowerer) errorf(off int, format string, args ...any) {
+	lw.errs.Add(lw.prog.File.Name, lw.prog.File.PosFor(off), format, args...)
+}
+
+func (lw *lowerer) pos(off int) source.Pos { return lw.prog.File.PosFor(off) }
+
+// scalarOf maps a MiniC type to its VIR machine type. Pointers and decayed
+// arrays are I64 addresses.
+func scalarOf(t types.Type) ir.ScalarType {
+	switch t := t.(type) {
+	case *types.Basic:
+		switch t.Kind {
+		case types.Float32:
+			return ir.F32
+		case types.Float64:
+			return ir.F64
+		default:
+			return ir.I64
+		}
+	case *types.Pointer, *types.Array:
+		return ir.I64
+	}
+	return ir.I64
+}
+
+// ---------------------------------------------------------------- globals
+
+func (lw *lowerer) lowerGlobals() {
+	for _, g := range lw.info.Globals {
+		gv := ir.GlobalVar{Name: g.Name, Size: g.Type.Size(), Align: g.Type.Align()}
+		if g.Init != nil {
+			gv.Init = lw.constBytes(g.Init, g.Type)
+		}
+		lw.globalIdx[g] = int32(len(lw.mod.Globals))
+		lw.mod.Globals = append(lw.mod.Globals, gv)
+	}
+}
+
+// constBytes evaluates a constant global initializer to raw bytes.
+func (lw *lowerer) constBytes(e ast.Expr, t types.Type) []byte {
+	v, ok := constValue(e)
+	if !ok {
+		lw.errorf(e.Offset(), "global initializer must be a numeric literal")
+		return nil
+	}
+	buf := make([]byte, t.Size())
+	switch scalarOf(t) {
+	case ir.I64:
+		binary.LittleEndian.PutUint64(buf, uint64(int64(v)))
+	case ir.F32:
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(float32(v)))
+	case ir.F64:
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+func constValue(e ast.Expr) (float64, bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return float64(e.Value), true
+	case *ast.FloatLit:
+		return e.Value, true
+	case *ast.Unary:
+		if e.Op == token.SUB {
+			v, ok := constValue(e.X)
+			return -v, ok
+		}
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------- emission
+
+// emit appends an instruction to the current block, stamping position, loop,
+// and assignment metadata.
+func (lw *lowerer) emit(in ir.Instr) {
+	if lw.blk == nil {
+		// Dead code after return/break/continue: lower into an unreachable
+		// block to keep the CFG well formed.
+		lw.blk = lw.f.NewBlock()
+	}
+	if !in.Pos.IsValid() {
+		in.Pos = lw.pos(lw.curOff)
+	}
+	in.Loop = lw.curLoop()
+	in.AssignID = lw.curAssign
+	in.Ctl = lw.inCtl
+	lw.blk.Instrs = append(lw.blk.Instrs, in)
+}
+
+func (lw *lowerer) curLoop() int32 {
+	if len(lw.loopStack) == 0 {
+		return -1
+	}
+	return lw.loopStack[len(lw.loopStack)-1]
+}
+
+// dst allocates a destination register.
+func (lw *lowerer) dst() ir.Reg { return lw.f.NewReg() }
+
+// branchTo emits an unconditional branch if the current block is open, then
+// switches to the target.
+func (lw *lowerer) branchTo(b *ir.Block) {
+	if lw.blk != nil && !lw.terminated() {
+		lw.emit(ir.Instr{Op: ir.OpBr, Dst: ir.RegNone, Then: b.Index})
+	}
+	lw.blk = b
+}
+
+func (lw *lowerer) terminated() bool {
+	if lw.blk == nil || len(lw.blk.Instrs) == 0 {
+		return false
+	}
+	return lw.blk.Instrs[len(lw.blk.Instrs)-1].Op.IsTerminator()
+}
+
+// ---------------------------------------------------------------- functions
+
+func (lw *lowerer) lowerFunc(f *ir.Function, fi *sema.FuncInfo) {
+	lw.f = f
+	lw.slotOf = make(map[*sema.Symbol]int32)
+	lw.loopStack = nil
+	lw.breaks = nil
+	lw.conts = nil
+	lw.curAssign = -1
+	lw.blk = f.NewBlock()
+	lw.curOff = fi.Decl.Off
+
+	// Spill parameters to frame slots so their addresses exist and reads
+	// are Loads, matching the all-memory -O0 shape.
+	for i, p := range fi.Params {
+		slot := f.AddSlot(p.Name, p.Type.Size(), p.Type.Align())
+		lw.slotOf[p] = slot
+		addr := lw.dst()
+		lw.emit(ir.Instr{Op: ir.OpFrameAddr, Dst: addr, Slot: slot})
+		lw.emit(ir.Instr{
+			Op: ir.OpStore, Dst: ir.RegNone, Type: scalarOf(p.Type),
+			X: ir.RegOp(addr), Y: ir.RegOp(ir.Reg(i)),
+		})
+	}
+
+	lw.lowerBlock(fi.Decl.Body)
+
+	// Terminate any open or empty blocks with a default return.
+	for _, b := range f.Blocks {
+		if n := len(b.Instrs); n > 0 && b.Instrs[n-1].Op.IsTerminator() {
+			continue
+		}
+		ret := ir.Instr{Op: ir.OpRet, Dst: ir.RegNone, Pos: lw.pos(lw.curOff), Loop: -1, AssignID: -1}
+		if f.HasResult {
+			if f.Result.IsFloat() {
+				ret.X = ir.FloatConst(0)
+			} else {
+				ret.X = ir.IntConst(0)
+			}
+			ret.Type = f.Result
+		}
+		b.Instrs = append(b.Instrs, ret)
+	}
+	lw.f = nil
+}
+
+// ---------------------------------------------------------------- statements
+
+func (lw *lowerer) lowerBlock(b *ast.Block) {
+	for _, s := range b.Stmts {
+		lw.lowerStmt(s)
+	}
+}
+
+func (lw *lowerer) lowerStmt(s ast.Stmt) {
+	lw.curOff = s.Offset()
+	switch s := s.(type) {
+	case *ast.VarDecl:
+		lw.lowerVarDecl(s)
+	case *ast.Assign:
+		prev := lw.curAssign
+		lw.curAssign = int32(s.ID)
+		lw.lowerAssign(s)
+		lw.curAssign = prev
+	case *ast.IncDec:
+		lw.lowerIncDec(s)
+	case *ast.ExprStmt:
+		lw.rvalue(s.X)
+	case *ast.Block:
+		lw.lowerBlock(s)
+	case *ast.If:
+		lw.lowerIf(s)
+	case *ast.For:
+		lw.lowerFor(s)
+	case *ast.While:
+		lw.lowerWhile(s)
+	case *ast.Return:
+		lw.lowerReturn(s)
+	case *ast.Break:
+		if len(lw.breaks) == 0 {
+			return
+		}
+		lw.emit(ir.Instr{Op: ir.OpBr, Dst: ir.RegNone, Then: lw.breaks[len(lw.breaks)-1]})
+		lw.blk = nil
+	case *ast.Continue:
+		if len(lw.conts) == 0 {
+			return
+		}
+		lw.emit(ir.Instr{Op: ir.OpBr, Dst: ir.RegNone, Then: lw.conts[len(lw.conts)-1]})
+		lw.blk = nil
+	}
+}
+
+func (lw *lowerer) lowerVarDecl(d *ast.VarDecl) {
+	sym := lw.info.Decls[d]
+	if sym == nil {
+		return
+	}
+	slot := lw.f.AddSlot(sym.Name, sym.Type.Size(), sym.Type.Align())
+	lw.slotOf[sym] = slot
+	if d.Init == nil {
+		return
+	}
+	switch sym.Type.(type) {
+	case *types.Array, *types.Struct:
+		lw.errorf(d.Off, "aggregate initializers are not supported")
+		return
+	}
+	val, vt := lw.rvalue(d.Init)
+	want := scalarOf(sym.Type)
+	val = lw.convert(val, vt, want)
+	addr := lw.dst()
+	lw.emit(ir.Instr{Op: ir.OpFrameAddr, Dst: addr, Slot: slot})
+	lw.emit(ir.Instr{Op: ir.OpStore, Dst: ir.RegNone, Type: want, X: ir.RegOp(addr), Y: val})
+}
+
+func (lw *lowerer) lowerAssign(s *ast.Assign) {
+	lhsType := lw.info.TypeOf(s.LHS)
+	want := scalarOf(lhsType)
+	if s.Op == token.ASSIGN {
+		val, vt := lw.rvalue(s.RHS)
+		val = lw.convert(val, vt, want)
+		addr := lw.lvalue(s.LHS)
+		lw.emit(ir.Instr{Op: ir.OpStore, Dst: ir.RegNone, Type: want, X: addr, Y: val})
+		return
+	}
+	// Compound assignment: evaluate the address once, load-modify-store.
+	addr := lw.lvalue(s.LHS)
+	old := lw.dst()
+	lw.emit(ir.Instr{Op: ir.OpLoad, Dst: old, Type: want, X: addr})
+	val, vt := lw.rvalue(s.RHS)
+	val = lw.convert(val, vt, want)
+	res := lw.dst()
+	lw.emit(ir.Instr{
+		Op: ir.OpBin, Dst: res, Type: want, Bin: binOpOf(s.Op.BaseOf()),
+		X: ir.RegOp(old), Y: val, Pos: lw.pos(s.Off),
+	})
+	lw.emit(ir.Instr{Op: ir.OpStore, Dst: ir.RegNone, Type: want, X: addr, Y: ir.RegOp(res)})
+}
+
+func (lw *lowerer) lowerIncDec(s *ast.IncDec) {
+	addr := lw.lvalue(s.X)
+	old := lw.dst()
+	lw.emit(ir.Instr{Op: ir.OpLoad, Dst: old, Type: ir.I64, X: addr})
+	op := ir.AddOp
+	if s.Op == token.DEC {
+		op = ir.SubOp
+	}
+	res := lw.dst()
+	lw.emit(ir.Instr{Op: ir.OpBin, Dst: res, Type: ir.I64, Bin: op, X: ir.RegOp(old), Y: ir.IntConst(1)})
+	lw.emit(ir.Instr{Op: ir.OpStore, Dst: ir.RegNone, Type: ir.I64, X: addr, Y: ir.RegOp(res)})
+}
+
+func (lw *lowerer) lowerIf(s *ast.If) {
+	thenBlk := lw.f.NewBlock()
+	joinBlk := lw.f.NewBlock()
+	elseBlk := joinBlk
+	if s.Else != nil {
+		elseBlk = lw.f.NewBlock()
+	}
+	lw.condBr(s.Cond, thenBlk.Index, elseBlk.Index)
+	lw.blk = thenBlk
+	lw.lowerBlock(s.Then)
+	lw.branchTo(joinBlk)
+	if s.Else != nil {
+		lw.blk = elseBlk
+		lw.lowerStmt(s.Else)
+		lw.branchTo(joinBlk)
+	}
+	lw.blk = joinBlk
+}
+
+func (lw *lowerer) beginLoop(id, line int, off int) {
+	parent := -1
+	if n := len(lw.loopStack); n > 0 {
+		parent = int(lw.loopStack[n-1])
+	}
+	lw.mod.Loops = append(lw.mod.Loops, ir.LoopMeta{
+		ID: id, Line: line, Func: lw.f.Name, Parent: parent, Depth: len(lw.loopStack),
+	})
+	lw.loopStack = append(lw.loopStack, int32(id))
+	lw.emit(ir.Instr{Op: ir.OpLoopBegin, Dst: ir.RegNone, Pos: lw.pos(off)})
+}
+
+func (lw *lowerer) endLoop() {
+	lw.emit(ir.Instr{Op: ir.OpLoopEnd, Dst: ir.RegNone})
+	lw.loopStack = lw.loopStack[:len(lw.loopStack)-1]
+}
+
+func (lw *lowerer) lowerFor(s *ast.For) {
+	condBlk := lw.f.NewBlock()
+	bodyBlk := lw.f.NewBlock()
+	postBlk := lw.f.NewBlock()
+	exitBlk := lw.f.NewBlock()
+
+	lw.beginLoop(s.ID, s.Line, s.Off)
+	lw.inCtl = true
+	if s.Init != nil {
+		lw.lowerStmt(s.Init)
+	}
+	lw.branchTo(condBlk)
+	if s.Cond != nil {
+		lw.condBr(s.Cond, bodyBlk.Index, exitBlk.Index)
+	} else {
+		lw.emit(ir.Instr{Op: ir.OpBr, Dst: ir.RegNone, Then: bodyBlk.Index})
+	}
+	lw.inCtl = false
+
+	lw.breaks = append(lw.breaks, exitBlk.Index)
+	lw.conts = append(lw.conts, postBlk.Index)
+	lw.blk = bodyBlk
+	lw.emit(ir.Instr{Op: ir.OpLoopIter, Dst: ir.RegNone})
+	lw.lowerBlock(s.Body)
+	lw.branchTo(postBlk)
+	lw.inCtl = true
+	if s.Post != nil {
+		lw.lowerStmt(s.Post)
+	}
+	lw.emit(ir.Instr{Op: ir.OpBr, Dst: ir.RegNone, Then: condBlk.Index})
+	lw.inCtl = false
+	lw.breaks = lw.breaks[:len(lw.breaks)-1]
+	lw.conts = lw.conts[:len(lw.conts)-1]
+
+	lw.blk = exitBlk
+	lw.endLoop()
+}
+
+func (lw *lowerer) lowerWhile(s *ast.While) {
+	condBlk := lw.f.NewBlock()
+	bodyBlk := lw.f.NewBlock()
+	exitBlk := lw.f.NewBlock()
+
+	lw.beginLoop(s.ID, s.Line, s.Off)
+	if s.DoWhile {
+		// do-while: the body runs before the first test.
+		lw.branchTo(bodyBlk)
+	} else {
+		lw.branchTo(condBlk)
+		lw.inCtl = true
+		lw.condBr(s.Cond, bodyBlk.Index, exitBlk.Index)
+		lw.inCtl = false
+		lw.blk = nil
+	}
+
+	lw.breaks = append(lw.breaks, exitBlk.Index)
+	lw.conts = append(lw.conts, condBlk.Index)
+	lw.blk = bodyBlk
+	lw.emit(ir.Instr{Op: ir.OpLoopIter, Dst: ir.RegNone})
+	lw.lowerBlock(s.Body)
+	if lw.blk != nil && !lw.terminated() {
+		lw.emit(ir.Instr{Op: ir.OpBr, Dst: ir.RegNone, Then: condBlk.Index})
+	}
+	lw.breaks = lw.breaks[:len(lw.breaks)-1]
+	lw.conts = lw.conts[:len(lw.conts)-1]
+
+	// The shared condition block: for while it is the entry test, for
+	// do-while the bottom test reached via the body or continue.
+	lw.blk = condBlk
+	if s.DoWhile {
+		lw.inCtl = true
+		lw.condBr(s.Cond, bodyBlk.Index, exitBlk.Index)
+		lw.inCtl = false
+	}
+	lw.blk = exitBlk
+	lw.endLoop()
+}
+
+func (lw *lowerer) lowerReturn(s *ast.Return) {
+	in := ir.Instr{Op: ir.OpRet, Dst: ir.RegNone, Pos: lw.pos(s.Off)}
+	if s.X != nil && lw.f.HasResult {
+		val, vt := lw.rvalue(s.X)
+		in.X = lw.convert(val, vt, lw.f.Result)
+		in.Type = lw.f.Result
+	}
+	lw.emit(in)
+	lw.blk = nil
+}
+
+// ---------------------------------------------------------------- conditions
+
+// condBr lowers e as a branch condition with C short-circuit semantics.
+func (lw *lowerer) condBr(e ast.Expr, thenIdx, elseIdx int32) {
+	switch x := e.(type) {
+	case *ast.Binary:
+		switch x.Op {
+		case token.LAND:
+			mid := lw.f.NewBlock()
+			lw.condBr(x.X, mid.Index, elseIdx)
+			lw.blk = mid
+			lw.condBr(x.Y, thenIdx, elseIdx)
+			return
+		case token.LOR:
+			mid := lw.f.NewBlock()
+			lw.condBr(x.X, thenIdx, mid.Index)
+			lw.blk = mid
+			lw.condBr(x.Y, thenIdx, elseIdx)
+			return
+		}
+	case *ast.Unary:
+		if x.Op == token.NOT {
+			lw.condBr(x.X, elseIdx, thenIdx)
+			return
+		}
+	}
+	cond := lw.truthValue(e)
+	lw.emit(ir.Instr{Op: ir.OpCondBr, Dst: ir.RegNone, X: cond, Then: thenIdx, Else: elseIdx, Pos: lw.pos(e.Offset())})
+	lw.blk = nil
+}
+
+// truthValue lowers e to a 0/1 operand: comparison results pass through;
+// other scalars are compared against zero.
+func (lw *lowerer) truthValue(e ast.Expr) ir.Operand {
+	val, vt := lw.rvalue(e)
+	if types.IsBool(lw.info.TypeOf(e)) {
+		return val
+	}
+	d := lw.dst()
+	zero := ir.IntConst(0)
+	if vt.IsFloat() {
+		zero = ir.FloatConst(0)
+	}
+	lw.emit(ir.Instr{Op: ir.OpCmp, Dst: d, From: vt, Pred: ir.CmpNE, X: val, Y: zero, Pos: lw.pos(e.Offset())})
+	return ir.RegOp(d)
+}
+
+// ---------------------------------------------------------------- lvalues
+
+// lvalue lowers e to the address of its storage location.
+func (lw *lowerer) lvalue(e ast.Expr) ir.Operand {
+	switch e := e.(type) {
+	case *ast.Ident:
+		sym := lw.info.Uses[e]
+		if sym == nil {
+			lw.errorf(e.Off, "unresolved identifier %q", e.Name)
+			return ir.IntConst(0)
+		}
+		return lw.symbolAddr(e.Off, sym)
+	case *ast.Index:
+		return lw.indexAddr(e)
+	case *ast.Member:
+		return lw.memberAddr(e)
+	case *ast.Unary:
+		if e.Op == token.MUL {
+			addr, _ := lw.rvalue(e.X)
+			return addr
+		}
+	}
+	lw.errorf(e.Offset(), "expression is not addressable")
+	return ir.IntConst(0)
+}
+
+func (lw *lowerer) symbolAddr(off int, sym *sema.Symbol) ir.Operand {
+	d := lw.dst()
+	switch sym.Kind {
+	case sema.GlobalVar:
+		lw.emit(ir.Instr{Op: ir.OpGlobalAddr, Dst: d, Global: lw.globalIdx[sym], Pos: lw.pos(off)})
+	default:
+		slot, ok := lw.slotOf[sym]
+		if !ok {
+			lw.errorf(off, "internal: no frame slot for %q", sym.Name)
+			return ir.IntConst(0)
+		}
+		lw.emit(ir.Instr{Op: ir.OpFrameAddr, Dst: d, Slot: slot, Pos: lw.pos(off)})
+	}
+	return ir.RegOp(d)
+}
+
+func (lw *lowerer) indexAddr(e *ast.Index) ir.Operand {
+	xt := lw.info.TypeOf(e.X)
+	var base ir.Operand
+	if _, isArray := xt.(*types.Array); isArray {
+		base = lw.lvalue(e.X)
+	} else {
+		base, _ = lw.rvalue(e.X) // pointer value
+	}
+	idx, it := lw.rvalue(e.Idx)
+	idx = lw.convert(idx, it, ir.I64)
+	elem := lw.info.TypeOf(e)
+	d := lw.dst()
+	lw.emit(ir.Instr{
+		Op: ir.OpPtrAdd, Dst: d, X: base, Y: idx,
+		Scale: elem.Size(), Pos: lw.pos(e.Off),
+	})
+	return ir.RegOp(d)
+}
+
+func (lw *lowerer) memberAddr(e *ast.Member) ir.Operand {
+	var base ir.Operand
+	var st *types.Struct
+	if e.Arrow {
+		var ok bool
+		base, _ = lw.rvalue(e.X)
+		pt, _ := types.Decay(lw.info.TypeOf(e.X)).(*types.Pointer)
+		if pt != nil {
+			st, ok = pt.Elem.(*types.Struct)
+		}
+		if !ok {
+			lw.errorf(e.Off, "internal: -> base is not pointer to struct")
+			return ir.IntConst(0)
+		}
+	} else {
+		base = lw.lvalue(e.X)
+		var ok bool
+		st, ok = lw.info.TypeOf(e.X).(*types.Struct)
+		if !ok {
+			lw.errorf(e.Off, "internal: . base is not a struct")
+			return ir.IntConst(0)
+		}
+	}
+	f := st.FieldByName(e.Field)
+	if f == nil {
+		lw.errorf(e.Off, "internal: missing field %q", e.Field)
+		return ir.IntConst(0)
+	}
+	d := lw.dst()
+	lw.emit(ir.Instr{
+		Op: ir.OpPtrAdd, Dst: d, X: base, Y: ir.IntConst(0),
+		Scale: 0, Off: f.Offset, Pos: lw.pos(e.Off),
+	})
+	return ir.RegOp(d)
+}
+
+// ---------------------------------------------------------------- rvalues
+
+// rvalue lowers e to a value operand and its machine type. Array-typed
+// expressions decay to their address.
+func (lw *lowerer) rvalue(e ast.Expr) (ir.Operand, ir.ScalarType) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return ir.IntConst(e.Value), ir.I64
+	case *ast.FloatLit:
+		return ir.FloatConst(e.Value), ir.F64
+	case *ast.Ident:
+		sym := lw.info.Uses[e]
+		if sym == nil {
+			return ir.IntConst(0), ir.I64
+		}
+		if _, isArray := sym.Type.(*types.Array); isArray {
+			return lw.symbolAddr(e.Off, sym), ir.I64 // decay
+		}
+		if _, isStruct := sym.Type.(*types.Struct); isStruct {
+			lw.errorf(e.Off, "struct values are not supported; access fields instead")
+			return ir.IntConst(0), ir.I64
+		}
+		addr := lw.symbolAddr(e.Off, sym)
+		st := scalarOf(sym.Type)
+		d := lw.dst()
+		lw.emit(ir.Instr{Op: ir.OpLoad, Dst: d, Type: st, X: addr, Pos: lw.pos(e.Off)})
+		return ir.RegOp(d), st
+	case *ast.Unary:
+		return lw.unaryRvalue(e)
+	case *ast.Binary:
+		return lw.binaryRvalue(e)
+	case *ast.Index, *ast.Member:
+		t := lw.info.TypeOf(e)
+		if _, isArray := t.(*types.Array); isArray {
+			return lw.lvalue(e), ir.I64 // decay
+		}
+		if _, isStruct := t.(*types.Struct); isStruct {
+			lw.errorf(e.Offset(), "struct values are not supported; access fields instead")
+			return ir.IntConst(0), ir.I64
+		}
+		addr := lw.lvalue(e)
+		st := scalarOf(t)
+		d := lw.dst()
+		lw.emit(ir.Instr{Op: ir.OpLoad, Dst: d, Type: st, X: addr, Pos: lw.pos(e.Offset())})
+		return ir.RegOp(d), st
+	case *ast.Call:
+		return lw.callRvalue(e)
+	case *ast.Cast:
+		val, vt := lw.rvalue(e.X)
+		to := scalarOf(lw.info.TypeOf(e))
+		return lw.convert(val, vt, to), to
+	}
+	lw.errorf(e.Offset(), "unsupported expression")
+	return ir.IntConst(0), ir.I64
+}
+
+func (lw *lowerer) unaryRvalue(e *ast.Unary) (ir.Operand, ir.ScalarType) {
+	switch e.Op {
+	case token.SUB:
+		val, vt := lw.rvalue(e.X)
+		if val.Kind == ir.KindConstInt {
+			return ir.IntConst(-val.ConstInt()), vt
+		}
+		if val.Kind == ir.KindConstFloat {
+			return ir.FloatConst(-val.ConstFloat()), vt
+		}
+		d := lw.dst()
+		lw.emit(ir.Instr{Op: ir.OpNeg, Dst: d, Type: vt, X: val, Pos: lw.pos(e.Off)})
+		return ir.RegOp(d), vt
+	case token.NOT:
+		val, _ := lw.rvalue(e.X)
+		d := lw.dst()
+		lw.emit(ir.Instr{Op: ir.OpNot, Dst: d, X: val, Pos: lw.pos(e.Off)})
+		return ir.RegOp(d), ir.I64
+	case token.MUL:
+		addr, _ := lw.rvalue(e.X)
+		t := lw.info.TypeOf(e)
+		if _, isArray := t.(*types.Array); isArray {
+			return addr, ir.I64
+		}
+		st := scalarOf(t)
+		d := lw.dst()
+		lw.emit(ir.Instr{Op: ir.OpLoad, Dst: d, Type: st, X: addr, Pos: lw.pos(e.Off)})
+		return ir.RegOp(d), st
+	case token.AND:
+		return lw.lvalue(e.X), ir.I64
+	}
+	lw.errorf(e.Off, "unsupported unary operator")
+	return ir.IntConst(0), ir.I64
+}
+
+func binOpOf(k token.Kind) ir.BinOp {
+	switch k {
+	case token.ADD:
+		return ir.AddOp
+	case token.SUB:
+		return ir.SubOp
+	case token.MUL:
+		return ir.MulOp
+	case token.QUO:
+		return ir.DivOp
+	case token.REM:
+		return ir.RemOp
+	}
+	return ir.AddOp
+}
+
+func predOf(k token.Kind) ir.CmpPred {
+	switch k {
+	case token.EQL:
+		return ir.CmpEQ
+	case token.NEQ:
+		return ir.CmpNE
+	case token.LSS:
+		return ir.CmpLT
+	case token.LEQ:
+		return ir.CmpLE
+	case token.GTR:
+		return ir.CmpGT
+	case token.GEQ:
+		return ir.CmpGE
+	}
+	return ir.CmpEQ
+}
+
+func (lw *lowerer) binaryRvalue(e *ast.Binary) (ir.Operand, ir.ScalarType) {
+	switch e.Op {
+	case token.LAND, token.LOR:
+		return lw.materializeCond(e), ir.I64
+	}
+
+	// Pointer arithmetic lowers to address computation.
+	xt := types.Decay(lw.info.TypeOf(e.X))
+	yt := types.Decay(lw.info.TypeOf(e.Y))
+	if p, ok := xt.(*types.Pointer); ok && (e.Op == token.ADD || e.Op == token.SUB) {
+		base, _ := lw.rvalue(e.X)
+		idx, it := lw.rvalue(e.Y)
+		idx = lw.convert(idx, it, ir.I64)
+		scale := p.Elem.Size()
+		if e.Op == token.SUB {
+			scale = -scale
+		}
+		d := lw.dst()
+		lw.emit(ir.Instr{Op: ir.OpPtrAdd, Dst: d, X: base, Y: idx, Scale: scale, Pos: lw.pos(e.Off)})
+		return ir.RegOp(d), ir.I64
+	}
+	if p, ok := yt.(*types.Pointer); ok && e.Op == token.ADD {
+		base, _ := lw.rvalue(e.Y)
+		idx, it := lw.rvalue(e.X)
+		idx = lw.convert(idx, it, ir.I64)
+		d := lw.dst()
+		lw.emit(ir.Instr{Op: ir.OpPtrAdd, Dst: d, X: base, Y: idx, Scale: p.Elem.Size(), Pos: lw.pos(e.Off)})
+		return ir.RegOp(d), ir.I64
+	}
+
+	x, xs := lw.rvalue(e.X)
+	y, ys := lw.rvalue(e.Y)
+
+	switch e.Op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		ct := commonScalar(xs, ys)
+		x = lw.convert(x, xs, ct)
+		y = lw.convert(y, ys, ct)
+		d := lw.dst()
+		lw.emit(ir.Instr{Op: ir.OpCmp, Dst: d, From: ct, Pred: predOf(e.Op), X: x, Y: y, Pos: lw.pos(e.Off)})
+		return ir.RegOp(d), ir.I64
+	}
+
+	rt := scalarOf(lw.info.TypeOf(e))
+	x = lw.convert(x, xs, rt)
+	y = lw.convert(y, ys, rt)
+	d := lw.dst()
+	lw.emit(ir.Instr{Op: ir.OpBin, Dst: d, Type: rt, Bin: binOpOf(e.Op), X: x, Y: y, Pos: lw.pos(e.Off)})
+	return ir.RegOp(d), rt
+}
+
+func commonScalar(a, b ir.ScalarType) ir.ScalarType {
+	if a == ir.F64 || b == ir.F64 {
+		return ir.F64
+	}
+	if a == ir.F32 || b == ir.F32 {
+		return ir.F32
+	}
+	return ir.I64
+}
+
+// materializeCond lowers a short-circuit expression used as a value: the
+// branches store 0/1 into a temporary frame slot that is loaded at the join.
+func (lw *lowerer) materializeCond(e ast.Expr) ir.Operand {
+	slot := lw.f.AddSlot("cond.tmp", 8, 8)
+	thenBlk := lw.f.NewBlock()
+	elseBlk := lw.f.NewBlock()
+	joinBlk := lw.f.NewBlock()
+	lw.condBr(e, thenBlk.Index, elseBlk.Index)
+	for i, b := range []*ir.Block{thenBlk, elseBlk} {
+		lw.blk = b
+		addr := lw.dst()
+		lw.emit(ir.Instr{Op: ir.OpFrameAddr, Dst: addr, Slot: slot})
+		lw.emit(ir.Instr{Op: ir.OpStore, Dst: ir.RegNone, Type: ir.I64, X: ir.RegOp(addr), Y: ir.IntConst(int64(1 - i))})
+		lw.emit(ir.Instr{Op: ir.OpBr, Dst: ir.RegNone, Then: joinBlk.Index})
+	}
+	lw.blk = joinBlk
+	addr := lw.dst()
+	lw.emit(ir.Instr{Op: ir.OpFrameAddr, Dst: addr, Slot: slot})
+	d := lw.dst()
+	lw.emit(ir.Instr{Op: ir.OpLoad, Dst: d, Type: ir.I64, X: ir.RegOp(addr)})
+	return ir.RegOp(d)
+}
+
+func (lw *lowerer) callRvalue(e *ast.Call) (ir.Operand, ir.ScalarType) {
+	if b, ok := lw.info.Builtins[e]; ok {
+		return lw.builtinRvalue(e, b)
+	}
+	fi := lw.info.CallTargets[e]
+	if fi == nil {
+		return ir.IntConst(0), ir.I64
+	}
+	args := make([]ir.Operand, 0, len(e.Args))
+	for i, a := range e.Args {
+		val, vt := lw.rvalue(a)
+		if i < len(fi.Sig.Params) {
+			val = lw.convert(val, vt, scalarOf(fi.Sig.Params[i]))
+		}
+		args = append(args, val)
+	}
+	in := ir.Instr{Op: ir.OpCall, Dst: ir.RegNone, Callee: lw.funcIdx[fi], Args: args, Pos: lw.pos(e.Off)}
+	rt := ir.I64
+	if !types.IsVoid(fi.Sig.Result) {
+		in.Dst = lw.dst()
+		rt = scalarOf(fi.Sig.Result)
+	}
+	lw.emit(in)
+	if in.Dst == ir.RegNone {
+		return ir.Operand{Kind: ir.KindNone}, rt
+	}
+	return ir.RegOp(in.Dst), rt
+}
+
+func (lw *lowerer) builtinRvalue(e *ast.Call, b sema.Builtin) (ir.Operand, ir.ScalarType) {
+	if len(e.Args) != 1 {
+		return ir.IntConst(0), ir.I64
+	}
+	val, vt := lw.rvalue(e.Args[0])
+	switch b {
+	case sema.BuiltinPrint:
+		val = lw.convert(val, vt, ir.F64)
+		lw.emit(ir.Instr{Op: ir.OpPrint, Dst: ir.RegNone, Type: ir.F64, X: val, Pos: lw.pos(e.Off)})
+		return ir.Operand{Kind: ir.KindNone}, ir.I64
+	case sema.BuiltinPrintInt:
+		val = lw.convert(val, vt, ir.I64)
+		lw.emit(ir.Instr{Op: ir.OpPrint, Dst: ir.RegNone, Type: ir.I64, X: val, Pos: lw.pos(e.Off)})
+		return ir.Operand{Kind: ir.KindNone}, ir.I64
+	}
+	val = lw.convert(val, vt, ir.F64)
+	var intr ir.Intrinsic
+	switch b {
+	case sema.BuiltinExp:
+		intr = ir.IntrExp
+	case sema.BuiltinSqrt:
+		intr = ir.IntrSqrt
+	case sema.BuiltinSin:
+		intr = ir.IntrSin
+	case sema.BuiltinCos:
+		intr = ir.IntrCos
+	case sema.BuiltinFabs:
+		intr = ir.IntrFabs
+	case sema.BuiltinLog:
+		intr = ir.IntrLog
+	}
+	d := lw.dst()
+	lw.emit(ir.Instr{Op: ir.OpIntrinsic, Dst: d, Intr: intr, X: val, Pos: lw.pos(e.Off)})
+	return ir.RegOp(d), ir.F64
+}
+
+// convert coerces val from machine type `from` to `to`, folding immediates.
+func (lw *lowerer) convert(val ir.Operand, from, to ir.ScalarType) ir.Operand {
+	if from == to || val.Kind == ir.KindNone {
+		return val
+	}
+	switch val.Kind {
+	case ir.KindConstInt:
+		if to.IsFloat() {
+			return ir.FloatConst(float64(val.ConstInt()))
+		}
+		return val
+	case ir.KindConstFloat:
+		if to == ir.I64 {
+			return ir.IntConst(int64(val.ConstFloat()))
+		}
+		if to == ir.F32 {
+			return ir.FloatConst(float64(float32(val.ConstFloat())))
+		}
+		return val
+	}
+	d := lw.dst()
+	lw.emit(ir.Instr{Op: ir.OpCast, Dst: d, From: from, Type: to, X: val})
+	return ir.RegOp(d)
+}

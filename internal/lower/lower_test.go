@@ -1,0 +1,498 @@
+package lower_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/example/vectrace/internal/ir"
+	"github.com/example/vectrace/internal/lower"
+	"github.com/example/vectrace/internal/parser"
+	"github.com/example/vectrace/internal/sema"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	prog, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	mod, err := lower.Lower(prog, info)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return mod
+}
+
+// compileErr expects semantic analysis or lowering to reject the program.
+func compileErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	prog, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog)
+	if err == nil {
+		_, err = lower.Lower(prog, info)
+	}
+	if err == nil {
+		t.Fatalf("expected error containing %q", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error %q does not contain %q", err, wantSubstr)
+	}
+}
+
+// instrs flattens a function's instructions.
+func instrs(f *ir.Function) []*ir.Instr {
+	var out []*ir.Instr
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			out = append(out, &b.Instrs[i])
+		}
+	}
+	return out
+}
+
+func countOp(f *ir.Function, op ir.Opcode) int {
+	n := 0
+	for _, in := range instrs(f) {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestModuleVerifies(t *testing.T) {
+	mod := compile(t, `
+double A[8];
+double f(double x, int n) {
+  if (n > 0) { return x * 2.0; }
+  return x;
+}
+void main() {
+  int i;
+  for (i = 0; i < 8; i++) {
+    A[i] = f(1.0 + i, i);
+  }
+}
+`)
+	if err := mod.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestScalarAssignment(t *testing.T) {
+	mod := compile(t, `
+double g;
+void main() { g = 2.5; }
+`)
+	main := mod.FuncByName("main")
+	if n := countOp(main, ir.OpStore); n != 1 {
+		t.Fatalf("stores = %d, want 1", n)
+	}
+	var store *ir.Instr
+	for _, in := range instrs(main) {
+		if in.Op == ir.OpStore {
+			store = in
+		}
+	}
+	if store.Type != ir.F64 {
+		t.Errorf("store type = %v, want f64", store.Type)
+	}
+	if store.Y.Kind != ir.KindConstFloat || store.Y.ConstFloat() != 2.5 {
+		t.Errorf("store value = %v, want immediate 2.5", store.Y)
+	}
+}
+
+func TestArrayAddressScale(t *testing.T) {
+	mod := compile(t, `
+double A[4][8];
+float F[16];
+void main() {
+  int i;
+  i = 2;
+  A[i][3] = 1.0;
+  F[i] = 1.0;
+}
+`)
+	main := mod.FuncByName("main")
+	var scales []int64
+	for _, in := range instrs(main) {
+		if in.Op == ir.OpPtrAdd {
+			scales = append(scales, in.Scale)
+		}
+	}
+	// A[i] scales by 64 (a row of 8 doubles), [3] by 8, F[i] by 4.
+	want := []int64{64, 8, 4}
+	if len(scales) != len(want) {
+		t.Fatalf("ptradds = %v, want %v", scales, want)
+	}
+	for i := range want {
+		if scales[i] != want[i] {
+			t.Errorf("scale %d = %d, want %d", i, scales[i], want[i])
+		}
+	}
+}
+
+func TestStructFieldOffsets(t *testing.T) {
+	mod := compile(t, `
+struct v { double x; double y; float z; };
+struct v g;
+void main() {
+  g.y = 1.0;
+  g.z = 2.0;
+}
+`)
+	main := mod.FuncByName("main")
+	var offs []int64
+	for _, in := range instrs(main) {
+		if in.Op == ir.OpPtrAdd {
+			offs = append(offs, in.Off)
+		}
+	}
+	if len(offs) != 2 || offs[0] != 8 || offs[1] != 16 {
+		t.Fatalf("field offsets = %v, want [8 16]", offs)
+	}
+}
+
+func TestPointerArithmeticScale(t *testing.T) {
+	mod := compile(t, `
+double A[8];
+void main() {
+  double *p;
+  p = A;
+  p = p + 2;
+  p = p - 1;
+}
+`)
+	main := mod.FuncByName("main")
+	var scales []int64
+	for _, in := range instrs(main) {
+		if in.Op == ir.OpPtrAdd {
+			scales = append(scales, in.Scale)
+		}
+	}
+	if len(scales) != 2 || scales[0] != 8 || scales[1] != -8 {
+		t.Fatalf("pointer arithmetic scales = %v, want [8 -8]", scales)
+	}
+}
+
+func TestCompoundAssignmentLoadsOnce(t *testing.T) {
+	mod := compile(t, `
+double s;
+void main() { s += 2.0; }
+`)
+	main := mod.FuncByName("main")
+	// Exactly one GlobalAddr: the address is computed once for the
+	// load-modify-store sequence.
+	if n := countOp(main, ir.OpGlobalAddr); n != 1 {
+		t.Errorf("global address computed %d times, want 1", n)
+	}
+	if n := countOp(main, ir.OpLoad); n != 1 {
+		t.Errorf("loads = %d, want 1", n)
+	}
+	if n := countOp(main, ir.OpStore); n != 1 {
+		t.Errorf("stores = %d, want 1", n)
+	}
+}
+
+func TestLoopMarkers(t *testing.T) {
+	mod := compile(t, `
+void main() {
+  int i;
+  int j;
+  for (i = 0; i < 3; i++) {
+    for (j = 0; j < 3; j++) { }
+  }
+  while (i > 0) { i = i - 1; }
+}
+`)
+	main := mod.FuncByName("main")
+	if n := countOp(main, ir.OpLoopBegin); n != 3 {
+		t.Errorf("loop.begin count = %d, want 3", n)
+	}
+	if n := countOp(main, ir.OpLoopEnd); n != 3 {
+		t.Errorf("loop.end count = %d, want 3", n)
+	}
+	if n := countOp(main, ir.OpLoopIter); n != 3 {
+		t.Errorf("loop.iter count = %d, want 3", n)
+	}
+	if len(mod.Loops) != 3 {
+		t.Fatalf("loop metadata entries = %d, want 3", len(mod.Loops))
+	}
+	// Nesting: loop 1 (j) is a child of loop 0 (i); the while loop is top
+	// level.
+	if mod.Loops[1].Parent != 0 || mod.Loops[1].Depth != 1 {
+		t.Errorf("inner loop parent/depth = %d/%d", mod.Loops[1].Parent, mod.Loops[1].Depth)
+	}
+	if mod.Loops[2].Parent != -1 {
+		t.Errorf("while loop parent = %d, want -1", mod.Loops[2].Parent)
+	}
+}
+
+func TestLoopAnnotationOnInstrs(t *testing.T) {
+	mod := compile(t, `
+double g;
+void main() {
+  int i;
+  g = 1.0;
+  for (i = 0; i < 3; i++) {
+    g = g * 2.0;
+  }
+}
+`)
+	main := mod.FuncByName("main")
+	for _, in := range instrs(main) {
+		if in.Op == ir.OpBin && in.Type == ir.F64 {
+			if in.Loop != 0 {
+				t.Errorf("loop-body multiply has Loop=%d, want 0", in.Loop)
+			}
+		}
+	}
+}
+
+func TestShortCircuitControlFlow(t *testing.T) {
+	mod := compile(t, `
+void main() {
+  int a;
+  int b;
+  a = 1;
+  b = 2;
+  if (a > 0 && b > 0) { a = 3; }
+}
+`)
+	main := mod.FuncByName("main")
+	// Short circuit requires two conditional branches.
+	if n := countOp(main, ir.OpCondBr); n != 2 {
+		t.Errorf("condbr count = %d, want 2 (short circuit)", n)
+	}
+}
+
+func TestShortCircuitAsValue(t *testing.T) {
+	mod := compile(t, `
+void main() {
+  int a;
+  int b;
+  a = 1;
+  b = a > 0 && a < 5;
+  printi(b);
+}
+`)
+	if err := mod.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestCandidateClassification(t *testing.T) {
+	mod := compile(t, `
+double g;
+void main() {
+  int i;
+  i = 1 + 2;        // integer add: not a candidate
+  g = g + 1.0;      // candidate
+  g = g / 2.0;      // candidate
+  i = i % 3;        // rem: not a candidate
+}
+`)
+	ids := mod.CandidateIDs(-1)
+	if len(ids) != 2 {
+		t.Fatalf("candidates = %d, want 2", len(ids))
+	}
+}
+
+func TestCandidateIDsByLoop(t *testing.T) {
+	mod := compile(t, `
+double g;
+void main() {
+  int i;
+  int j;
+  g = g + 0.5;
+  for (i = 0; i < 2; i++) {
+    g = g * 2.0;
+    for (j = 0; j < 2; j++) {
+      g = g - 1.0;
+    }
+  }
+}
+`)
+	all := mod.CandidateIDs(-1)
+	outer := mod.CandidateIDs(0)
+	inner := mod.CandidateIDs(1)
+	if len(all) != 3 {
+		t.Fatalf("all candidates = %d, want 3", len(all))
+	}
+	if len(outer) != 2 {
+		t.Fatalf("outer-loop candidates = %d, want 2 (nested included)", len(outer))
+	}
+	if len(inner) != 1 {
+		t.Fatalf("inner-loop candidates = %d, want 1", len(inner))
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	mod := compile(t, `
+double d = 2.5;
+int n = -3;
+float f = 1.5;
+double zero;
+void main() { }
+`)
+	if len(mod.Globals[0].Init) != 8 {
+		t.Errorf("double init bytes = %d", len(mod.Globals[0].Init))
+	}
+	if len(mod.Globals[1].Init) != 8 {
+		t.Errorf("int init bytes = %d", len(mod.Globals[1].Init))
+	}
+	if len(mod.Globals[2].Init) != 4 {
+		t.Errorf("float init bytes = %d", len(mod.Globals[2].Init))
+	}
+	if mod.Globals[3].Init != nil {
+		t.Error("uninitialized global should have nil init")
+	}
+}
+
+func TestGlobalInitializerMustBeConstant(t *testing.T) {
+	compileErr(t, `
+int n = 3;
+int m = n;
+void main() { }
+`, "numeric literal")
+}
+
+func TestAggregateInitializerRejected(t *testing.T) {
+	// Semantic analysis already rejects scalar-to-array initializers; the
+	// message comes from the assignability check.
+	compileErr(t, `
+void main() {
+  double A[4] = 1.0;
+}
+`, "cannot assign")
+}
+
+func TestBreakContinueTargets(t *testing.T) {
+	mod := compile(t, `
+void main() {
+  int i;
+  for (i = 0; i < 10; i++) {
+    if (i == 2) { continue; }
+    if (i == 5) { break; }
+  }
+}
+`)
+	if err := mod.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestEarlyReturnInLoop(t *testing.T) {
+	mod := compile(t, `
+int find(int x) {
+  int i;
+  for (i = 0; i < 10; i++) {
+    if (i == x) { return i; }
+  }
+  return 0 - 1;
+}
+void main() { printi(find(3)); }
+`)
+	if err := mod.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVoidFunctionGetsImplicitReturn(t *testing.T) {
+	mod := compile(t, `
+void f() { }
+void main() { f(); }
+`)
+	f := mod.FuncByName("f")
+	last := f.Blocks[len(f.Blocks)-1].Terminator()
+	if last == nil || last.Op != ir.OpRet {
+		t.Fatal("void function should end with implicit ret")
+	}
+}
+
+func TestParamsSpilledToSlots(t *testing.T) {
+	mod := compile(t, `
+double f(double a, double b) { return a + b; }
+void main() { print(f(1.0, 2.0)); }
+`)
+	f := mod.FuncByName("f")
+	if len(f.Slots) < 2 {
+		t.Fatalf("param slots = %d, want >= 2", len(f.Slots))
+	}
+	if f.Slots[0].Name != "a" || f.Slots[1].Name != "b" {
+		t.Errorf("slot names = %s, %s", f.Slots[0].Name, f.Slots[1].Name)
+	}
+	// The entry block must start by spilling both params.
+	entry := f.Blocks[0]
+	stores := 0
+	for i := range entry.Instrs {
+		if entry.Instrs[i].Op == ir.OpStore {
+			stores++
+		}
+	}
+	if stores < 2 {
+		t.Errorf("entry spills = %d, want >= 2", stores)
+	}
+}
+
+func TestCastsInserted(t *testing.T) {
+	mod := compile(t, `
+double d;
+float f;
+int i;
+void main() {
+  d = i;
+  i = d;
+  f = d;
+  d = f;
+}
+`)
+	main := mod.FuncByName("main")
+	if n := countOp(main, ir.OpCast); n != 4 {
+		t.Errorf("casts = %d, want 4", n)
+	}
+}
+
+func TestConstantFoldingOfConversions(t *testing.T) {
+	mod := compile(t, `
+double d;
+void main() { d = 1 + 0; }
+`)
+	// The integer literal sum folds or converts without a runtime cast of
+	// a constant.
+	main := mod.FuncByName("main")
+	for _, in := range instrs(main) {
+		if in.Op == ir.OpCast && in.X.IsConst() {
+			t.Error("constant operand should fold, not cast at run time")
+		}
+	}
+}
+
+func TestIntrinsics(t *testing.T) {
+	mod := compile(t, `
+double g;
+void main() { g = sqrt(exp(1.0)); }
+`)
+	main := mod.FuncByName("main")
+	if n := countOp(main, ir.OpIntrinsic); n != 2 {
+		t.Errorf("intrinsics = %d, want 2", n)
+	}
+}
+
+func TestNegationFolding(t *testing.T) {
+	mod := compile(t, `
+double g;
+void main() { g = -2.5; }
+`)
+	main := mod.FuncByName("main")
+	if n := countOp(main, ir.OpNeg); n != 0 {
+		t.Errorf("negations = %d, want 0 (folded)", n)
+	}
+}

@@ -1,0 +1,290 @@
+// Package opt implements optional VIR optimization passes: constant
+// folding/propagation, dead-code elimination, and branch simplification.
+//
+// The analysis pipeline deliberately runs on unoptimized IR — the paper's
+// tool instruments the IR the front end produces, and the dynamic analysis
+// is insensitive to bookkeeping noise (flow-only dependences make counter
+// chains invisible to the partitioning). The passes exist for the
+// interpreter-as-a-tool use case (`vectrace run -O`) and as the natural
+// place to grow compiler infrastructure; equivalence tests guarantee they
+// never change program outputs.
+package opt
+
+import (
+	"math"
+
+	"github.com/example/vectrace/internal/ir"
+)
+
+// Optimize runs all passes on the module to a fixed point (bounded) and
+// re-finalizes it. The module is modified in place.
+func Optimize(mod *ir.Module) {
+	for i := 0; i < 8; i++ {
+		changed := false
+		for _, f := range mod.Funcs {
+			changed = foldConstants(f) || changed
+			changed = simplifyBranches(f) || changed
+			changed = eliminateDeadCode(f) || changed
+		}
+		if !changed {
+			break
+		}
+	}
+	mod.Finalize()
+}
+
+// foldConstants propagates single-def register constants into operands and
+// folds arithmetic on immediates. Returns whether anything changed.
+//
+// Registers in lowered MiniC are statically single-assignment, so a
+// register defined by a foldable instruction has one well-defined constant
+// value — except across loop iterations, where re-execution reassigns it;
+// folding remains sound because the folded value is recomputed identically
+// every iteration.
+func foldConstants(f *ir.Function) bool {
+	changed := false
+	// constVal maps registers to their known immediate.
+	constVal := make(map[ir.Reg]ir.Operand)
+
+	subst := func(o ir.Operand) ir.Operand {
+		if o.Kind == ir.KindReg {
+			if c, ok := constVal[o.Reg]; ok {
+				return c
+			}
+		}
+		return o
+	}
+
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			old := *in
+			in.X = subst(in.X)
+			in.Y = subst(in.Y)
+			for k := range in.Args {
+				in.Args[k] = subst(in.Args[k])
+			}
+			if in.X != old.X || in.Y != old.Y {
+				changed = true
+			}
+
+			switch in.Op {
+			case ir.OpBin:
+				if in.X.IsConst() && in.Y.IsConst() {
+					if v, ok := evalBinConst(in); ok {
+						constVal[in.Dst] = v
+					}
+				}
+			case ir.OpNeg:
+				if in.X.IsConst() {
+					if in.Type.IsFloat() {
+						constVal[in.Dst] = ir.FloatConst(-in.X.ConstFloat())
+					} else {
+						constVal[in.Dst] = ir.IntConst(-in.X.ConstInt())
+					}
+				}
+			case ir.OpNot:
+				if in.X.IsConst() {
+					v := int64(1)
+					if in.X.Imm != 0 {
+						v = 0
+					}
+					constVal[in.Dst] = ir.IntConst(v)
+				}
+			case ir.OpCast:
+				if in.X.IsConst() {
+					constVal[in.Dst] = evalCastConst(in)
+				}
+			case ir.OpCmp:
+				if in.X.IsConst() && in.Y.IsConst() {
+					constVal[in.Dst] = ir.IntConst(evalCmpConst(in))
+				}
+			case ir.OpIntrinsic:
+				if in.X.IsConst() {
+					constVal[in.Dst] = ir.FloatConst(evalIntrConst(in.Intr, in.X.ConstFloat()))
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func evalBinConst(in *ir.Instr) (ir.Operand, bool) {
+	if in.Type.IsFloat() {
+		a, b := in.X.ConstFloat(), in.Y.ConstFloat()
+		var r float64
+		switch in.Bin {
+		case ir.AddOp:
+			r = a + b
+		case ir.SubOp:
+			r = a - b
+		case ir.MulOp:
+			r = a * b
+		case ir.DivOp:
+			r = a / b
+		default:
+			return ir.Operand{}, false
+		}
+		if in.Type == ir.F32 {
+			r = float64(float32(r))
+		}
+		return ir.FloatConst(r), true
+	}
+	a, b := in.X.ConstInt(), in.Y.ConstInt()
+	switch in.Bin {
+	case ir.AddOp:
+		return ir.IntConst(a + b), true
+	case ir.SubOp:
+		return ir.IntConst(a - b), true
+	case ir.MulOp:
+		return ir.IntConst(a * b), true
+	case ir.DivOp:
+		if b == 0 {
+			return ir.Operand{}, false // preserve the runtime trap
+		}
+		return ir.IntConst(a / b), true
+	case ir.RemOp:
+		if b == 0 {
+			return ir.Operand{}, false
+		}
+		return ir.IntConst(a % b), true
+	}
+	return ir.Operand{}, false
+}
+
+func evalCastConst(in *ir.Instr) ir.Operand {
+	switch {
+	case in.From == ir.I64 && in.Type.IsFloat():
+		v := float64(in.X.ConstInt())
+		if in.Type == ir.F32 {
+			v = float64(float32(v))
+		}
+		return ir.FloatConst(v)
+	case in.From.IsFloat() && in.Type == ir.I64:
+		return ir.IntConst(int64(in.X.ConstFloat()))
+	case in.From == ir.F64 && in.Type == ir.F32:
+		return ir.FloatConst(float64(float32(in.X.ConstFloat())))
+	}
+	return in.X
+}
+
+func evalCmpConst(in *ir.Instr) int64 {
+	var lt, eq bool
+	if in.From.IsFloat() {
+		a, b := in.X.ConstFloat(), in.Y.ConstFloat()
+		lt, eq = a < b, a == b
+	} else {
+		a, b := in.X.ConstInt(), in.Y.ConstInt()
+		lt, eq = a < b, a == b
+	}
+	var r bool
+	switch in.Pred {
+	case ir.CmpEQ:
+		r = eq
+	case ir.CmpNE:
+		r = !eq
+	case ir.CmpLT:
+		r = lt
+	case ir.CmpLE:
+		r = lt || eq
+	case ir.CmpGT:
+		r = !lt && !eq
+	case ir.CmpGE:
+		r = !lt
+	}
+	if r {
+		return 1
+	}
+	return 0
+}
+
+func evalIntrConst(intr ir.Intrinsic, x float64) float64 {
+	switch intr {
+	case ir.IntrExp:
+		return math.Exp(x)
+	case ir.IntrSqrt:
+		return math.Sqrt(x)
+	case ir.IntrSin:
+		return math.Sin(x)
+	case ir.IntrCos:
+		return math.Cos(x)
+	case ir.IntrFabs:
+		return math.Abs(x)
+	case ir.IntrLog:
+		return math.Log(x)
+	}
+	return x
+}
+
+// simplifyBranches rewrites conditional branches on constant conditions
+// into unconditional ones.
+func simplifyBranches(f *ir.Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpCondBr || !t.X.IsConst() {
+			continue
+		}
+		target := t.Else
+		if t.X.Imm != 0 {
+			target = t.Then
+		}
+		*t = ir.Instr{Op: ir.OpBr, Dst: ir.RegNone, Then: target, Pos: t.Pos, Loop: t.Loop, AssignID: t.AssignID, Ctl: t.Ctl}
+		changed = true
+	}
+	return changed
+}
+
+// eliminateDeadCode removes pure value-producing instructions whose result
+// register is never read. Loads are pure (no side effects in VIR); stores,
+// calls, prints, and control flow are roots.
+func eliminateDeadCode(f *ir.Function) bool {
+	used := make([]bool, f.NumRegs)
+	mark := func(o ir.Operand) {
+		if o.Kind == ir.KindReg {
+			used[o.Reg] = true
+		}
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			mark(in.X)
+			mark(in.Y)
+			for _, a := range in.Args {
+				mark(a)
+			}
+		}
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			if isPure(&in) && in.Dst != ir.RegNone && !used[in.Dst] {
+				changed = true
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return changed
+}
+
+// isPure reports whether removing the instruction (when its result is
+// unused) cannot change observable behaviour. Integer division keeps its
+// divide-by-zero trap and loads keep their invalid-address trap, so neither
+// is removable.
+func isPure(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpNeg, ir.OpNot, ir.OpCmp, ir.OpCast,
+		ir.OpGlobalAddr, ir.OpFrameAddr, ir.OpPtrAdd, ir.OpIntrinsic:
+		return true
+	case ir.OpBin:
+		if in.Type == ir.I64 && (in.Bin == ir.DivOp || in.Bin == ir.RemOp) {
+			return false // may trap on zero
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,589 @@
+// Package parser implements a recursive-descent parser for MiniC.
+//
+// The grammar is a compact subset of C sufficient for the benchmark kernels
+// the paper analyzes: struct declarations, global and local variables with
+// multi-dimensional arrays and pointers, functions, for/while/if control
+// flow, and C expression syntax including subscripts, member access (both
+// "." and "->"), address-of, dereference, and casts.
+package parser
+
+import (
+	"strconv"
+
+	"github.com/example/vectrace/internal/ast"
+	"github.com/example/vectrace/internal/lexer"
+	"github.com/example/vectrace/internal/source"
+	"github.com/example/vectrace/internal/token"
+)
+
+// Parse lexes and parses the given source text. The returned program is
+// non-nil even when errors were reported, so callers can still inspect the
+// partial AST; callers must check the error.
+func Parse(filename, src string) (*ast.Program, error) {
+	file := source.NewFile(filename, src)
+	var errs source.ErrorList
+	lx := lexer.New(file, &errs)
+	p := &parser{
+		file: file,
+		toks: lx.All(),
+		errs: &errs,
+	}
+	prog := p.parseProgram()
+	errs.Sort()
+	return prog, errs.Err()
+}
+
+type parser struct {
+	file *source.File
+	toks []token.Token
+	pos  int
+	errs *source.ErrorList
+
+	nextLoopID   int
+	nextAssignID int
+}
+
+func (p *parser) cur() token.Token { return p.toks[p.pos] }
+func (p *parser) kind() token.Kind { return p.toks[p.pos].Kind }
+func (p *parser) peek() token.Kind {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1].Kind
+	}
+	return token.EOF
+}
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(off int, format string, args ...any) {
+	// Cap error count to avoid avalanches from one syntax error.
+	if p.errs.Len() < 50 {
+		p.errs.Add(p.file.Name, p.file.PosFor(off), format, args...)
+	}
+}
+
+// expect consumes a token of kind k, reporting an error if the current token
+// differs (in which case it does not consume).
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.kind() != k {
+		p.errorf(p.cur().Offset, "expected %q, found %q", k, p.describe())
+		return token.Token{Kind: k, Offset: p.cur().Offset}
+	}
+	return p.next()
+}
+
+func (p *parser) describe() string {
+	t := p.cur()
+	if t.Lit != "" {
+		return t.Lit
+	}
+	return t.Kind.String()
+}
+
+// accept consumes the current token if it has kind k.
+func (p *parser) accept(k token.Kind) bool {
+	if p.kind() == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// sync skips tokens until a likely statement/declaration boundary.
+func (p *parser) sync() {
+	for {
+		switch p.kind() {
+		case token.SEMICOLON:
+			p.next()
+			return
+		case token.RBRACE, token.EOF:
+			return
+		}
+		p.next()
+	}
+}
+
+// line resolves a byte offset to a 1-based line number.
+func (p *parser) line(off int) int { return p.file.PosFor(off).Line }
+
+// ---------------------------------------------------------------- program
+
+func (p *parser) parseProgram() *ast.Program {
+	prog := &ast.Program{File: p.file}
+	for p.kind() != token.EOF {
+		d := p.parseDecl()
+		if d != nil {
+			prog.Decls = append(prog.Decls, d)
+		} else {
+			p.sync()
+		}
+	}
+	prog.NumLoops = p.nextLoopID
+	return prog
+}
+
+// isTypeStart reports whether the current token can begin a type.
+func (p *parser) isTypeStart() bool {
+	switch p.kind() {
+	case token.INTKW, token.FLOATKW, token.DOUBLE, token.VOID:
+		return true
+	case token.STRUCT:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseDecl() ast.Decl {
+	off := p.cur().Offset
+	if p.kind() == token.STRUCT && p.peek() == token.IDENT && p.peekAt(2) == token.LBRACE {
+		return p.parseStructDecl()
+	}
+	if !p.isTypeStart() {
+		p.errorf(off, "expected declaration, found %q", p.describe())
+		return nil
+	}
+	base := p.parseBaseType()
+	typ, name := p.parseDeclarator(base)
+	if name == "" {
+		p.errorf(off, "expected declarator name")
+		return nil
+	}
+	if p.kind() == token.LPAREN {
+		return p.parseFuncDecl(off, typ, name)
+	}
+	// Global variable; arrays may follow the name.
+	typ = p.parseArraySuffix(typ)
+	var init ast.Expr
+	if p.accept(token.ASSIGN) {
+		init = p.parseExpr()
+	}
+	p.expect(token.SEMICOLON)
+	return &ast.GlobalDecl{Off: off, Type: typ, Name: name, Init: init}
+}
+
+func (p *parser) peekAt(n int) token.Kind {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n].Kind
+	}
+	return token.EOF
+}
+
+func (p *parser) parseStructDecl() ast.Decl {
+	off := p.expect(token.STRUCT).Offset
+	name := p.expect(token.IDENT).Lit
+	p.expect(token.LBRACE)
+	var fields []ast.FieldDecl
+	for p.kind() != token.RBRACE && p.kind() != token.EOF {
+		foff := p.cur().Offset
+		base := p.parseBaseType()
+		ft, fname := p.parseDeclarator(base)
+		ft = p.parseArraySuffix(ft)
+		p.expect(token.SEMICOLON)
+		fields = append(fields, ast.FieldDecl{Off: foff, Type: ft, Name: fname})
+	}
+	p.expect(token.RBRACE)
+	p.expect(token.SEMICOLON)
+	return &ast.StructDecl{Off: off, Name: name, Fields: fields}
+}
+
+// parseBaseType parses int/float/double/void/struct-X without pointer stars.
+func (p *parser) parseBaseType() *ast.TypeExpr {
+	t := p.cur()
+	switch t.Kind {
+	case token.INTKW:
+		p.next()
+		return &ast.TypeExpr{Off: t.Offset, Kind: ast.TypeInt}
+	case token.FLOATKW:
+		p.next()
+		return &ast.TypeExpr{Off: t.Offset, Kind: ast.TypeFloat}
+	case token.DOUBLE:
+		p.next()
+		return &ast.TypeExpr{Off: t.Offset, Kind: ast.TypeDouble}
+	case token.VOID:
+		p.next()
+		return &ast.TypeExpr{Off: t.Offset, Kind: ast.TypeVoid}
+	case token.STRUCT:
+		p.next()
+		name := p.expect(token.IDENT).Lit
+		return &ast.TypeExpr{Off: t.Offset, Kind: ast.TypeStruct, Name: name}
+	}
+	p.errorf(t.Offset, "expected type, found %q", p.describe())
+	p.next()
+	return &ast.TypeExpr{Off: t.Offset, Kind: ast.TypeInt}
+}
+
+// parseDeclarator parses pointer stars and the declared name:
+// "double **p" → (ptr (ptr double)), "p".
+func (p *parser) parseDeclarator(base *ast.TypeExpr) (*ast.TypeExpr, string) {
+	typ := base
+	for p.kind() == token.MUL {
+		off := p.next().Offset
+		typ = &ast.TypeExpr{Off: off, Kind: ast.TypePointer, Elem: typ}
+	}
+	if p.kind() != token.IDENT {
+		return typ, ""
+	}
+	return typ, p.next().Lit
+}
+
+// parseArraySuffix parses trailing [N][M]... array dimensions and wraps the
+// element type, producing row-major C array types.
+func (p *parser) parseArraySuffix(elem *ast.TypeExpr) *ast.TypeExpr {
+	var dims []int
+	off := p.cur().Offset
+	for p.kind() == token.LBRACKET {
+		p.next()
+		t := p.expect(token.INT)
+		n, err := strconv.Atoi(t.Lit)
+		if err != nil || n <= 0 {
+			p.errorf(t.Offset, "array dimension must be a positive integer constant")
+			n = 1
+		}
+		p.expect(token.RBRACKET)
+		dims = append(dims, n)
+	}
+	typ := elem
+	for i := len(dims) - 1; i >= 0; i-- {
+		typ = &ast.TypeExpr{Off: off, Kind: ast.TypeArray, ArrayOf: typ, Len: dims[i]}
+	}
+	return typ
+}
+
+func (p *parser) parseFuncDecl(off int, result *ast.TypeExpr, name string) ast.Decl {
+	p.expect(token.LPAREN)
+	var params []ast.Param
+	if p.kind() != token.RPAREN {
+		for {
+			poff := p.cur().Offset
+			base := p.parseBaseType()
+			pt, pname := p.parseDeclarator(base)
+			if pname == "" {
+				p.errorf(poff, "parameter name required")
+			}
+			// Array parameters are allowed and decay to pointers.
+			pt = p.parseArraySuffix(pt)
+			params = append(params, ast.Param{Off: poff, Type: pt, Name: pname})
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+	}
+	p.expect(token.RPAREN)
+	body := p.parseBlock()
+	return &ast.FuncDecl{Off: off, Result: result, Name: name, Params: params, Body: body}
+}
+
+// ---------------------------------------------------------------- statements
+
+func (p *parser) parseBlock() *ast.Block {
+	off := p.expect(token.LBRACE).Offset
+	b := &ast.Block{Off: off}
+	for p.kind() != token.RBRACE && p.kind() != token.EOF {
+		before := p.pos
+		s := p.parseStmt()
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+		if p.pos == before {
+			p.next() // guarantee progress on malformed input
+		}
+	}
+	p.expect(token.RBRACE)
+	return b
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	off := p.cur().Offset
+	switch p.kind() {
+	case token.LBRACE:
+		return p.parseBlock()
+	case token.IF:
+		return p.parseIf()
+	case token.FOR:
+		return p.parseFor()
+	case token.WHILE:
+		return p.parseWhile()
+	case token.DO:
+		return p.parseDoWhile()
+	case token.RETURN:
+		p.next()
+		var x ast.Expr
+		if p.kind() != token.SEMICOLON {
+			x = p.parseExpr()
+		}
+		p.expect(token.SEMICOLON)
+		return &ast.Return{Off: off, X: x}
+	case token.BREAK:
+		p.next()
+		p.expect(token.SEMICOLON)
+		return &ast.Break{Off: off}
+	case token.CONTINUE:
+		p.next()
+		p.expect(token.SEMICOLON)
+		return &ast.Continue{Off: off}
+	case token.SEMICOLON:
+		p.next()
+		return nil
+	}
+	if p.isTypeStart() {
+		s := p.parseVarDecl()
+		p.expect(token.SEMICOLON)
+		return s
+	}
+	s := p.parseSimpleStmt()
+	p.expect(token.SEMICOLON)
+	return s
+}
+
+func (p *parser) parseVarDecl() ast.Stmt {
+	off := p.cur().Offset
+	base := p.parseBaseType()
+	typ, name := p.parseDeclarator(base)
+	if name == "" {
+		p.errorf(off, "expected variable name")
+	}
+	typ = p.parseArraySuffix(typ)
+	var init ast.Expr
+	if p.accept(token.ASSIGN) {
+		init = p.parseExpr()
+	}
+	return &ast.VarDecl{Off: off, Type: typ, Name: name, Init: init}
+}
+
+// parseSimpleStmt parses an assignment, inc/dec, or expression statement
+// (without the trailing semicolon, so for-headers can reuse it).
+func (p *parser) parseSimpleStmt() ast.Stmt {
+	off := p.cur().Offset
+	x := p.parseExpr()
+	switch {
+	case p.kind().IsAssign():
+		op := p.next().Kind
+		rhs := p.parseExpr()
+		id := p.nextAssignID
+		p.nextAssignID++
+		return &ast.Assign{Off: off, ID: id, Op: op, LHS: x, RHS: rhs}
+	case p.kind() == token.INC || p.kind() == token.DEC:
+		op := p.next().Kind
+		return &ast.IncDec{Off: off, Op: op, X: x}
+	}
+	return &ast.ExprStmt{Off: off, X: x}
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	off := p.expect(token.IF).Offset
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	then := p.blockOrSingle()
+	var els ast.Stmt
+	if p.accept(token.ELSE) {
+		if p.kind() == token.IF {
+			els = p.parseIf()
+		} else {
+			els = p.blockOrSingle()
+		}
+	}
+	return &ast.If{Off: off, Cond: cond, Then: then, Else: els}
+}
+
+// blockOrSingle parses a block, or wraps a single statement in one.
+func (p *parser) blockOrSingle() *ast.Block {
+	if p.kind() == token.LBRACE {
+		return p.parseBlock()
+	}
+	off := p.cur().Offset
+	s := p.parseStmt()
+	b := &ast.Block{Off: off}
+	if s != nil {
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	off := p.expect(token.FOR).Offset
+	id := p.nextLoopID
+	p.nextLoopID++
+	p.expect(token.LPAREN)
+	var init ast.Stmt
+	if p.kind() != token.SEMICOLON {
+		if p.isTypeStart() {
+			init = p.parseVarDecl()
+		} else {
+			init = p.parseSimpleStmt()
+		}
+	}
+	p.expect(token.SEMICOLON)
+	var cond ast.Expr
+	if p.kind() != token.SEMICOLON {
+		cond = p.parseExpr()
+	}
+	p.expect(token.SEMICOLON)
+	var post ast.Stmt
+	if p.kind() != token.RPAREN {
+		post = p.parseSimpleStmt()
+	}
+	p.expect(token.RPAREN)
+	body := p.blockOrSingle()
+	return &ast.For{Off: off, ID: id, Line: p.line(off), Init: init, Cond: cond, Post: post, Body: body}
+}
+
+func (p *parser) parseWhile() ast.Stmt {
+	off := p.expect(token.WHILE).Offset
+	id := p.nextLoopID
+	p.nextLoopID++
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	body := p.blockOrSingle()
+	return &ast.While{Off: off, ID: id, Line: p.line(off), Cond: cond, Body: body}
+}
+
+func (p *parser) parseDoWhile() ast.Stmt {
+	off := p.expect(token.DO).Offset
+	id := p.nextLoopID
+	p.nextLoopID++
+	body := p.blockOrSingle()
+	p.expect(token.WHILE)
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	p.expect(token.SEMICOLON)
+	return &ast.While{Off: off, ID: id, Line: p.line(off), Cond: cond, Body: body, DoWhile: true}
+}
+
+// ---------------------------------------------------------------- expressions
+
+func (p *parser) parseExpr() ast.Expr {
+	return p.parseBinary(1)
+}
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	x := p.parseUnary()
+	for {
+		op := p.kind()
+		prec := op.Precedence()
+		if prec < minPrec {
+			return x
+		}
+		off := p.next().Offset
+		y := p.parseBinary(prec + 1)
+		x = &ast.Binary{Off: off, Op: op, X: x, Y: y}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.SUB, token.NOT, token.MUL, token.AND:
+		p.next()
+		x := p.parseUnary()
+		return &ast.Unary{Off: t.Offset, Op: t.Kind, X: x}
+	case token.ADD:
+		p.next()
+		return p.parseUnary()
+	case token.LPAREN:
+		// Could be a cast "(double)x" or a parenthesized expression.
+		if p.isCastStart() {
+			p.next() // (
+			typ := p.parseCastType()
+			p.expect(token.RPAREN)
+			x := p.parseUnary()
+			return &ast.Cast{Off: t.Offset, To: typ, X: x}
+		}
+	}
+	return p.parsePostfix()
+}
+
+// isCastStart reports whether the parenthesized form starting at the current
+// "(" is a cast: "(" type-token ... ")".
+func (p *parser) isCastStart() bool {
+	switch p.peek() {
+	case token.INTKW, token.FLOATKW, token.DOUBLE:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseCastType() *ast.TypeExpr {
+	base := p.parseBaseType()
+	for p.kind() == token.MUL {
+		off := p.next().Offset
+		base = &ast.TypeExpr{Off: off, Kind: ast.TypePointer, Elem: base}
+	}
+	return base
+}
+
+func (p *parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.kind() {
+		case token.LBRACKET:
+			off := p.next().Offset
+			idx := p.parseExpr()
+			p.expect(token.RBRACKET)
+			x = &ast.Index{Off: off, X: x, Idx: idx}
+		case token.PERIOD:
+			off := p.next().Offset
+			f := p.expect(token.IDENT).Lit
+			x = &ast.Member{Off: off, X: x, Field: f}
+		case token.ARROW:
+			off := p.next().Offset
+			f := p.expect(token.IDENT).Lit
+			x = &ast.Member{Off: off, X: x, Field: f, Arrow: true}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			p.errorf(t.Offset, "invalid integer literal %q", t.Lit)
+		}
+		return &ast.IntLit{Off: t.Offset, Value: v}
+	case token.FLOAT:
+		p.next()
+		v, err := strconv.ParseFloat(t.Lit, 64)
+		if err != nil {
+			p.errorf(t.Offset, "invalid float literal %q", t.Lit)
+		}
+		return &ast.FloatLit{Off: t.Offset, Value: v, Text: t.Lit}
+	case token.IDENT:
+		p.next()
+		id := &ast.Ident{Off: t.Offset, Name: t.Lit}
+		if p.kind() == token.LPAREN {
+			p.next()
+			var args []ast.Expr
+			if p.kind() != token.RPAREN {
+				for {
+					args = append(args, p.parseExpr())
+					if !p.accept(token.COMMA) {
+						break
+					}
+				}
+			}
+			p.expect(token.RPAREN)
+			return &ast.Call{Off: t.Offset, Fun: id, Args: args}
+		}
+		return id
+	case token.LPAREN:
+		p.next()
+		x := p.parseExpr()
+		p.expect(token.RPAREN)
+		return x
+	}
+	p.errorf(t.Offset, "expected expression, found %q", p.describe())
+	p.next()
+	return &ast.IntLit{Off: t.Offset, Value: 0}
+}

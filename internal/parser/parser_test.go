@@ -1,0 +1,379 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/example/vectrace/internal/ast"
+	"github.com/example/vectrace/internal/token"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return prog
+}
+
+func parseErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	_, err := Parse("t.c", src)
+	if err == nil {
+		t.Fatalf("expected parse error containing %q", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error %q does not contain %q", err.Error(), wantSubstr)
+	}
+}
+
+// mainBody parses a program consisting of one main function with the given
+// body and returns its statements.
+func mainBody(t *testing.T, body string) []ast.Stmt {
+	t.Helper()
+	prog := parseOK(t, "void main() {\n"+body+"\n}")
+	fd := prog.Decls[0].(*ast.FuncDecl)
+	return fd.Body.Stmts
+}
+
+func TestGlobalDecls(t *testing.T) {
+	prog := parseOK(t, `
+int n;
+double x = 1.5;
+double A[4][8];
+double *p;
+`)
+	if len(prog.Decls) != 4 {
+		t.Fatalf("got %d decls, want 4", len(prog.Decls))
+	}
+	g0 := prog.Decls[0].(*ast.GlobalDecl)
+	if g0.Name != "n" || g0.Type.Kind != ast.TypeInt || g0.Init != nil {
+		t.Errorf("decl 0 wrong: %+v", g0)
+	}
+	g1 := prog.Decls[1].(*ast.GlobalDecl)
+	if g1.Init == nil {
+		t.Error("x should have an initializer")
+	}
+	g2 := prog.Decls[2].(*ast.GlobalDecl)
+	if g2.Type.Kind != ast.TypeArray || g2.Type.Len != 4 ||
+		g2.Type.ArrayOf.Kind != ast.TypeArray || g2.Type.ArrayOf.Len != 8 ||
+		g2.Type.ArrayOf.ArrayOf.Kind != ast.TypeDouble {
+		t.Errorf("A should be double[4][8], got %+v", g2.Type)
+	}
+	g3 := prog.Decls[3].(*ast.GlobalDecl)
+	if g3.Type.Kind != ast.TypePointer || g3.Type.Elem.Kind != ast.TypeDouble {
+		t.Errorf("p should be double*, got %+v", g3.Type)
+	}
+}
+
+func TestStructDecl(t *testing.T) {
+	prog := parseOK(t, `
+struct point { double x; double y; int tag; };
+struct point P[8];
+`)
+	sd := prog.Decls[0].(*ast.StructDecl)
+	if sd.Name != "point" || len(sd.Fields) != 3 {
+		t.Fatalf("struct wrong: %+v", sd)
+	}
+	if sd.Fields[2].Type.Kind != ast.TypeInt {
+		t.Errorf("field tag type wrong")
+	}
+	g := prog.Decls[1].(*ast.GlobalDecl)
+	if g.Type.Kind != ast.TypeArray || g.Type.ArrayOf.Kind != ast.TypeStruct || g.Type.ArrayOf.Name != "point" {
+		t.Errorf("P should be struct point[8]")
+	}
+}
+
+func TestStructFieldArrays(t *testing.T) {
+	prog := parseOK(t, `struct m { double e[3][3]; };`)
+	sd := prog.Decls[0].(*ast.StructDecl)
+	ft := sd.Fields[0].Type
+	if ft.Kind != ast.TypeArray || ft.Len != 3 || ft.ArrayOf.Len != 3 {
+		t.Fatalf("field e should be double[3][3], got %+v", ft)
+	}
+}
+
+func TestFunctionDecl(t *testing.T) {
+	prog := parseOK(t, `
+double f(double *x, int n) {
+  return x[n-1];
+}
+void main() { }
+`)
+	fd := prog.Decls[0].(*ast.FuncDecl)
+	if fd.Name != "f" || len(fd.Params) != 2 {
+		t.Fatalf("function wrong: %+v", fd)
+	}
+	if fd.Params[0].Type.Kind != ast.TypePointer || fd.Params[1].Type.Kind != ast.TypeInt {
+		t.Error("parameter types wrong")
+	}
+	if fd.Result.Kind != ast.TypeDouble {
+		t.Error("result type wrong")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	stmts := mainBody(t, "int x; x = 1 + 2 * 3;")
+	asn := stmts[1].(*ast.Assign)
+	add := asn.RHS.(*ast.Binary)
+	if add.Op != token.ADD {
+		t.Fatalf("top operator = %v, want +", add.Op)
+	}
+	mul := add.Y.(*ast.Binary)
+	if mul.Op != token.MUL {
+		t.Fatalf("right operand should be *, got %v", mul.Op)
+	}
+}
+
+func TestPrecedenceComparisonLogic(t *testing.T) {
+	stmts := mainBody(t, "int x; if (x < 1 && x > 0 || x == 5) { x = 1; }")
+	ifs := stmts[1].(*ast.If)
+	or := ifs.Cond.(*ast.Binary)
+	if or.Op != token.LOR {
+		t.Fatalf("top = %v, want ||", or.Op)
+	}
+	and := or.X.(*ast.Binary)
+	if and.Op != token.LAND {
+		t.Fatalf("left = %v, want &&", and.Op)
+	}
+}
+
+func TestUnaryAndCast(t *testing.T) {
+	stmts := mainBody(t, "double d; int i; d = -(double)i; d = *(&d);")
+	a1 := stmts[2].(*ast.Assign)
+	neg := a1.RHS.(*ast.Unary)
+	if neg.Op != token.SUB {
+		t.Fatalf("want unary minus, got %v", neg.Op)
+	}
+	if _, ok := neg.X.(*ast.Cast); !ok {
+		t.Fatalf("want cast under minus, got %T", neg.X)
+	}
+	a2 := stmts[3].(*ast.Assign)
+	deref := a2.RHS.(*ast.Unary)
+	if deref.Op != token.MUL {
+		t.Fatalf("want deref, got %v", deref.Op)
+	}
+	if addr, ok := deref.X.(*ast.Unary); !ok || addr.Op != token.AND {
+		t.Fatalf("want address-of under deref, got %T", deref.X)
+	}
+}
+
+func TestPostfixChains(t *testing.T) {
+	stmts := mainBody(t, "int x; x = a.b[1].c - p->q;")
+	asn := stmts[1].(*ast.Assign)
+	sub := asn.RHS.(*ast.Binary)
+	m := sub.X.(*ast.Member)
+	if m.Field != "c" || m.Arrow {
+		t.Fatalf("left chain should end .c, got %+v", m)
+	}
+	idx := m.X.(*ast.Index)
+	inner := idx.X.(*ast.Member)
+	if inner.Field != "b" {
+		t.Fatalf("chain should be a.b[1].c")
+	}
+	arrow := sub.Y.(*ast.Member)
+	if arrow.Field != "q" || !arrow.Arrow {
+		t.Fatalf("right side should be p->q, got %+v", arrow)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	stmts := mainBody(t, "int i; for (i = 0; i < 8; i++) { i = i; }")
+	f := stmts[1].(*ast.For)
+	if f.Init == nil || f.Cond == nil || f.Post == nil {
+		t.Fatal("for header incomplete")
+	}
+	if _, ok := f.Post.(*ast.IncDec); !ok {
+		t.Fatalf("post should be ++, got %T", f.Post)
+	}
+	if f.Line == 0 {
+		t.Error("loop line not recorded")
+	}
+}
+
+func TestForWithDeclInit(t *testing.T) {
+	stmts := mainBody(t, "for (int i = 0; i < 4; i = i + 1) { }")
+	f := stmts[0].(*ast.For)
+	if _, ok := f.Init.(*ast.VarDecl); !ok {
+		t.Fatalf("init should be a declaration, got %T", f.Init)
+	}
+}
+
+func TestForEmptyHeader(t *testing.T) {
+	stmts := mainBody(t, "for (;;) { break; }")
+	f := stmts[0].(*ast.For)
+	if f.Init != nil || f.Cond != nil || f.Post != nil {
+		t.Fatal("empty header fields should be nil")
+	}
+}
+
+func TestWhileAndDoNotSupported(t *testing.T) {
+	stmts := mainBody(t, "int i; while (i < 3) { i++; }")
+	w := stmts[1].(*ast.While)
+	if w.Cond == nil || len(w.Body.Stmts) != 1 {
+		t.Fatal("while wrong")
+	}
+}
+
+func TestLoopIDsAreUnique(t *testing.T) {
+	prog := parseOK(t, `
+void main() {
+  int i; int j;
+  for (i = 0; i < 3; i++) {
+    for (j = 0; j < 3; j++) { }
+  }
+  while (i > 0) { i = i - 1; }
+}
+`)
+	loops := prog.Loops()
+	if len(loops) != 3 {
+		t.Fatalf("got %d loops, want 3", len(loops))
+	}
+	seen := map[int]bool{}
+	for _, l := range loops {
+		if seen[l.ID] {
+			t.Fatalf("duplicate loop ID %d", l.ID)
+		}
+		seen[l.ID] = true
+	}
+	if prog.NumLoops != 3 {
+		t.Errorf("NumLoops = %d, want 3", prog.NumLoops)
+	}
+}
+
+func TestAssignIDsAreUnique(t *testing.T) {
+	stmts := mainBody(t, "int a; int b; a = 1; b = 2; a += b;")
+	ids := map[int]bool{}
+	for _, s := range stmts {
+		if asn, ok := s.(*ast.Assign); ok {
+			if ids[asn.ID] {
+				t.Fatalf("duplicate assign ID %d", asn.ID)
+			}
+			ids[asn.ID] = true
+		}
+	}
+	if len(ids) != 3 {
+		t.Fatalf("got %d assignments, want 3", len(ids))
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	stmts := mainBody(t, `
+int x;
+if (x == 1) { x = 2; }
+else if (x == 2) { x = 3; }
+else { x = 4; }
+`)
+	ifs := stmts[1].(*ast.If)
+	elif, ok := ifs.Else.(*ast.If)
+	if !ok {
+		t.Fatalf("else-if should parse as nested If, got %T", ifs.Else)
+	}
+	if _, ok := elif.Else.(*ast.Block); !ok {
+		t.Fatalf("final else should be a block, got %T", elif.Else)
+	}
+}
+
+func TestSingleStatementBodies(t *testing.T) {
+	stmts := mainBody(t, "int i; if (i) i = 1; for (i = 0; i < 2; i++) i = i;")
+	ifs := stmts[1].(*ast.If)
+	if len(ifs.Then.Stmts) != 1 {
+		t.Fatal("unbraced then should wrap a single statement")
+	}
+	f := stmts[2].(*ast.For)
+	if len(f.Body.Stmts) != 1 {
+		t.Fatal("unbraced loop body should wrap a single statement")
+	}
+}
+
+func TestCompoundAssign(t *testing.T) {
+	stmts := mainBody(t, "double s; s += 1.0; s -= 2.0; s *= 3.0; s /= 4.0;")
+	want := []token.Kind{token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN}
+	for i, k := range want {
+		asn := stmts[i+1].(*ast.Assign)
+		if asn.Op != k {
+			t.Errorf("stmt %d op = %v, want %v", i+1, asn.Op, k)
+		}
+	}
+}
+
+func TestCallArguments(t *testing.T) {
+	stmts := mainBody(t, "f(); g(1); h(1, 2.5, x);")
+	for i, want := range []int{0, 1, 3} {
+		es := stmts[i].(*ast.ExprStmt)
+		call := es.X.(*ast.Call)
+		if len(call.Args) != want {
+			t.Errorf("call %d has %d args, want %d", i, len(call.Args), want)
+		}
+	}
+}
+
+func TestReturnForms(t *testing.T) {
+	prog := parseOK(t, `
+void a() { return; }
+int b() { return 42; }
+`)
+	ra := prog.Decls[0].(*ast.FuncDecl).Body.Stmts[0].(*ast.Return)
+	if ra.X != nil {
+		t.Error("void return should have nil expression")
+	}
+	rb := prog.Decls[1].(*ast.FuncDecl).Body.Stmts[0].(*ast.Return)
+	if rb.X == nil {
+		t.Error("value return should have an expression")
+	}
+}
+
+func TestParenthesizedVsCast(t *testing.T) {
+	// "(x)" is grouping, "(double)x" is a cast.
+	stmts := mainBody(t, "int x; int y; y = (x); y = (int)x;")
+	a1 := stmts[2].(*ast.Assign)
+	if _, ok := a1.RHS.(*ast.Ident); !ok {
+		t.Fatalf("(x) should parse as identifier, got %T", a1.RHS)
+	}
+	a2 := stmts[3].(*ast.Assign)
+	if _, ok := a2.RHS.(*ast.Cast); !ok {
+		t.Fatalf("(int)x should parse as cast, got %T", a2.RHS)
+	}
+}
+
+func TestErrorMissingSemicolon(t *testing.T) {
+	parseErr(t, "void main() { int x\nx = 1; }", `expected ";"`)
+}
+
+func TestErrorBadArrayDim(t *testing.T) {
+	parseErr(t, "double A[0];", "positive integer")
+}
+
+func TestErrorUnexpectedToken(t *testing.T) {
+	parseErr(t, "void main() { x = ; }", "expected expression")
+}
+
+func TestErrorTopLevel(t *testing.T) {
+	parseErr(t, "42;", "expected declaration")
+}
+
+func TestRecoveryProducesPartialAST(t *testing.T) {
+	prog, err := Parse("t.c", `
+void broken() { x = ; }
+void fine() { }
+`)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if len(prog.Decls) != 2 {
+		t.Fatalf("recovery should keep both decls, got %d", len(prog.Decls))
+	}
+}
+
+func TestErrorCap(t *testing.T) {
+	// A pathological input should not produce unbounded errors.
+	src := "void main() { " + strings.Repeat("@ ", 200) + "}"
+	_, err := Parse("t.c", src)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	if n := strings.Count(err.Error(), "\n"); n > 120 {
+		t.Fatalf("too many errors reported: %d", n)
+	}
+}

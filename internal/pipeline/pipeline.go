@@ -1,0 +1,86 @@
+// Package pipeline wires the front end, interpreter, tracer, and analyses
+// into the convenience entry points used by the command-line tools, the
+// examples, and the benchmark harness: compile a MiniC source, execute it
+// under instrumentation, and capture per-loop sub-traces.
+package pipeline
+
+import (
+	"fmt"
+
+	"github.com/example/vectrace/internal/interp"
+	"github.com/example/vectrace/internal/ir"
+	"github.com/example/vectrace/internal/lower"
+	"github.com/example/vectrace/internal/parser"
+	"github.com/example/vectrace/internal/sema"
+	"github.com/example/vectrace/internal/trace"
+)
+
+// Compile parses, type-checks, and lowers a MiniC source file into a
+// finalized VIR module.
+func Compile(filename, src string) (*ir.Module, error) {
+	prog, err := parser.Parse(filename, src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	mod, err := lower.Lower(prog, info)
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	return mod, nil
+}
+
+// Run executes the module's main function without tracing and returns the
+// execution summary (used for plain runs and cycle profiling).
+func Run(mod *ir.Module, countLoops bool) (*interp.Result, error) {
+	m := interp.New(mod, interp.Config{CountLoopCycles: countLoops})
+	return m.Run("main")
+}
+
+// Trace executes the module's main function under full instrumentation and
+// returns both the execution summary and the captured trace.
+func Trace(mod *ir.Module) (*interp.Result, *trace.Trace, error) {
+	sink := &interp.TraceSink{}
+	m := interp.New(mod, interp.Config{Tracer: sink, CountLoopCycles: true})
+	res, err := m.Run("main")
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := &trace.Trace{Module: mod}
+	tr.Events = make([]trace.Event, len(sink.Events))
+	for i, ev := range sink.Events {
+		tr.Events[i] = trace.Event{ID: ev.ID, Addr: ev.Addr}
+	}
+	return res, tr, nil
+}
+
+// CompileAndTrace is Compile followed by Trace.
+func CompileAndTrace(filename, src string) (*ir.Module, *interp.Result, *trace.Trace, error) {
+	mod, err := Compile(filename, src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, tr, err := Trace(mod)
+	if err != nil {
+		return mod, nil, nil, err
+	}
+	return mod, res, tr, nil
+}
+
+// LoopRegion returns the idx-th dynamic sub-trace of the source loop whose
+// "for"/"while" keyword is on the given source line. It returns an error if
+// the loop or region does not exist — e.g. when the loop never executed.
+func LoopRegion(tr *trace.Trace, line, idx int) (*trace.Trace, error) {
+	lm := tr.Module.LoopByLine(line)
+	if lm == nil {
+		return nil, fmt.Errorf("pipeline: no loop on line %d", line)
+	}
+	regions := tr.Regions(lm.ID)
+	if idx < 0 || idx >= len(regions) {
+		return nil, fmt.Errorf("pipeline: loop on line %d has %d dynamic regions, want index %d", line, len(regions), idx)
+	}
+	return tr.Slice(regions[idx]), nil
+}

@@ -1,0 +1,197 @@
+// Package profile selects hot loops from an instrumented execution and
+// computes the "Percent Cycles" and "Percent Packed" columns of the paper's
+// Table 1.
+//
+// It stands in for HPCToolkit: cycles come from the interpreter's per-loop
+// accounting instead of hardware sampling, and "packed" operations come from
+// the static vectorizer's verdicts instead of counting SSE instructions in
+// an icc binary. Selection follows the paper's rule: all innermost loops at
+// or above the cycle threshold, plus any parent loop whose share exceeds the
+// sum of its children's shares by at least ten percentage points.
+package profile
+
+import (
+	"sort"
+
+	"github.com/example/vectrace/internal/interp"
+	"github.com/example/vectrace/internal/ir"
+	"github.com/example/vectrace/internal/staticvec"
+)
+
+// LoopStats summarizes one source loop's dynamic behaviour.
+type LoopStats struct {
+	LoopID int
+	Line   int
+	Func   string
+	Depth  int
+	// Innermost reports whether the loop has no nested loops.
+	Innermost bool
+	// Cycles is the inclusive simulated cycle count (self + nested).
+	Cycles int64
+	// PercentCycles is Cycles as a share of the whole execution.
+	PercentCycles float64
+	// FPOps is the inclusive count of candidate floating-point operations.
+	FPOps int64
+	// PackedFPOps is the subset executed inside loops the static
+	// vectorizer accepted.
+	PackedFPOps int64
+}
+
+// PercentPacked returns the share of the loop's floating-point operations
+// that execute packed — the paper's "Percent Packed" column.
+func (s *LoopStats) PercentPacked() float64 {
+	if s.FPOps == 0 {
+		return 0
+	}
+	return 100 * float64(s.PackedFPOps) / float64(s.FPOps)
+}
+
+// Profile holds per-loop statistics for one execution.
+type Profile struct {
+	Mod   *ir.Module
+	Total int64 // total cycles
+	Loops []LoopStats
+	byID  map[int]*LoopStats
+	// children is the run-time loop tree observed during the execution.
+	children map[int][]int
+}
+
+// Loop returns stats for the given loop ID, or nil.
+func (p *Profile) Loop(id int) *LoopStats {
+	return p.byID[id]
+}
+
+// RuntimeParent returns the run-time parent of a loop: the interpreter's
+// observation when available (it crosses function calls), else the static
+// nesting from the module.
+func RuntimeParent(mod *ir.Module, res *interp.Result, loopID int) int {
+	if res.LoopParents != nil {
+		if p, ok := res.LoopParents[loopID]; ok {
+			return p
+		}
+	}
+	if lm := mod.LoopByID(loopID); lm != nil {
+		return lm.Parent
+	}
+	return -1
+}
+
+// runtimeDepth returns the loop's depth under run-time nesting.
+func runtimeDepth(mod *ir.Module, res *interp.Result, loopID int) int {
+	d := 0
+	for p := RuntimeParent(mod, res, loopID); p >= 0 && d < 64; p = RuntimeParent(mod, res, p) {
+		d++
+	}
+	return d
+}
+
+// Subtree returns the set of loop IDs at or below root under run-time
+// nesting. Used by the SIMD model's per-loop timing as well.
+func Subtree(mod *ir.Module, res *interp.Result, root int) map[int]bool {
+	set := map[int]bool{root: true}
+	for changed := true; changed; {
+		changed = false
+		for i := range mod.Loops {
+			id := mod.Loops[i].ID
+			if p := RuntimeParent(mod, res, id); !set[id] && p >= 0 && set[p] {
+				set[id] = true
+				changed = true
+			}
+		}
+	}
+	return set
+}
+
+// Build computes inclusive per-loop statistics from an execution result and
+// the static vectorizer's verdicts.
+func Build(mod *ir.Module, res *interp.Result, verdicts map[int]staticvec.Verdict) *Profile {
+	p := &Profile{Mod: mod, Total: res.Cycles, byID: make(map[int]*LoopStats)}
+
+	children := make(map[int][]int)
+	for i := range mod.Loops {
+		id := mod.Loops[i].ID
+		if par := RuntimeParent(mod, res, id); par >= 0 {
+			children[par] = append(children[par], id)
+		}
+	}
+
+	// Inclusive accumulation: process loops deepest-first under run-time
+	// nesting.
+	order := make([]*ir.LoopMeta, 0, len(mod.Loops))
+	for i := range mod.Loops {
+		order = append(order, &mod.Loops[i])
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return runtimeDepth(mod, res, order[i].ID) > runtimeDepth(mod, res, order[j].ID)
+	})
+
+	incCycles := make(map[int]int64)
+	incFP := make(map[int]int64)
+	incPacked := make(map[int]int64)
+	for _, l := range order {
+		c := res.LoopCycles[l.ID]
+		fp := res.LoopFPOps[l.ID]
+		packed := int64(0)
+		if v, ok := verdicts[l.ID]; ok && v.Vectorized {
+			// Vectorized loops are innermost by construction; their own FP
+			// ops are the packed ones.
+			packed = fp
+		}
+		for _, ch := range children[l.ID] {
+			c += incCycles[ch]
+			fp += incFP[ch]
+			packed += incPacked[ch]
+		}
+		incCycles[l.ID] = c
+		incFP[l.ID] = fp
+		incPacked[l.ID] = packed
+	}
+
+	for i := range mod.Loops {
+		l := &mod.Loops[i]
+		st := LoopStats{
+			LoopID: l.ID, Line: l.Line, Func: l.Func, Depth: l.Depth,
+			Innermost: len(children[l.ID]) == 0,
+			Cycles:    incCycles[l.ID],
+			FPOps:     incFP[l.ID], PackedFPOps: incPacked[l.ID],
+		}
+		if res.Cycles > 0 {
+			st.PercentCycles = 100 * float64(st.Cycles) / float64(res.Cycles)
+		}
+		p.Loops = append(p.Loops, st)
+	}
+	sort.Slice(p.Loops, func(i, j int) bool { return p.Loops[i].Cycles > p.Loops[j].Cycles })
+	for i := range p.Loops {
+		p.byID[p.Loops[i].LoopID] = &p.Loops[i]
+	}
+	p.children = children
+	return p
+}
+
+// Hot applies the paper's selection rule at the given percentage threshold
+// (the paper uses 10%, with an extended study at 5%): every innermost loop
+// at or above the threshold, plus parent loops whose share exceeds the sum
+// of their direct inner loops' shares by at least ten percentage points.
+func (p *Profile) Hot(threshold float64) []LoopStats {
+	children := p.children
+	var out []LoopStats
+	for _, st := range p.Loops {
+		if st.PercentCycles < threshold {
+			continue
+		}
+		if st.Innermost {
+			out = append(out, st)
+			continue
+		}
+		childSum := 0.0
+		for _, ch := range children[st.LoopID] {
+			if c := p.byID[ch]; c != nil {
+				childSum += c.PercentCycles
+			}
+		}
+		if st.PercentCycles >= childSum+10 {
+			out = append(out, st)
+		}
+	}
+	return out
+}

@@ -1,0 +1,431 @@
+// Package report regenerates the paper's evaluation artifacts — Tables 1–4
+// and Figures 1–2 — from the reproduction's kernels, returning structured
+// rows plus text renderings in the paper's column layout.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"sort"
+
+	"github.com/example/vectrace/internal/baseline"
+	"github.com/example/vectrace/internal/core"
+	"github.com/example/vectrace/internal/ddg"
+	"github.com/example/vectrace/internal/interp"
+	"github.com/example/vectrace/internal/ir"
+	"github.com/example/vectrace/internal/kernels"
+	"github.com/example/vectrace/internal/pipeline"
+	"github.com/example/vectrace/internal/profile"
+	"github.com/example/vectrace/internal/simd"
+	"github.com/example/vectrace/internal/staticvec"
+	"github.com/example/vectrace/internal/trace"
+)
+
+// LoopAnalysis bundles everything the tables need about one analyzed loop.
+type LoopAnalysis struct {
+	PercentCycles  float64
+	PercentPacked  float64
+	AvgConcurrency float64
+	UnitPct        float64
+	UnitSize       float64
+	NonUnitPct     float64
+	NonUnitSize    float64
+	Report         *core.Report
+}
+
+// RepresentativeReport analyzes up to maxRegions dynamic executions of a
+// loop and returns the median one (by candidate-operation count), the way
+// the paper "randomly chose several instances of the loop, analyzed each
+// corresponding subtrace ... and chose one representative subtrace to be
+// included in the measurements". Sampling is deterministic: the first,
+// middle, and last regions, covering warm-up and steady-state executions.
+func RepresentativeReport(tr *trace.Trace, loopID int, maxRegions int, opts core.Options) (*core.Report, error) {
+	regions := tr.Regions(loopID)
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("report: loop L%d never executed", loopID)
+	}
+	picks := []int{0}
+	if len(regions) > 2 {
+		picks = append(picks, len(regions)/2)
+	}
+	if len(regions) > 1 {
+		picks = append(picks, len(regions)-1)
+	}
+	if len(picks) > maxRegions {
+		picks = picks[:maxRegions]
+	}
+	var reps []*core.Report
+	for _, idx := range picks {
+		g, err := ddg.Build(tr.Slice(regions[idx]))
+		if err != nil {
+			return nil, err
+		}
+		reps = append(reps, core.Analyze(g, opts))
+	}
+	sort.SliceStable(reps, func(i, j int) bool {
+		return reps[i].TotalCandidateOps < reps[j].TotalCandidateOps
+	})
+	return reps[len(reps)/2], nil
+}
+
+// analyzeKernelLoop compiles, traces, profiles, and analyzes one marked loop
+// of a kernel.
+func analyzeKernelLoop(k kernels.Kernel, marker string, opts core.Options) (*LoopAnalysis, error) {
+	mod, res, tr, err := pipeline.CompileAndTrace(k.Name+".c", k.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", k.Name, err)
+	}
+	verdicts := staticvec.AnalyzeModule(mod)
+	prof := profile.Build(mod, res, verdicts)
+
+	line := k.LineOf(marker)
+	lm := mod.LoopByLine(line)
+	if lm == nil {
+		return nil, fmt.Errorf("%s: no loop on line %d (marker %s)", k.Name, line, marker)
+	}
+	rep, err := RepresentativeReport(tr, lm.ID, 3, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", k.Name, err)
+	}
+
+	la := &LoopAnalysis{
+		AvgConcurrency: rep.AvgConcurrency,
+		UnitPct:        rep.UnitVecOpsPct,
+		UnitSize:       rep.UnitAvgVecSize,
+		NonUnitPct:     rep.NonUnitVecOpsPct,
+		NonUnitSize:    rep.NonUnitAvgVecSize,
+		Report:         rep,
+	}
+	if st := prof.Loop(lm.ID); st != nil {
+		la.PercentCycles = st.PercentCycles
+		la.PercentPacked = st.PercentPacked()
+	}
+	return la, nil
+}
+
+// ---------------------------------------------------------------- Table 1
+
+// T1Row is one row of Table 1: a SPEC benchmark hot loop.
+type T1Row struct {
+	Benchmark string
+	Loop      string
+	LoopAnalysis
+}
+
+// Table1 regenerates Table 1 over the SPEC-shaped kernel suite.
+func Table1() ([]T1Row, error) {
+	var rows []T1Row
+	for _, b := range kernels.SPEC() {
+		for _, target := range b.Targets {
+			la, err := analyzeKernelLoop(b.Kernel, target.Marker, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, T1Row{Benchmark: b.Name, Loop: target.Label, LoopAnalysis: *la})
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable1 renders rows in the paper's column layout.
+func RenderTable1(rows []T1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-28s %8s %8s %12s | %8s %9s | %8s %9s\n",
+		"Benchmark", "Loop", "Cycles%", "Packed%", "AvgConcur",
+		"UVecOp%", "UVecSize", "NVecOp%", "NVecSize")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-28s %7.1f%% %7.1f%% %12.1f | %7.1f%% %9.1f | %7.1f%% %9.1f\n",
+			r.Benchmark, r.Loop, r.PercentCycles, r.PercentPacked, r.AvgConcurrency,
+			r.UnitPct, r.UnitSize, r.NonUnitPct, r.NonUnitSize)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// T2Row is one row of Table 2: a stand-alone kernel.
+type T2Row struct {
+	Benchmark string
+	LoopAnalysis
+}
+
+// Table2 regenerates Table 2: the 2-D Gauss-Seidel stencil and the 2-D PDE
+// grid solver.
+func Table2() ([]T2Row, error) {
+	var rows []T2Row
+	for _, spec := range []struct {
+		name   string
+		kernel kernels.Kernel
+		marker string
+	}{
+		{"2-D Gauss-Seidel Stencil", kernels.GaussSeidel(32, 2), "@time-loop"},
+		{"2-D PDE Grid Solver", kernels.PDESolver(16, 4), "@grid-j"},
+	} {
+		la, err := analyzeKernelLoop(spec.kernel, spec.marker, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, T2Row{Benchmark: spec.name, LoopAnalysis: *la})
+	}
+	return rows, nil
+}
+
+// RenderTable2 renders Table 2.
+func RenderTable2(rows []T2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %8s %12s | %8s %9s | %8s %9s\n",
+		"Benchmark", "Packed%", "AvgConcur", "UVecOp%", "UVecSize", "NVecOp%", "NVecSize")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s %7.1f%% %12.1f | %7.1f%% %9.1f | %7.1f%% %9.1f\n",
+			r.Benchmark, r.PercentPacked, r.AvgConcurrency,
+			r.UnitPct, r.UnitSize, r.NonUnitPct, r.NonUnitSize)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 3
+
+// T3Row is one row of Table 3: one code style of one UTDSP kernel.
+type T3Row struct {
+	Benchmark string
+	Style     string // "Array" or "Pointer"
+	LoopAnalysis
+}
+
+// Table3 regenerates Table 3 over the UTDSP pairs.
+func Table3() ([]T3Row, error) {
+	var rows []T3Row
+	for _, pair := range kernels.UTDSP() {
+		for _, v := range []struct {
+			style  string
+			kernel kernels.Kernel
+		}{{"Array", pair.Array}, {"Pointer", pair.Pointer}} {
+			la, err := analyzeKernelLoop(v.kernel, "@hot", core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, T3Row{Benchmark: pair.Name, Style: v.style, LoopAnalysis: *la})
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable3 renders Table 3.
+func RenderTable3(rows []T3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-8s %8s %12s | %8s %9s | %8s %9s\n",
+		"Benchmark", "Type", "Packed%", "AvgConcur", "UVecOp%", "UVecSize", "NVecOp%", "NVecSize")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-8s %7.1f%% %12.1f | %7.1f%% %9.1f | %7.1f%% %9.1f\n",
+			r.Benchmark, r.Style, r.PercentPacked, r.AvgConcurrency,
+			r.UnitPct, r.UnitSize, r.NonUnitPct, r.NonUnitSize)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 4
+
+// T4Row is one case study × machine cell of Table 4.
+type T4Row struct {
+	Benchmark string
+	Machine   string
+	// OriginalTime and TransformedTime are modeled cycle totals for the
+	// measured loop subtree.
+	OriginalTime    float64
+	TransformedTime float64
+	Speedup         float64
+}
+
+// caseRun holds one executed case-study side.
+type caseRun struct {
+	mod      *ir.Module
+	res      *interp.Result
+	verdicts map[int]staticvec.Verdict
+}
+
+func runCase(k kernels.Kernel) (*caseRun, error) {
+	mod, err := pipeline.Compile(k.Name+".c", k.Source)
+	if err != nil {
+		return nil, err
+	}
+	res, err := pipeline.Run(mod, true)
+	if err != nil {
+		return nil, err
+	}
+	return &caseRun{mod: mod, res: res, verdicts: staticvec.AnalyzeModule(mod)}, nil
+}
+
+// loopTimeAt prices the loop subtree rooted at the loop on the given line.
+func (c *caseRun) loopTimeAt(line int, m simd.Machine) (float64, error) {
+	lm := c.mod.LoopByLine(line)
+	if lm == nil {
+		return 0, fmt.Errorf("no loop on line %d", line)
+	}
+	return simd.LoopTime(c.mod, c.res, c.verdicts, m, lm.ID), nil
+}
+
+// Table4 regenerates Table 4: for each §4.4 case study, the modeled time of
+// the original and manually transformed versions on the three machines.
+func Table4() ([]T4Row, error) {
+	var rows []T4Row
+	for _, cs := range kernels.CaseStudies() {
+		orig, err := runCase(cs.Original)
+		if err != nil {
+			return nil, fmt.Errorf("%s original: %w", cs.Name, err)
+		}
+		tran, err := runCase(cs.Transformed)
+		if err != nil {
+			return nil, fmt.Errorf("%s transformed: %w", cs.Name, err)
+		}
+		for _, m := range simd.Machines() {
+			ot, err := orig.loopTimeAt(cs.Original.LineOf(cs.HotMarker), m)
+			if err != nil {
+				return nil, fmt.Errorf("%s original: %w", cs.Name, err)
+			}
+			tt, err := tran.loopTimeAt(cs.Transformed.LineOf(cs.HotMarker), m)
+			if err != nil {
+				return nil, fmt.Errorf("%s transformed: %w", cs.Name, err)
+			}
+			rows = append(rows, T4Row{
+				Benchmark: cs.Name, Machine: m.Name,
+				OriginalTime: ot, TransformedTime: tt, Speedup: ot / tt,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable4 renders Table 4.
+func RenderTable4(rows []T4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-22s %14s %14s %9s\n",
+		"Benchmark", "Machine", "OrigCycles", "TransCycles", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %-22s %14.0f %14.0f %8.2fx\n",
+			r.Benchmark, r.Machine, r.OriginalTime, r.TransformedTime, r.Speedup)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figures
+
+// FigureRow describes one analysis' partitioning of a statement's dynamic
+// instances, for the Figure 1 / Figure 2 comparisons.
+type FigureRow struct {
+	Analysis   string // "Algorithm 1", "Kumar", "Larus"
+	Statement  string // "S1" or "S2"
+	Partitions int
+	AvgSize    float64
+	MaxSize    int
+}
+
+// Figure1 regenerates the Figure 1 comparison on Listing 1: Algorithm 1's
+// partitions of S2 versus Kumar-style critical-path partitions.
+func Figure1(n int) ([]FigureRow, error) {
+	return figureRows(kernels.Listing1(n), map[string]string{"S1": "@S1", "S2": "@S2"}, "")
+}
+
+// Figure2 regenerates the Figure 2 comparison on Listing 2: Algorithm 1
+// versus the Larus-style loop-level model.
+func Figure2(n int) ([]FigureRow, error) {
+	return figureRows(kernels.Listing2(n), map[string]string{"S1": "@S1", "S2": "@S2"}, "@main-loop")
+}
+
+// RenderFigure renders figure rows.
+func RenderFigure(rows []FigureRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-6s %10s %9s %8s\n", "Analysis", "Stmt", "Partitions", "AvgSize", "MaxSize")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-6s %10d %9.1f %8d\n", r.Analysis, r.Statement, r.Partitions, r.AvgSize, r.MaxSize)
+	}
+	return b.String()
+}
+
+func figureRows(k kernels.Kernel, stmts map[string]string, larusMarker string) ([]FigureRow, error) {
+	mod, _, tr, err := pipeline.CompileAndTrace(k.Name+".c", k.Source)
+	if err != nil {
+		return nil, err
+	}
+	g, err := ddg.Build(tr)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve each labeled statement to its candidate instruction.
+	instrOf := make(map[string]int32)
+	for label, marker := range stmts {
+		line := k.LineOf(marker)
+		found := int32(-1)
+		for _, id := range mod.CandidateIDs(-1) {
+			if mod.InstrAt(id).Pos.Line == line {
+				found = id
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("%s: no candidate instruction on line %d (%s)", k.Name, line, label)
+		}
+		instrOf[label] = found
+	}
+
+	summarize := func(analysis, label string, groups [][]int32) FigureRow {
+		row := FigureRow{Analysis: analysis, Statement: label, Partitions: len(groups)}
+		total := 0
+		for _, grp := range groups {
+			total += len(grp)
+			if len(grp) > row.MaxSize {
+				row.MaxSize = len(grp)
+			}
+		}
+		if len(groups) > 0 {
+			row.AvgSize = float64(total) / float64(len(groups))
+		}
+		return row
+	}
+
+	var rows []FigureRow
+	labels := make([]string, 0, len(instrOf))
+	for label := range instrOf {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+
+	kumarTS := baseline.KumarTimestamps(g)
+	for _, label := range labels {
+		id := instrOf[label]
+		parts := core.Partitions(g, id, core.Options{})
+		groups := make([][]int32, len(parts))
+		for i := range parts {
+			groups[i] = parts[i].Nodes
+		}
+		rows = append(rows, summarize("Algorithm 1", label, groups))
+		rows = append(rows, summarize("Kumar", label, baseline.PartitionsByTimestamp(g, id, kumarTS)))
+	}
+
+	if larusMarker != "" {
+		lm := mod.LoopByLine(k.LineOf(larusMarker))
+		if lm == nil {
+			return nil, fmt.Errorf("%s: no loop at %s", k.Name, larusMarker)
+		}
+		regions := tr.Regions(lm.ID)
+		if len(regions) == 0 {
+			return nil, fmt.Errorf("%s: loop %s never ran", k.Name, larusMarker)
+		}
+		rg, err := ddg.Build(tr.Slice(regions[0]))
+		if err != nil {
+			return nil, err
+		}
+		lr := baseline.Larus(rg, lm.ID)
+		// Partition statement instances by Larus finish time, resolving
+		// instruction IDs inside the region graph.
+		for _, label := range labels {
+			id := instrOf[label]
+			rows = append(rows, summarize("Larus", label,
+				baseline.PartitionsByTimestamp(rg, id, lr.Finish)))
+		}
+	}
+	return rows, nil
+}
+
+var _ = trace.Event{}

@@ -1,0 +1,656 @@
+// Package sema performs symbol resolution and type checking of MiniC
+// programs, producing the typed Info side tables the lowering phase consumes.
+package sema
+
+import (
+	"github.com/example/vectrace/internal/ast"
+	"github.com/example/vectrace/internal/source"
+	"github.com/example/vectrace/internal/types"
+)
+
+// SymbolKind discriminates variable symbols.
+type SymbolKind int
+
+// Symbol kinds.
+const (
+	GlobalVar SymbolKind = iota
+	LocalVar
+	ParamVar
+)
+
+// Symbol is a resolved variable: a global, local, or parameter.
+type Symbol struct {
+	Name string
+	Kind SymbolKind
+	Type types.Type
+	// Index is the symbol's position in its container: globals in program
+	// order, params in signature order, locals in declaration order within
+	// their function.
+	Index int
+	// Init is the global's scalar initializer expression, if any.
+	Init ast.Expr
+}
+
+// FuncInfo describes one checked function.
+type FuncInfo struct {
+	Name   string
+	Decl   *ast.FuncDecl
+	Sig    *types.Func
+	Params []*Symbol
+	Locals []*Symbol // all locals, including block-scoped ones, in decl order
+}
+
+// Builtin identifies an intrinsic math function.
+type Builtin int
+
+// Builtins available to MiniC programs. All take and return double except
+// Print/PrintInt, which are void output intrinsics.
+const (
+	NotBuiltin Builtin = iota
+	BuiltinExp
+	BuiltinSqrt
+	BuiltinSin
+	BuiltinCos
+	BuiltinFabs
+	BuiltinLog
+	BuiltinPrint    // print(double): writes a value to the interpreter's output
+	BuiltinPrintInt // printi(int)
+)
+
+var builtinNames = map[string]Builtin{
+	"exp": BuiltinExp, "sqrt": BuiltinSqrt, "sin": BuiltinSin,
+	"cos": BuiltinCos, "fabs": BuiltinFabs, "log": BuiltinLog,
+	"print": BuiltinPrint, "printi": BuiltinPrintInt,
+}
+
+// Name returns the builtin's source name.
+func (b Builtin) Name() string {
+	for n, bb := range builtinNames {
+		if bb == b {
+			return n
+		}
+	}
+	return "?"
+}
+
+// Info holds the results of semantic analysis.
+type Info struct {
+	// Types maps every expression to its type.
+	Types map[ast.Expr]types.Type
+	// Uses maps identifier expressions to their resolved variable symbols.
+	Uses map[*ast.Ident]*Symbol
+	// Decls maps VarDecl statements to the symbol they introduce.
+	Decls map[*ast.VarDecl]*Symbol
+	// CallTargets maps calls to user functions; builtin calls are absent.
+	CallTargets map[*ast.Call]*FuncInfo
+	// Builtins maps calls to intrinsics; user calls are absent.
+	Builtins map[*ast.Call]Builtin
+	// Structs maps struct names to their resolved types.
+	Structs map[string]*types.Struct
+	// Globals lists global variables in declaration order.
+	Globals []*Symbol
+	// Funcs maps function names to their info.
+	Funcs map[string]*FuncInfo
+	// FuncList lists functions in declaration order.
+	FuncList []*FuncInfo
+}
+
+// TypeOf returns the checked type of e, or nil if unchecked.
+func (info *Info) TypeOf(e ast.Expr) types.Type { return info.Types[e] }
+
+// Check type-checks prog. It always returns a non-nil Info; the error
+// aggregates all diagnostics.
+func Check(prog *ast.Program) (*Info, error) {
+	c := &checker{
+		prog: prog,
+		info: &Info{
+			Types:       make(map[ast.Expr]types.Type),
+			Uses:        make(map[*ast.Ident]*Symbol),
+			Decls:       make(map[*ast.VarDecl]*Symbol),
+			CallTargets: make(map[*ast.Call]*FuncInfo),
+			Builtins:    make(map[*ast.Call]Builtin),
+			Structs:     make(map[string]*types.Struct),
+			Funcs:       make(map[string]*FuncInfo),
+		},
+	}
+	c.collect()
+	for _, f := range c.info.FuncList {
+		c.checkFunc(f)
+	}
+	c.errs.Sort()
+	return c.info, c.errs.Err()
+}
+
+type checker struct {
+	prog *ast.Program
+	info *Info
+	errs source.ErrorList
+
+	// Per-function state.
+	fn     *FuncInfo
+	scopes []map[string]*Symbol
+	loops  int // nesting depth, for break/continue checking
+}
+
+func (c *checker) errorf(off int, format string, args ...any) {
+	c.errs.Add(c.prog.File.Name, c.prog.File.PosFor(off), format, args...)
+}
+
+// ---------------------------------------------------------------- collection
+
+// collect resolves struct declarations, globals, and function signatures.
+func (c *checker) collect() {
+	// Structs first (they may be referenced by globals/functions declared
+	// earlier textually; MiniC requires structs before use, like C).
+	for _, d := range c.prog.Decls {
+		sd, ok := d.(*ast.StructDecl)
+		if !ok {
+			continue
+		}
+		if _, dup := c.info.Structs[sd.Name]; dup {
+			c.errorf(sd.Off, "struct %q redeclared", sd.Name)
+			continue
+		}
+		var fields []types.Field
+		seen := make(map[string]bool)
+		for _, f := range sd.Fields {
+			if seen[f.Name] {
+				c.errorf(f.Off, "duplicate field %q in struct %q", f.Name, sd.Name)
+				continue
+			}
+			seen[f.Name] = true
+			ft := c.resolveType(f.Type)
+			if types.IsVoid(ft) {
+				c.errorf(f.Off, "field %q has void type", f.Name)
+				ft = types.IntType
+			}
+			fields = append(fields, types.Field{Name: f.Name, Type: ft})
+		}
+		c.info.Structs[sd.Name] = types.NewStruct(sd.Name, fields)
+	}
+
+	for _, d := range c.prog.Decls {
+		switch d := d.(type) {
+		case *ast.GlobalDecl:
+			t := c.resolveType(d.Type)
+			if types.IsVoid(t) {
+				c.errorf(d.Off, "global %q has void type", d.Name)
+				t = types.IntType
+			}
+			if c.lookupGlobal(d.Name) != nil || c.info.Funcs[d.Name] != nil {
+				c.errorf(d.Off, "%q redeclared", d.Name)
+				continue
+			}
+			sym := &Symbol{Name: d.Name, Kind: GlobalVar, Type: t, Index: len(c.info.Globals), Init: d.Init}
+			c.info.Globals = append(c.info.Globals, sym)
+		case *ast.FuncDecl:
+			if c.info.Funcs[d.Name] != nil || c.lookupGlobal(d.Name) != nil {
+				c.errorf(d.Off, "%q redeclared", d.Name)
+				continue
+			}
+			fi := &FuncInfo{Name: d.Name, Decl: d}
+			sig := &types.Func{Result: c.resolveType(d.Result)}
+			for i, p := range d.Params {
+				pt := types.Decay(c.resolveType(p.Type))
+				if types.IsVoid(pt) {
+					c.errorf(p.Off, "parameter %q has void type", p.Name)
+					pt = types.IntType
+				}
+				sig.Params = append(sig.Params, pt)
+				fi.Params = append(fi.Params, &Symbol{Name: p.Name, Kind: ParamVar, Type: pt, Index: i})
+			}
+			fi.Sig = sig
+			c.info.Funcs[d.Name] = fi
+			c.info.FuncList = append(c.info.FuncList, fi)
+		}
+	}
+}
+
+func (c *checker) lookupGlobal(name string) *Symbol {
+	for _, g := range c.info.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+func (c *checker) resolveType(t *ast.TypeExpr) types.Type {
+	switch t.Kind {
+	case ast.TypeInt:
+		return types.IntType
+	case ast.TypeFloat:
+		return types.Float32Type
+	case ast.TypeDouble:
+		return types.Float64Type
+	case ast.TypeVoid:
+		return types.VoidType
+	case ast.TypeStruct:
+		if s, ok := c.info.Structs[t.Name]; ok {
+			return s
+		}
+		c.errorf(t.Off, "undefined struct %q", t.Name)
+		return types.IntType
+	case ast.TypePointer:
+		return &types.Pointer{Elem: c.resolveType(t.Elem)}
+	case ast.TypeArray:
+		return &types.Array{Elem: c.resolveType(t.ArrayOf), Len: int64(t.Len)}
+	}
+	c.errorf(t.Off, "unresolvable type")
+	return types.IntType
+}
+
+// ---------------------------------------------------------------- scopes
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]*Symbol)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(off int, sym *Symbol) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[sym.Name]; dup {
+		c.errorf(off, "%q redeclared in this scope", sym.Name)
+		return
+	}
+	top[sym.Name] = sym
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.lookupGlobal(name)
+}
+
+// ---------------------------------------------------------------- functions
+
+func (c *checker) checkFunc(f *FuncInfo) {
+	c.fn = f
+	c.scopes = nil
+	c.loops = 0
+	c.pushScope()
+	for _, p := range f.Params {
+		c.declare(f.Decl.Off, p)
+	}
+	c.checkBlock(f.Decl.Body)
+	c.popScope()
+	c.fn = nil
+}
+
+func (c *checker) checkBlock(b *ast.Block) {
+	c.pushScope()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.popScope()
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.VarDecl:
+		c.checkVarDecl(s)
+	case *ast.Assign:
+		lt := c.checkExpr(s.LHS)
+		rt := c.checkExpr(s.RHS)
+		if !c.isLValue(s.LHS) {
+			c.errorf(s.LHS.Offset(), "left side of assignment is not assignable")
+		}
+		c.checkAssignable(s.Off, lt, rt)
+		if s.Op != 0 && s.Op.IsAssign() && s.Op.BaseOf() != 0 {
+			// Compound assignment requires numeric LHS.
+			if !types.IsNumeric(lt) {
+				c.errorf(s.Off, "compound assignment requires numeric operand, got %s", lt)
+			}
+		}
+	case *ast.IncDec:
+		t := c.checkExpr(s.X)
+		if !c.isLValue(s.X) {
+			c.errorf(s.X.Offset(), "operand of ++/-- is not assignable")
+		}
+		if !types.IsInt(t) {
+			c.errorf(s.Off, "++/-- requires int operand, got %s", t)
+		}
+	case *ast.ExprStmt:
+		c.checkExpr(s.X)
+	case *ast.Block:
+		c.checkBlock(s)
+	case *ast.If:
+		c.checkCond(s.Cond)
+		c.checkBlock(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *ast.For:
+		c.pushScope()
+		if s.Init != nil {
+			c.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.checkCond(s.Cond)
+		}
+		if s.Post != nil {
+			c.checkStmt(s.Post)
+		}
+		c.loops++
+		c.checkBlock(s.Body)
+		c.loops--
+		c.popScope()
+	case *ast.While:
+		c.checkCond(s.Cond)
+		c.loops++
+		c.checkBlock(s.Body)
+		c.loops--
+	case *ast.Return:
+		want := c.fn.Sig.Result
+		if s.X == nil {
+			if !types.IsVoid(want) {
+				c.errorf(s.Off, "missing return value in %q (want %s)", c.fn.Name, want)
+			}
+			return
+		}
+		got := c.checkExpr(s.X)
+		if types.IsVoid(want) {
+			c.errorf(s.Off, "void function %q returns a value", c.fn.Name)
+			return
+		}
+		c.checkAssignable(s.Off, want, got)
+	case *ast.Break:
+		if c.loops == 0 {
+			c.errorf(s.Off, "break outside loop")
+		}
+	case *ast.Continue:
+		if c.loops == 0 {
+			c.errorf(s.Off, "continue outside loop")
+		}
+	}
+}
+
+func (c *checker) checkVarDecl(d *ast.VarDecl) {
+	t := c.resolveType(d.Type)
+	if types.IsVoid(t) {
+		c.errorf(d.Off, "variable %q has void type", d.Name)
+		t = types.IntType
+	}
+	sym := &Symbol{Name: d.Name, Kind: LocalVar, Type: t, Index: len(c.fn.Locals)}
+	c.fn.Locals = append(c.fn.Locals, sym)
+	c.info.Decls[d] = sym
+	if d.Init != nil {
+		it := c.checkExpr(d.Init)
+		c.checkAssignable(d.Off, t, it)
+	}
+	c.declare(d.Off, sym)
+}
+
+// checkCond checks a condition expression; any numeric, bool, or pointer
+// value is an acceptable condition (C truthiness).
+func (c *checker) checkCond(e ast.Expr) {
+	t := c.checkExpr(e)
+	if types.IsNumeric(t) || types.IsBool(t) {
+		return
+	}
+	if _, ok := t.(*types.Pointer); ok {
+		return
+	}
+	c.errorf(e.Offset(), "condition must be scalar, got %s", t)
+}
+
+// checkAssignable validates "lt = rt" with C-like implicit conversions:
+// numeric↔numeric conversions are allowed; pointers require identical
+// pointee types (with array decay on the right).
+func (c *checker) checkAssignable(off int, lt, rt types.Type) {
+	rt = types.Decay(rt)
+	if types.IsNumeric(lt) && (types.IsNumeric(rt) || types.IsBool(rt)) {
+		return
+	}
+	if lp, ok := lt.(*types.Pointer); ok {
+		if rp, ok := rt.(*types.Pointer); ok && types.Identical(lp.Elem, rp.Elem) {
+			return
+		}
+		c.errorf(off, "cannot assign %s to %s", rt, lt)
+		return
+	}
+	if _, ok := lt.(*types.Struct); ok {
+		c.errorf(off, "struct assignment is not supported; assign fields individually")
+		return
+	}
+	if types.Identical(lt, rt) {
+		return
+	}
+	c.errorf(off, "cannot assign %s to %s", rt, lt)
+}
+
+// isLValue reports whether e denotes a storage location.
+func (c *checker) isLValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return c.info.Uses[e] != nil
+	case *ast.Index, *ast.Member:
+		return true
+	case *ast.Unary:
+		return e.Op.String() == "*"
+	}
+	return false
+}
+
+// ---------------------------------------------------------------- expressions
+
+func (c *checker) checkExpr(e ast.Expr) types.Type {
+	t := c.exprType(e)
+	c.info.Types[e] = t
+	return t
+}
+
+func (c *checker) exprType(e ast.Expr) types.Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return types.IntType
+	case *ast.FloatLit:
+		return types.Float64Type
+	case *ast.Ident:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			c.errorf(e.Off, "undefined: %q", e.Name)
+			return types.IntType
+		}
+		c.info.Uses[e] = sym
+		return sym.Type
+	case *ast.Unary:
+		return c.unaryType(e)
+	case *ast.Binary:
+		return c.binaryType(e)
+	case *ast.Index:
+		xt := types.Decay(c.checkExpr(e.X))
+		it := c.checkExpr(e.Idx)
+		if !types.IsInt(it) && !types.IsBool(it) {
+			c.errorf(e.Idx.Offset(), "array index must be int, got %s", it)
+		}
+		p, ok := xt.(*types.Pointer)
+		if !ok {
+			c.errorf(e.Off, "cannot index %s", xt)
+			return types.IntType
+		}
+		return p.Elem
+	case *ast.Member:
+		xt := c.checkExpr(e.X)
+		var st *types.Struct
+		if e.Arrow {
+			p, ok := types.Decay(xt).(*types.Pointer)
+			if !ok {
+				c.errorf(e.Off, "-> requires pointer to struct, got %s", xt)
+				return types.IntType
+			}
+			st, ok = p.Elem.(*types.Struct)
+			if !ok {
+				c.errorf(e.Off, "-> requires pointer to struct, got %s", xt)
+				return types.IntType
+			}
+		} else {
+			var ok bool
+			st, ok = xt.(*types.Struct)
+			if !ok {
+				c.errorf(e.Off, ". requires struct value, got %s", xt)
+				return types.IntType
+			}
+		}
+		f := st.FieldByName(e.Field)
+		if f == nil {
+			c.errorf(e.Off, "struct %q has no field %q", st.Name, e.Field)
+			return types.IntType
+		}
+		return f.Type
+	case *ast.Call:
+		return c.callType(e)
+	case *ast.Cast:
+		xt := c.checkExpr(e.X)
+		to := c.resolveType(e.To)
+		if types.IsNumeric(to) && (types.IsNumeric(xt) || types.IsBool(xt)) {
+			return to
+		}
+		if _, ok := to.(*types.Pointer); ok {
+			if _, ok := types.Decay(xt).(*types.Pointer); ok {
+				return to
+			}
+		}
+		c.errorf(e.Off, "invalid cast from %s to %s", xt, to)
+		return to
+	}
+	c.errorf(e.Offset(), "unsupported expression")
+	return types.IntType
+}
+
+func (c *checker) unaryType(e *ast.Unary) types.Type {
+	xt := c.checkExpr(e.X)
+	switch e.Op.String() {
+	case "-":
+		if !types.IsNumeric(xt) {
+			c.errorf(e.Off, "operator - requires numeric operand, got %s", xt)
+			return types.IntType
+		}
+		return xt
+	case "!":
+		if !types.IsNumeric(xt) && !types.IsBool(xt) {
+			c.errorf(e.Off, "operator ! requires scalar operand, got %s", xt)
+		}
+		return types.BoolType
+	case "*":
+		p, ok := types.Decay(xt).(*types.Pointer)
+		if !ok {
+			c.errorf(e.Off, "cannot dereference %s", xt)
+			return types.IntType
+		}
+		return p.Elem
+	case "&":
+		if !c.isLValue(e.X) {
+			c.errorf(e.Off, "cannot take address of non-lvalue")
+		}
+		return &types.Pointer{Elem: xt}
+	}
+	c.errorf(e.Off, "unsupported unary operator %q", e.Op)
+	return types.IntType
+}
+
+func (c *checker) binaryType(e *ast.Binary) types.Type {
+	xt := types.Decay(c.checkExpr(e.X))
+	yt := types.Decay(c.checkExpr(e.Y))
+	op := e.Op.String()
+	switch op {
+	case "+", "-":
+		// Pointer arithmetic: ptr ± int, and int + ptr.
+		if p, ok := xt.(*types.Pointer); ok {
+			if types.IsInt(yt) {
+				return p
+			}
+			c.errorf(e.Off, "pointer arithmetic requires int offset, got %s", yt)
+			return p
+		}
+		if p, ok := yt.(*types.Pointer); ok && op == "+" {
+			if types.IsInt(xt) {
+				return p
+			}
+			c.errorf(e.Off, "pointer arithmetic requires int offset, got %s", xt)
+			return p
+		}
+		fallthrough
+	case "*", "/":
+		if !types.IsNumeric(xt) || !types.IsNumeric(yt) {
+			c.errorf(e.Off, "operator %s requires numeric operands, got %s and %s", op, xt, yt)
+			return types.IntType
+		}
+		return types.Common(xt, yt)
+	case "%":
+		if !types.IsInt(xt) || !types.IsInt(yt) {
+			c.errorf(e.Off, "operator %% requires int operands, got %s and %s", xt, yt)
+		}
+		return types.IntType
+	case "==", "!=", "<", "<=", ">", ">=":
+		okNum := types.IsNumeric(xt) && types.IsNumeric(yt)
+		_, xp := xt.(*types.Pointer)
+		_, yp := yt.(*types.Pointer)
+		if !okNum && !(xp && yp) {
+			c.errorf(e.Off, "cannot compare %s and %s", xt, yt)
+		}
+		return types.BoolType
+	case "&&", "||":
+		for _, t := range []types.Type{xt, yt} {
+			if !types.IsNumeric(t) && !types.IsBool(t) {
+				c.errorf(e.Off, "operator %s requires scalar operands, got %s", op, t)
+			}
+		}
+		return types.BoolType
+	}
+	c.errorf(e.Off, "unsupported binary operator %q", op)
+	return types.IntType
+}
+
+func (c *checker) callType(e *ast.Call) types.Type {
+	name := e.Fun.Name
+	if b, ok := builtinNames[name]; ok {
+		c.info.Builtins[e] = b
+		return c.checkBuiltin(e, b)
+	}
+	fi := c.info.Funcs[name]
+	if fi == nil {
+		c.errorf(e.Off, "undefined function %q", name)
+		for _, a := range e.Args {
+			c.checkExpr(a)
+		}
+		return types.IntType
+	}
+	c.info.CallTargets[e] = fi
+	if len(e.Args) != len(fi.Sig.Params) {
+		c.errorf(e.Off, "call to %q has %d arguments, want %d", name, len(e.Args), len(fi.Sig.Params))
+	}
+	for i, a := range e.Args {
+		at := c.checkExpr(a)
+		if i < len(fi.Sig.Params) {
+			c.checkAssignable(a.Offset(), fi.Sig.Params[i], at)
+		}
+	}
+	return fi.Sig.Result
+}
+
+func (c *checker) checkBuiltin(e *ast.Call, b Builtin) types.Type {
+	wantArgs := 1
+	if len(e.Args) != wantArgs {
+		c.errorf(e.Off, "builtin %q takes %d argument(s), got %d", e.Fun.Name, wantArgs, len(e.Args))
+	}
+	for _, a := range e.Args {
+		at := c.checkExpr(a)
+		switch b {
+		case BuiltinPrintInt:
+			if !types.IsInt(at) && !types.IsBool(at) {
+				c.errorf(a.Offset(), "printi requires int argument, got %s", at)
+			}
+		default:
+			if !types.IsNumeric(at) {
+				c.errorf(a.Offset(), "builtin %q requires numeric argument, got %s", e.Fun.Name, at)
+			}
+		}
+	}
+	switch b {
+	case BuiltinPrint, BuiltinPrintInt:
+		return types.VoidType
+	}
+	return types.Float64Type
+}

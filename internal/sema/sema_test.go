@@ -1,0 +1,350 @@
+package sema_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/example/vectrace/internal/ast"
+	"github.com/example/vectrace/internal/parser"
+	"github.com/example/vectrace/internal/sema"
+	"github.com/example/vectrace/internal/types"
+)
+
+func check(t *testing.T, src string) (*ast.Program, *sema.Info, error) {
+	t.Helper()
+	prog, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog)
+	return prog, info, err
+}
+
+func checkOK(t *testing.T, src string) (*ast.Program, *sema.Info) {
+	t.Helper()
+	prog, info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return prog, info
+}
+
+func checkErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	_, _, err := check(t, src)
+	if err == nil {
+		t.Fatalf("expected error containing %q", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error %q does not contain %q", err.Error(), wantSubstr)
+	}
+}
+
+func TestGlobalsAndFunctions(t *testing.T) {
+	_, info := checkOK(t, `
+int n;
+double A[8];
+double f(double x) { return x * 2.0; }
+void main() { n = 1; A[0] = f(1.0); }
+`)
+	if len(info.Globals) != 2 {
+		t.Fatalf("globals = %d, want 2", len(info.Globals))
+	}
+	if info.Globals[0].Name != "n" || !types.IsInt(info.Globals[0].Type) {
+		t.Error("global n wrong")
+	}
+	if _, ok := info.Globals[1].Type.(*types.Array); !ok {
+		t.Error("global A should be an array")
+	}
+	if info.Funcs["f"] == nil || info.Funcs["main"] == nil {
+		t.Fatal("functions not collected")
+	}
+	if len(info.Funcs["f"].Params) != 1 {
+		t.Error("f params wrong")
+	}
+}
+
+func TestExpressionTypes(t *testing.T) {
+	prog, info := checkOK(t, `
+double d;
+float f;
+int i;
+void main() {
+  d = i + d;
+  f = f * f;
+  i = i % 3;
+  d = f + d;
+}
+`)
+	body := prog.Decls[3].(*ast.FuncDecl).Body.Stmts
+	wantTypes := []types.Type{types.Float64Type, types.Float32Type, types.IntType, types.Float64Type}
+	for k, s := range body {
+		asn := s.(*ast.Assign)
+		got := info.TypeOf(asn.RHS)
+		if !types.Identical(got, wantTypes[k]) {
+			t.Errorf("stmt %d RHS type = %s, want %s", k, got, wantTypes[k])
+		}
+	}
+}
+
+func TestComparisonAndLogicTypes(t *testing.T) {
+	prog, info := checkOK(t, `
+void main() {
+  int i;
+  double d;
+  if (i < 3 && d > 0.5 || !i) { i = 1; }
+}
+`)
+	ifs := prog.Decls[0].(*ast.FuncDecl).Body.Stmts[2].(*ast.If)
+	if !types.IsBool(info.TypeOf(ifs.Cond)) {
+		t.Errorf("condition type = %s, want bool", info.TypeOf(ifs.Cond))
+	}
+}
+
+func TestArrayIndexing(t *testing.T) {
+	prog, info := checkOK(t, `
+double A[4][8];
+void main() {
+  double x;
+  x = A[1][2];
+}
+`)
+	asn := prog.Decls[1].(*ast.FuncDecl).Body.Stmts[1].(*ast.Assign)
+	if !types.Identical(info.TypeOf(asn.RHS), types.Float64Type) {
+		t.Errorf("A[1][2] type = %s", info.TypeOf(asn.RHS))
+	}
+	inner := asn.RHS.(*ast.Index).X
+	if _, ok := info.TypeOf(inner).(*types.Array); !ok {
+		t.Errorf("A[1] should have array type, got %s", info.TypeOf(inner))
+	}
+}
+
+func TestPointerOperations(t *testing.T) {
+	checkOK(t, `
+double A[8];
+void main() {
+  double *p;
+  double x;
+  p = A;
+  p = p + 1;
+  p = 1 + p;
+  p = p - 2;
+  x = *p;
+  *p = x + 1.0;
+  x = p[3];
+  if (p == A) { x = 0.0; }
+}
+`)
+}
+
+func TestStructAccess(t *testing.T) {
+	prog, info := checkOK(t, `
+struct vec { double x; double y; };
+struct vec v;
+struct vec vs[4];
+void main() {
+  double d;
+  struct vec *p;
+  v.x = 1.0;
+  d = vs[2].y;
+  p = &v;
+  p->y = d;
+}
+`)
+	body := prog.Decls[3].(*ast.FuncDecl).Body.Stmts
+	asn := body[3].(*ast.Assign) // d = vs[2].y
+	if !types.Identical(info.TypeOf(asn.RHS), types.Float64Type) {
+		t.Error("vs[2].y should be double")
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	prog, info := checkOK(t, `
+void main() {
+  double d;
+  d = sqrt(2.0) + exp(1.0) + sin(0.5) + cos(0.5) + fabs(0.0 - 1.0) + log(2.0);
+  print(d);
+  printi(42);
+}
+`)
+	body := prog.Decls[0].(*ast.FuncDecl).Body.Stmts
+	es := body[2].(*ast.ExprStmt)
+	call := es.X.(*ast.Call)
+	if b, ok := info.Builtins[call]; !ok || b != sema.BuiltinPrint {
+		t.Error("print not resolved as builtin")
+	}
+}
+
+func TestImplicitConversions(t *testing.T) {
+	checkOK(t, `
+double f(double x) { return x; }
+void main() {
+  int i;
+  double d;
+  float g;
+  d = i;       // int → double
+  i = d;       // double → int (C truncation)
+  g = d;       // double → float
+  d = f(i);    // int argument to double parameter
+}
+`)
+}
+
+func TestErrorUndefined(t *testing.T) {
+	checkErr(t, "void main() { x = 1; }", "undefined")
+}
+
+func TestErrorUndefinedFunction(t *testing.T) {
+	checkErr(t, "void main() { frobnicate(1); }", `undefined function "frobnicate"`)
+}
+
+func TestErrorRedeclared(t *testing.T) {
+	checkErr(t, "int x; double x;", "redeclared")
+	checkErr(t, "void main() { int x; int x; }", "redeclared in this scope")
+	checkErr(t, "void f() { } int f;", "redeclared")
+}
+
+func TestShadowingAllowed(t *testing.T) {
+	checkOK(t, `
+int x;
+void main() {
+  int x;
+  x = 1;
+  {
+    double x;
+    x = 2.0;
+  }
+}
+`)
+}
+
+func TestErrorArity(t *testing.T) {
+	checkErr(t, `
+void f(int a, int b) { }
+void main() { f(1); }
+`, "1 arguments, want 2")
+}
+
+func TestErrorPointerMismatch(t *testing.T) {
+	checkErr(t, `
+void main() {
+  int *p;
+  double *q;
+  p = q;
+}
+`, "cannot assign")
+}
+
+func TestErrorStructAssignment(t *testing.T) {
+	checkErr(t, `
+struct v { double x; };
+struct v a;
+struct v b;
+void main() { a = b; }
+`, "struct assignment")
+}
+
+func TestErrorNonLValue(t *testing.T) {
+	checkErr(t, "void main() { 1 = 2; }", "not assignable")
+	checkErr(t, "void main() { int x; &(x + 1); }", "address of non-lvalue")
+}
+
+func TestErrorBreakOutsideLoop(t *testing.T) {
+	checkErr(t, "void main() { break; }", "break outside loop")
+	checkErr(t, "void main() { continue; }", "continue outside loop")
+}
+
+func TestErrorReturnMismatch(t *testing.T) {
+	checkErr(t, "int f() { return; } void main() { }", "missing return value")
+	checkErr(t, "void f() { return 1; } void main() { }", "returns a value")
+}
+
+func TestErrorRemOnFloat(t *testing.T) {
+	checkErr(t, "void main() { double d; d = d % 2.0; }", "requires int operands")
+}
+
+func TestErrorIndexNonArray(t *testing.T) {
+	checkErr(t, "void main() { int x; x = x[0]; }", "cannot index")
+}
+
+func TestErrorBadIndexType(t *testing.T) {
+	checkErr(t, "double A[4]; void main() { double d; d = A[1.5]; }", "index must be int")
+}
+
+func TestErrorMissingField(t *testing.T) {
+	checkErr(t, `
+struct v { double x; };
+struct v a;
+void main() { a.z = 1.0; }
+`, `no field "z"`)
+}
+
+func TestErrorArrowOnValue(t *testing.T) {
+	checkErr(t, `
+struct v { double x; };
+struct v a;
+void main() { a->x = 1.0; }
+`, "requires pointer to struct")
+}
+
+func TestErrorDotOnPointer(t *testing.T) {
+	checkErr(t, `
+struct v { double x; };
+void main() { struct v *p; p.x = 1.0; }
+`, "requires struct value")
+}
+
+func TestErrorUndefinedStruct(t *testing.T) {
+	checkErr(t, "struct nope x;", `undefined struct "nope"`)
+}
+
+func TestErrorDuplicateField(t *testing.T) {
+	checkErr(t, "struct v { double x; double x; };", "duplicate field")
+}
+
+func TestErrorVoidVariable(t *testing.T) {
+	checkErr(t, "void x;", "void type")
+	checkErr(t, "void main() { void x; }", "void type")
+}
+
+func TestErrorDerefNonPointer(t *testing.T) {
+	checkErr(t, "void main() { int x; x = *x; }", "cannot dereference")
+}
+
+func TestErrorBuiltinArgs(t *testing.T) {
+	checkErr(t, "void main() { double d; d = sqrt(1.0, 2.0); }", "takes 1 argument")
+	checkErr(t, "double A[3]; void main() { print(A); }", "requires numeric argument")
+}
+
+func TestLocalsCollectedInOrder(t *testing.T) {
+	_, info := checkOK(t, `
+void main() {
+  int a;
+  double b;
+  { float c; c = 1.0; }
+  int d;
+  a = 0; b = 0.0; d = 0;
+}
+`)
+	fi := info.Funcs["main"]
+	if len(fi.Locals) != 4 {
+		t.Fatalf("locals = %d, want 4", len(fi.Locals))
+	}
+	names := []string{"a", "b", "c", "d"}
+	for i, s := range fi.Locals {
+		if s.Name != names[i] || s.Index != i {
+			t.Errorf("local %d = %s@%d, want %s@%d", i, s.Name, s.Index, names[i], i)
+		}
+	}
+}
+
+func TestParamDecay(t *testing.T) {
+	_, info := checkOK(t, `
+void f(double a[8]) { a[0] = 1.0; }
+void main() { }
+`)
+	p := info.Funcs["f"].Params[0]
+	if _, ok := p.Type.(*types.Pointer); !ok {
+		t.Errorf("array parameter should decay to pointer, got %s", p.Type)
+	}
+}

@@ -1,0 +1,120 @@
+// Package simd provides the parameterized SIMD execution model used to
+// regenerate the paper's Table 4 (case-study speedups) without the authors'
+// hardware.
+//
+// The model is deliberately simple: each loop's dynamic operation counts
+// (from the interpreter's per-loop accounting) are priced with a machine's
+// scalar costs; loops the static vectorizer accepted execute their
+// per-iteration work W lanes at a time, with a small vectorization overhead
+// and an extra penalty for reduction loops (horizontal combines). The model
+// is calibrated for *shape* — who speeds up and roughly by how much — not
+// absolute cycle fidelity.
+package simd
+
+import (
+	"github.com/example/vectrace/internal/interp"
+	"github.com/example/vectrace/internal/ir"
+	"github.com/example/vectrace/internal/profile"
+	"github.com/example/vectrace/internal/staticvec"
+)
+
+// Machine describes one modeled CPU.
+type Machine struct {
+	Name string
+	// VectorBytes is the SIMD register width (16 for SSE, 32 for AVX).
+	VectorBytes int64
+	// Scalar costs per operation class, in cycles.
+	FPAdd, FPMul, FPDiv, Load, Store, Intr, Branch, Other float64
+	// VecOverhead scales vectorized-loop time upward to account for
+	// alignment handling and prologue/epilogue work.
+	VecOverhead float64
+	// ReductionOverhead additionally scales reduction-vectorized loops
+	// (horizontal adds).
+	ReductionOverhead float64
+}
+
+// Lanes returns the number of double-precision lanes.
+func (m *Machine) Lanes() float64 { return float64(m.VectorBytes) / 8 }
+
+// XeonE5630 models the paper's primary measurement machine: Westmere-EP
+// with 128-bit SSE (2 double lanes).
+func XeonE5630() Machine {
+	return Machine{
+		Name: "Intel Xeon E5630", VectorBytes: 16,
+		FPAdd: 3, FPMul: 5, FPDiv: 22, Load: 4, Store: 4, Intr: 40, Branch: 1, Other: 1,
+		VecOverhead: 1.15, ReductionOverhead: 1.20,
+	}
+}
+
+// CoreI72600K models the Sandy Bridge machine: 256-bit AVX (4 double lanes).
+func CoreI72600K() Machine {
+	return Machine{
+		Name: "Intel Core i7 2600K", VectorBytes: 32,
+		FPAdd: 3, FPMul: 5, FPDiv: 21, Load: 4, Store: 4, Intr: 36, Branch: 1, Other: 1,
+		VecOverhead: 1.25, ReductionOverhead: 1.25,
+	}
+}
+
+// PhenomII1100T models the AMD K10 machine: 128-bit SSE with slower FP
+// division and loads.
+func PhenomII1100T() Machine {
+	return Machine{
+		Name: "AMD Phenom II 1100T", VectorBytes: 16,
+		FPAdd: 4, FPMul: 4, FPDiv: 26, Load: 5, Store: 5, Intr: 46, Branch: 1, Other: 1,
+		VecOverhead: 1.15, ReductionOverhead: 1.25,
+	}
+}
+
+// Machines returns the paper's three Table 4 machines.
+func Machines() []Machine {
+	return []Machine{XeonE5630(), CoreI72600K(), PhenomII1100T()}
+}
+
+// scalarCost prices one loop's dynamic op counts at scalar throughput.
+func (m *Machine) scalarCost(oc *interp.OpCounts) float64 {
+	return float64(oc.FPAdd)*m.FPAdd + float64(oc.FPMul)*m.FPMul + float64(oc.FPDiv)*m.FPDiv +
+		float64(oc.Load)*m.Load + float64(oc.Store)*m.Store + float64(oc.Intr)*m.Intr +
+		float64(oc.Branch)*m.Branch + float64(oc.Other)*m.Other
+}
+
+// SimulateTime prices a whole execution: every loop's exclusive op counts
+// are charged at scalar cost, except loops the vectorizer accepted, whose
+// work runs W lanes at a time.
+func SimulateTime(mod *ir.Module, res *interp.Result, verdicts map[int]staticvec.Verdict, m Machine) float64 {
+	total := 0.0
+	for loopID, oc := range res.LoopOps {
+		cost := m.scalarCost(oc)
+		if v, ok := verdicts[loopID]; ok && v.Vectorized {
+			cost /= m.Lanes()
+			cost *= m.VecOverhead
+			if v.Reduction {
+				cost *= m.ReductionOverhead
+			}
+		}
+		total += cost
+	}
+	return total
+}
+
+// LoopTime prices only the dynamic work attributed to one loop subtree
+// (the loop and every loop nested inside it), for case studies that measure
+// "total time spent in the loop" rather than whole-program time.
+func LoopTime(mod *ir.Module, res *interp.Result, verdicts map[int]staticvec.Verdict, m Machine, root int) float64 {
+	inSubtree := profile.Subtree(mod, res, root)
+	total := 0.0
+	for loopID, oc := range res.LoopOps {
+		if !inSubtree[loopID] {
+			continue
+		}
+		cost := m.scalarCost(oc)
+		if v, ok := verdicts[loopID]; ok && v.Vectorized {
+			cost /= m.Lanes()
+			cost *= m.VecOverhead
+			if v.Reduction {
+				cost *= m.ReductionOverhead
+			}
+		}
+		total += cost
+	}
+	return total
+}

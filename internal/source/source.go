@@ -1,0 +1,142 @@
+// Package source provides source-file positions, spans, and diagnostics for
+// the MiniC front end. Every AST node and every VIR instruction carries a Pos
+// so dynamic-analysis reports can point back at the originating line, the way
+// the paper's tool reports "quark_stuff.c : 1452".
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos is a resolved position within a file. The zero Pos is "no position".
+type Pos struct {
+	Line int // 1-based line number; 0 means unknown
+	Col  int // 1-based column (in bytes)
+}
+
+// IsValid reports whether p carries real position information.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Before reports whether p occurs strictly before q in the file.
+func (p Pos) Before(q Pos) bool {
+	if p.Line != q.Line {
+		return p.Line < q.Line
+	}
+	return p.Col < q.Col
+}
+
+// File holds the contents of one MiniC source file and the offsets of its
+// line starts, enabling offset→Pos resolution.
+type File struct {
+	Name    string
+	Content string
+
+	lineStarts []int // byte offsets of the first character of each line
+}
+
+// NewFile builds a File and indexes its line starts.
+func NewFile(name, content string) *File {
+	f := &File{Name: name, Content: content}
+	f.lineStarts = append(f.lineStarts, 0)
+	for i := 0; i < len(content); i++ {
+		if content[i] == '\n' {
+			f.lineStarts = append(f.lineStarts, i+1)
+		}
+	}
+	return f
+}
+
+// PosFor converts a byte offset into a line/column Pos. Offsets past the end
+// of the file resolve to the final position.
+func (f *File) PosFor(offset int) Pos {
+	if offset < 0 {
+		return Pos{}
+	}
+	if offset > len(f.Content) {
+		offset = len(f.Content)
+	}
+	// Find the last line start <= offset.
+	i := sort.Search(len(f.lineStarts), func(i int) bool { return f.lineStarts[i] > offset }) - 1
+	return Pos{Line: i + 1, Col: offset - f.lineStarts[i] + 1}
+}
+
+// NumLines returns the number of lines in the file.
+func (f *File) NumLines() int { return len(f.lineStarts) }
+
+// Line returns the text of the 1-based line n, without its trailing newline.
+func (f *File) Line(n int) string {
+	if n < 1 || n > len(f.lineStarts) {
+		return ""
+	}
+	start := f.lineStarts[n-1]
+	end := len(f.Content)
+	if n < len(f.lineStarts) {
+		end = f.lineStarts[n] - 1
+	}
+	return f.Content[start:end]
+}
+
+// Diagnostic is a single error or warning produced by the front end.
+type Diagnostic struct {
+	File string
+	Pos  Pos
+	Msg  string
+}
+
+func (d Diagnostic) Error() string {
+	if d.Pos.IsValid() {
+		return fmt.Sprintf("%s:%s: %s", d.File, d.Pos, d.Msg)
+	}
+	return fmt.Sprintf("%s: %s", d.File, d.Msg)
+}
+
+// ErrorList accumulates diagnostics. The zero value is ready to use.
+type ErrorList struct {
+	Diags []Diagnostic
+}
+
+// Add appends a diagnostic.
+func (l *ErrorList) Add(file string, pos Pos, format string, args ...any) {
+	l.Diags = append(l.Diags, Diagnostic{File: file, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Len returns the number of accumulated diagnostics.
+func (l *ErrorList) Len() int { return len(l.Diags) }
+
+// Err returns the list as an error, or nil if it is empty.
+func (l *ErrorList) Err() error {
+	if len(l.Diags) == 0 {
+		return nil
+	}
+	return l
+}
+
+// Sort orders diagnostics by position.
+func (l *ErrorList) Sort() {
+	sort.SliceStable(l.Diags, func(i, j int) bool {
+		if l.Diags[i].File != l.Diags[j].File {
+			return l.Diags[i].File < l.Diags[j].File
+		}
+		return l.Diags[i].Pos.Before(l.Diags[j].Pos)
+	})
+}
+
+func (l *ErrorList) Error() string {
+	var b strings.Builder
+	for i, d := range l.Diags {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(d.Error())
+	}
+	return b.String()
+}

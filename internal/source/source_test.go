@@ -1,0 +1,153 @@
+package source
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPosBasics(t *testing.T) {
+	var zero Pos
+	if zero.IsValid() {
+		t.Error("zero Pos should be invalid")
+	}
+	if zero.String() != "-" {
+		t.Errorf("zero Pos prints %q, want -", zero.String())
+	}
+	p := Pos{Line: 3, Col: 7}
+	if !p.IsValid() {
+		t.Error("Pos{3,7} should be valid")
+	}
+	if p.String() != "3:7" {
+		t.Errorf("Pos prints %q, want 3:7", p.String())
+	}
+}
+
+func TestPosBefore(t *testing.T) {
+	cases := []struct {
+		a, b Pos
+		want bool
+	}{
+		{Pos{1, 1}, Pos{1, 2}, true},
+		{Pos{1, 2}, Pos{1, 1}, false},
+		{Pos{1, 9}, Pos{2, 1}, true},
+		{Pos{2, 1}, Pos{1, 9}, false},
+		{Pos{1, 1}, Pos{1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Before(c.b); got != c.want {
+			t.Errorf("%v.Before(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFilePosFor(t *testing.T) {
+	f := NewFile("t.c", "ab\ncde\n\nf")
+	cases := []struct {
+		offset    int
+		line, col int
+	}{
+		{0, 1, 1},
+		{1, 1, 2},
+		{2, 1, 3}, // the newline itself belongs to line 1
+		{3, 2, 1},
+		{5, 2, 3},
+		{7, 3, 1},
+		{8, 4, 1},
+		{100, 4, 2}, // clamped past EOF
+	}
+	for _, c := range cases {
+		got := f.PosFor(c.offset)
+		if got.Line != c.line || got.Col != c.col {
+			t.Errorf("PosFor(%d) = %v, want %d:%d", c.offset, got, c.line, c.col)
+		}
+	}
+	if got := f.PosFor(-1); got.IsValid() {
+		t.Errorf("PosFor(-1) = %v, want invalid", got)
+	}
+}
+
+func TestFileLines(t *testing.T) {
+	f := NewFile("t.c", "first\nsecond\nthird")
+	if f.NumLines() != 3 {
+		t.Fatalf("NumLines = %d, want 3", f.NumLines())
+	}
+	for i, want := range []string{"first", "second", "third"} {
+		if got := f.Line(i + 1); got != want {
+			t.Errorf("Line(%d) = %q, want %q", i+1, got, want)
+		}
+	}
+	if f.Line(0) != "" || f.Line(4) != "" {
+		t.Error("out-of-range Line should return empty")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	f := NewFile("e.c", "")
+	if f.NumLines() != 1 {
+		t.Errorf("empty file NumLines = %d, want 1", f.NumLines())
+	}
+	p := f.PosFor(0)
+	if p.Line != 1 || p.Col != 1 {
+		t.Errorf("PosFor(0) = %v, want 1:1", p)
+	}
+}
+
+// TestPosForRoundTrip: for any content and any offset, the computed
+// line/column must map back to the same offset when recomputed from line
+// starts.
+func TestPosForRoundTrip(t *testing.T) {
+	check := func(content string, rawOff uint16) bool {
+		f := NewFile("q.c", content)
+		off := int(rawOff)
+		if off > len(content) {
+			off = len(content)
+		}
+		p := f.PosFor(off)
+		// Recompute the offset: line start + col - 1.
+		starts := []int{0}
+		for i := 0; i < len(content); i++ {
+			if content[i] == '\n' {
+				starts = append(starts, i+1)
+			}
+		}
+		if p.Line < 1 || p.Line > len(starts) {
+			return false
+		}
+		return starts[p.Line-1]+p.Col-1 == off
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrorList(t *testing.T) {
+	var l ErrorList
+	if l.Err() != nil {
+		t.Error("empty list should be nil error")
+	}
+	l.Add("b.c", Pos{2, 1}, "second %d", 2)
+	l.Add("a.c", Pos{5, 1}, "third")
+	l.Add("a.c", Pos{1, 1}, "first")
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	l.Sort()
+	want := []string{"a.c:1:1: first", "a.c:5:1: third", "b.c:2:1: second 2"}
+	for i, d := range l.Diags {
+		if d.Error() != want[i] {
+			t.Errorf("diag %d = %q, want %q", i, d.Error(), want[i])
+		}
+	}
+	msg := l.Err().Error()
+	if !strings.Contains(msg, "first") || !strings.Contains(msg, "second") {
+		t.Errorf("aggregate error missing parts: %q", msg)
+	}
+}
+
+func TestDiagnosticWithoutPos(t *testing.T) {
+	d := Diagnostic{File: "x.c", Msg: "boom"}
+	if d.Error() != "x.c: boom" {
+		t.Errorf("got %q", d.Error())
+	}
+}

@@ -1,0 +1,300 @@
+// Package staticvec implements a conservative static auto-vectorizer over
+// VIR, standing in for the production compiler (Intel icc) whose behaviour
+// the paper measures as "Percent Packed".
+//
+// The vectorizer refuses loops for exactly the reasons the paper lists for
+// production compilers (§1): (1) conservative dependence/alias analysis —
+// pointer-based accesses with unprovable independence are rejected; (2)
+// data-dependent control flow in the loop body; (3) data layouts without
+// contiguous access (non-unit stride). It vectorizes simple scalar
+// reductions (s += expr), which is why measured Percent Packed can exceed
+// the dynamic analysis' Percent Vec. Ops — the anomaly the paper observes
+// for 454.calculix and 482.sphinx3.
+package staticvec
+
+import (
+	"github.com/example/vectrace/internal/ir"
+)
+
+// BaseKind discriminates the symbolic base of an affine address.
+type BaseKind uint8
+
+// Base kinds.
+const (
+	// BaseNone means the expression is a pure linear combination of slot
+	// values (e.g. a pointer loaded from a slot plus offsets).
+	BaseNone BaseKind = iota
+	// BaseGlobal anchors the address at a module global.
+	BaseGlobal
+	// BaseFrame anchors the address at a frame slot (a scalar local).
+	BaseFrame
+	// BaseParam anchors the address at an incoming parameter register's
+	// value (a pointer argument).
+	BaseParam
+)
+
+// Base identifies the anchor of a symbolic address.
+type Base struct {
+	Kind  BaseKind
+	Index int32 // global index, slot index, or parameter register
+}
+
+// Affine is a symbolic value of the form
+//
+//	Base + Σ Coeff[slot]·value(slot) + Const
+//
+// where value(slot) is the run-time content of a frame slot (induction
+// variables, loop-invariant scalars, pointer locals). OK is false when the
+// value is not statically affine (data-dependent loads, products of
+// variables, …).
+type Affine struct {
+	Base  Base
+	Coeff map[int32]int64
+	Const int64
+	OK    bool
+}
+
+func notAffine() Affine { return Affine{} }
+
+func (a Affine) clone() Affine {
+	b := a
+	if a.Coeff != nil {
+		b.Coeff = make(map[int32]int64, len(a.Coeff))
+		for k, v := range a.Coeff {
+			b.Coeff[k] = v
+		}
+	}
+	return b
+}
+
+func (a *Affine) addTerm(slot int32, c int64) {
+	if c == 0 {
+		return
+	}
+	if a.Coeff == nil {
+		a.Coeff = make(map[int32]int64, 2)
+	}
+	a.Coeff[slot] += c
+	if a.Coeff[slot] == 0 {
+		delete(a.Coeff, slot)
+	}
+}
+
+// isPure reports whether a has no base anchor and no symbolic terms — a
+// compile-time constant.
+func (a Affine) isPure() bool {
+	return a.OK && a.Base.Kind == BaseNone && len(a.Coeff) == 0
+}
+
+// isSlotAddr reports whether a is exactly the address of frame slot s.
+func (a Affine) isSlotAddr() (int32, bool) {
+	if a.OK && a.Base.Kind == BaseFrame && len(a.Coeff) == 0 && a.Const == 0 {
+		return a.Base.Index, true
+	}
+	return -1, false
+}
+
+// sameShape reports whether two affine addresses differ only by a constant:
+// identical base anchor and identical coefficient maps. Such addresses are
+// comparable — their dependence distance is (b.Const - a.Const).
+func sameShape(a, b Affine) bool {
+	if !a.OK || !b.OK || a.Base != b.Base || len(a.Coeff) != len(b.Coeff) {
+		return false
+	}
+	for k, v := range a.Coeff {
+		if b.Coeff[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// mayAlias reports whether two affine addresses can possibly overlap, under
+// the conservative rules a production compiler applies:
+//
+//   - distinct global anchors never alias (distinct objects);
+//   - identical shape differing by a constant is precisely comparable
+//     (handled by the dependence test, not here);
+//   - anything involving pointer-valued symbols (slot coefficients over
+//     pointer locals, parameter bases) may alias everything except a
+//     provably distinct global… which cannot be proven without points-to
+//     analysis, so it may alias too.
+func mayAlias(a, b Affine) bool {
+	if !a.OK || !b.OK {
+		return true
+	}
+	if sameShape(a, b) {
+		return true // comparable — caller runs the distance test
+	}
+	if a.Base.Kind == BaseGlobal && b.Base.Kind == BaseGlobal {
+		if a.Base.Index != b.Base.Index {
+			return false
+		}
+		// Same global, different shape: conservatively aliased.
+		return true
+	}
+	if a.Base.Kind == BaseFrame && b.Base.Kind == BaseFrame && a.Base.Index != b.Base.Index {
+		return false
+	}
+	// Pointer-derived address against anything: assume aliasing. This is
+	// the conservatism that keeps icc from vectorizing the UTDSP
+	// pointer-based kernels (§4.3).
+	return true
+}
+
+// resolver computes Affine forms for registers of one function. Registers
+// are statically single-assignment in lowered MiniC, so a register's value
+// expression is well defined; slot symbols denote "the slot's content at
+// the time of the load", which the loop analysis interprets relative to the
+// analyzed loop's induction variables.
+type resolver struct {
+	fn     *ir.Function
+	regDef []*ir.Instr // defining instruction per register, nil for params
+	memo   map[ir.Reg]Affine
+}
+
+func newResolver(fn *ir.Function) *resolver {
+	r := &resolver{
+		fn:     fn,
+		regDef: make([]*ir.Instr, fn.NumRegs),
+		memo:   make(map[ir.Reg]Affine),
+	}
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Dst != ir.RegNone {
+				r.regDef[in.Dst] = in
+			}
+		}
+	}
+	return r
+}
+
+// operand resolves an instruction operand.
+func (r *resolver) operand(o ir.Operand, depth int) Affine {
+	switch o.Kind {
+	case ir.KindConstInt:
+		return Affine{Const: o.ConstInt(), OK: true}
+	case ir.KindReg:
+		return r.reg(o.Reg, depth)
+	}
+	return notAffine()
+}
+
+// reg resolves a register to its affine form.
+func (r *resolver) reg(reg ir.Reg, depth int) Affine {
+	if depth > 64 {
+		return notAffine()
+	}
+	if a, ok := r.memo[reg]; ok {
+		return a
+	}
+	a := r.regUncached(reg, depth)
+	r.memo[reg] = a
+	return a
+}
+
+func (r *resolver) regUncached(reg ir.Reg, depth int) Affine {
+	def := r.regDef[reg]
+	if def == nil {
+		// Parameter register: an opaque loop-invariant symbol.
+		if int(reg) < r.fn.NumParams {
+			return Affine{Base: Base{Kind: BaseParam, Index: int32(reg)}, OK: true}
+		}
+		return notAffine()
+	}
+	switch def.Op {
+	case ir.OpFrameAddr:
+		return Affine{Base: Base{Kind: BaseFrame, Index: def.Slot}, OK: true}
+	case ir.OpGlobalAddr:
+		return Affine{Base: Base{Kind: BaseGlobal, Index: def.Global}, OK: true}
+	case ir.OpPtrAdd:
+		base := r.operand(def.X, depth+1)
+		idx := r.operand(def.Y, depth+1)
+		if !base.OK || !idx.OK || idx.Base.Kind != BaseNone {
+			return notAffine()
+		}
+		out := base.clone()
+		for s, c := range idx.Coeff {
+			out.addTerm(s, c*def.Scale)
+		}
+		out.Const += idx.Const*def.Scale + def.Off
+		return out
+	case ir.OpLoad:
+		// A direct scalar-slot load introduces the slot's value as a
+		// symbol. Loads from computed addresses are data-dependent.
+		addr := r.operand(def.X, depth+1)
+		if s, ok := addr.isSlotAddr(); ok && def.Type == ir.I64 {
+			a := Affine{OK: true}
+			a.addTerm(s, 1)
+			return a
+		}
+		return notAffine()
+	case ir.OpBin:
+		if def.Type != ir.I64 {
+			return notAffine()
+		}
+		x := r.operand(def.X, depth+1)
+		y := r.operand(def.Y, depth+1)
+		if !x.OK || !y.OK {
+			return notAffine()
+		}
+		switch def.Bin {
+		case ir.AddOp, ir.SubOp:
+			sign := int64(1)
+			if def.Bin == ir.SubOp {
+				sign = -1
+			}
+			if y.Base.Kind != BaseNone && (sign == -1 || x.Base.Kind != BaseNone) {
+				return notAffine()
+			}
+			out := x.clone()
+			if x.Base.Kind == BaseNone && y.Base.Kind != BaseNone {
+				out.Base = y.Base
+			}
+			for s, c := range y.Coeff {
+				out.addTerm(s, sign*c)
+			}
+			out.Const += sign * y.Const
+			out.OK = true
+			return out
+		case ir.MulOp:
+			if x.isPure() {
+				out := y.clone()
+				if out.Base.Kind != BaseNone {
+					return notAffine()
+				}
+				for s := range out.Coeff {
+					out.Coeff[s] *= x.Const
+				}
+				out.Const *= x.Const
+				return out
+			}
+			if y.isPure() {
+				out := x.clone()
+				if out.Base.Kind != BaseNone {
+					return notAffine()
+				}
+				for s := range out.Coeff {
+					out.Coeff[s] *= y.Const
+				}
+				out.Const *= y.Const
+				return out
+			}
+			return notAffine()
+		}
+		return notAffine()
+	case ir.OpNeg:
+		x := r.operand(def.X, depth+1)
+		if !x.OK || x.Base.Kind != BaseNone {
+			return notAffine()
+		}
+		out := x.clone()
+		for s := range out.Coeff {
+			out.Coeff[s] = -out.Coeff[s]
+		}
+		out.Const = -out.Const
+		return out
+	}
+	return notAffine()
+}

@@ -1,0 +1,257 @@
+package staticvec
+
+import (
+	"testing"
+
+	"github.com/example/vectrace/internal/ir"
+	"github.com/example/vectrace/internal/lower"
+	"github.com/example/vectrace/internal/parser"
+	"github.com/example/vectrace/internal/sema"
+)
+
+// compileFn lowers a source and returns the named function.
+func compileFn(t *testing.T, src, name string) *ir.Function {
+	t.Helper()
+	prog, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := lower.Lower(prog, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mod.FuncByName(name)
+	if f == nil {
+		t.Fatalf("no function %q", name)
+	}
+	return f
+}
+
+// addrOfNthAccess resolves the address expression of the n-th load/store in
+// the function.
+func addrOfNthAccess(t *testing.T, fn *ir.Function, n int) Affine {
+	t.Helper()
+	res := newResolver(fn)
+	count := 0
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != ir.OpLoad && in.Op != ir.OpStore {
+				continue
+			}
+			if count == n {
+				return res.operand(in.X, 0)
+			}
+			count++
+		}
+	}
+	t.Fatalf("fewer than %d accesses", n+1)
+	return Affine{}
+}
+
+func TestAffineGlobalArray(t *testing.T) {
+	fn := compileFn(t, `
+double A[8][16];
+void main() {
+  int i;
+  int j;
+  i = 1;
+  j = 2;
+  A[i][j] = 1.0;
+}
+`, "main")
+	res := newResolver(fn)
+	// Find the f64 store.
+	var addr Affine
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.OpStore && in.Type == ir.F64 {
+				addr = res.operand(in.X, 0)
+			}
+		}
+	}
+	if !addr.OK {
+		t.Fatal("address not affine")
+	}
+	if addr.Base.Kind != BaseGlobal {
+		t.Fatalf("base = %+v, want global", addr.Base)
+	}
+	// Coefficients: i scaled by a row (16 doubles = 128 bytes), j by 8.
+	var coeffs []int64
+	for _, c := range addr.Coeff {
+		coeffs = append(coeffs, c)
+	}
+	if len(addr.Coeff) != 2 {
+		t.Fatalf("coeffs = %v, want 2 symbols", addr.Coeff)
+	}
+	has128, has8 := false, false
+	for _, c := range addr.Coeff {
+		if c == 128 {
+			has128 = true
+		}
+		if c == 8 {
+			has8 = true
+		}
+	}
+	if !has128 || !has8 {
+		t.Fatalf("coeffs = %v, want {128, 8}", coeffs)
+	}
+}
+
+func TestAffineDataDependentLoadIsOpaque(t *testing.T) {
+	fn := compileFn(t, `
+int idx[8];
+double A[8];
+void main() {
+  int i;
+  i = 1;
+  A[idx[i]] = 1.0;
+}
+`, "main")
+	res := newResolver(fn)
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.OpStore && in.Type == ir.F64 {
+				addr := res.operand(in.X, 0)
+				if addr.OK {
+					t.Fatalf("indirected address should be non-affine, got %+v", addr)
+				}
+			}
+		}
+	}
+}
+
+func TestAffineMulByConstant(t *testing.T) {
+	fn := compileFn(t, `
+double A[64];
+void main() {
+  int i;
+  i = 3;
+  A[4 * i + 2] = 1.0;
+}
+`, "main")
+	res := newResolver(fn)
+	for _, b := range fn.Blocks {
+		for k := range b.Instrs {
+			in := &b.Instrs[k]
+			if in.Op == ir.OpStore && in.Type == ir.F64 {
+				addr := res.operand(in.X, 0)
+				if !addr.OK {
+					t.Fatal("affine form lost")
+				}
+				if addr.Const%8 != 0 {
+					t.Fatalf("const = %d", addr.Const)
+				}
+				for _, c := range addr.Coeff {
+					if c != 32 { // 4 elements × 8 bytes
+						t.Fatalf("coeff = %d, want 32", c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAffineVariableProductIsOpaque(t *testing.T) {
+	fn := compileFn(t, `
+double A[64];
+void main() {
+  int i;
+  int j;
+  i = 2;
+  j = 3;
+  A[i * j] = 1.0;
+}
+`, "main")
+	res := newResolver(fn)
+	for _, b := range fn.Blocks {
+		for k := range b.Instrs {
+			in := &b.Instrs[k]
+			if in.Op == ir.OpStore && in.Type == ir.F64 {
+				if addr := res.operand(in.X, 0); addr.OK {
+					t.Fatalf("variable product should be non-affine, got %+v", addr)
+				}
+			}
+		}
+	}
+}
+
+func TestSameShapeAndMayAlias(t *testing.T) {
+	g0 := Affine{Base: Base{Kind: BaseGlobal, Index: 0}, Coeff: map[int32]int64{3: 8}, Const: 0, OK: true}
+	g0Off := Affine{Base: Base{Kind: BaseGlobal, Index: 0}, Coeff: map[int32]int64{3: 8}, Const: 16, OK: true}
+	g1 := Affine{Base: Base{Kind: BaseGlobal, Index: 1}, Coeff: map[int32]int64{3: 8}, OK: true}
+	ptr := Affine{Coeff: map[int32]int64{5: 1, 3: 8}, OK: true}
+	bad := Affine{}
+
+	if !sameShape(g0, g0Off) {
+		t.Error("same base + coeffs should be same shape")
+	}
+	if sameShape(g0, g1) {
+		t.Error("different globals are different shapes")
+	}
+	if sameShape(g0, ptr) {
+		t.Error("global vs pointer-derived differ")
+	}
+	if mayAlias(g0, g1) {
+		t.Error("distinct globals never alias")
+	}
+	if !mayAlias(g0, ptr) {
+		t.Error("pointer-derived may alias a global")
+	}
+	if !mayAlias(g0, bad) {
+		t.Error("non-affine may alias everything")
+	}
+	if !mayAlias(g0, g0Off) {
+		t.Error("comparable addresses report mayAlias=true (caller runs the distance test)")
+	}
+}
+
+func TestParamBase(t *testing.T) {
+	fn := compileFn(t, `
+void f(double *p, int n) {
+  p[n] = 1.0;
+}
+void main() { }
+`, "f")
+	res := newResolver(fn)
+	for _, b := range fn.Blocks {
+		for k := range b.Instrs {
+			in := &b.Instrs[k]
+			if in.Op == ir.OpStore && in.Type == ir.F64 {
+				addr := res.operand(in.X, 0)
+				if !addr.OK {
+					t.Fatal("pointer-parameter address should be affine over the param symbol")
+				}
+				// The base is the pointer value loaded from p's slot: a
+				// slot-symbol coefficient, plus n's scaled coefficient.
+				if len(addr.Coeff) != 2 {
+					t.Fatalf("coeffs = %+v, want p-slot and n-slot", addr.Coeff)
+				}
+			}
+		}
+	}
+}
+
+func TestIsSlotAddrAndPure(t *testing.T) {
+	slot := Affine{Base: Base{Kind: BaseFrame, Index: 4}, OK: true}
+	if s, ok := slot.isSlotAddr(); !ok || s != 4 {
+		t.Error("isSlotAddr")
+	}
+	offset := Affine{Base: Base{Kind: BaseFrame, Index: 4}, Const: 8, OK: true}
+	if _, ok := offset.isSlotAddr(); ok {
+		t.Error("offset slot address is not a plain slot")
+	}
+	pure := Affine{Const: 42, OK: true}
+	if !pure.isPure() {
+		t.Error("constant should be pure")
+	}
+	if slot.isPure() {
+		t.Error("slot address is not pure")
+	}
+}

@@ -1,0 +1,544 @@
+package staticvec
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/example/vectrace/internal/cfgutil"
+	"github.com/example/vectrace/internal/ir"
+)
+
+// Verdict is the static vectorizer's decision for one innermost source loop.
+type Verdict struct {
+	SourceLoop int
+	Line       int
+	Func       string
+	// Vectorized reports whether the loop's floating-point work executes
+	// packed.
+	Vectorized bool
+	// Reduction marks loops vectorized via a reduction rewrite.
+	Reduction bool
+	// Reason explains a negative verdict, in production-compiler phrasing.
+	Reason string
+	// IVSlot and IVStep describe the recognized induction variable.
+	IVSlot int32
+	IVStep int64
+	// TripCount is the constant trip count if both bounds were constant,
+	// else -1.
+	TripCount int64
+}
+
+// AnalyzeModule runs the vectorizer on every innermost source loop of every
+// function and returns verdicts keyed by source loop ID.
+func AnalyzeModule(mod *ir.Module) map[int]Verdict {
+	out := make(map[int]Verdict)
+	for _, fn := range mod.Funcs {
+		cfg := cfgutil.New(fn)
+		dom := cfgutil.Dominators(cfg)
+		loops := cfgutil.Loops(cfg, dom)
+		for _, l := range cfgutil.InnermostLoops(loops) {
+			if l.SourceLoop < 0 {
+				continue
+			}
+			v := analyzeLoop(mod, fn, cfg, dom, &l)
+			lm := mod.LoopByID(int(l.SourceLoop))
+			if lm != nil {
+				v.Line = lm.Line
+				v.Func = lm.Func
+			}
+			out[int(l.SourceLoop)] = v
+		}
+	}
+	return out
+}
+
+// access is one classified memory operation in the loop body.
+type access struct {
+	in      *ir.Instr
+	isStore bool
+	addr    Affine
+	// scalarSlot >= 0 when the access is a direct scalar frame-slot access.
+	scalarSlot int32
+	// order is the access's position in the linearized loop body.
+	order int
+}
+
+func analyzeLoop(mod *ir.Module, fn *ir.Function, cfg *cfgutil.CFG, dom *cfgutil.DomTree, l *cfgutil.Loop) Verdict {
+	v := Verdict{SourceLoop: int(l.SourceLoop), IVSlot: -1, TripCount: -1}
+	res := newResolver(fn)
+
+	// Collect the loop's instructions in block-index order (lowered MiniC
+	// emits blocks in source order, so this approximates execution order
+	// within an iteration).
+	var body []*ir.Instr
+	condBrs := 0
+	hasFP := false
+	for _, bi := range l.Blocks {
+		for i := range fn.Blocks[bi].Instrs {
+			in := &fn.Blocks[bi].Instrs[i]
+			body = append(body, in)
+			switch in.Op {
+			case ir.OpCondBr:
+				condBrs++
+			case ir.OpCall:
+				v.Reason = "function call in loop body"
+				return v
+			case ir.OpLoopBegin:
+				v.Reason = "nested loop"
+				return v
+			}
+			if in.IsCandidate() {
+				hasFP = true
+			}
+		}
+	}
+	if !hasFP {
+		v.Reason = "no floating-point operations"
+		return v
+	}
+	// Exactly one conditional branch: the loop's own exit test. Anything
+	// more is data-dependent control flow inside the body, the pattern
+	// that blocks vectorization of the PDE solver's boundary check (§4.4).
+	if condBrs > 1 {
+		v.Reason = "data-dependent control flow in loop body"
+		return v
+	}
+
+	// ---- Induction variable recognition.
+	type ivInfo struct{ step int64 }
+	ivs := make(map[int32]ivInfo)
+	storesPerSlot := make(map[int32]int)
+	for _, in := range body {
+		if in.Op != ir.OpStore {
+			continue
+		}
+		addr := res.operand(in.X, 0)
+		if s, ok := addr.isSlotAddr(); ok {
+			storesPerSlot[s]++
+			val := res.operand(in.Y, 0)
+			if val.OK && val.Base.Kind == BaseNone && len(val.Coeff) == 1 && val.Coeff[s] == 1 && val.Const != 0 {
+				ivs[s] = ivInfo{step: val.Const}
+			}
+		}
+	}
+	// A basic IV must be the slot's only store.
+	for s := range ivs {
+		if storesPerSlot[s] != 1 {
+			delete(ivs, s)
+		}
+	}
+	if len(ivs) != 1 {
+		v.Reason = fmt.Sprintf("no unique induction variable (%d candidates)", len(ivs))
+		return v
+	}
+	var iv int32
+	var step int64
+	for s, info := range ivs {
+		iv, step = s, info.step
+	}
+	v.IVSlot, v.IVStep = iv, step
+
+	// ---- Trip count from the header's exit test, when constant.
+	v.TripCount = constTripCount(fn, cfg, dom, l, res, iv, step)
+	if v.TripCount >= 0 && v.TripCount < 4 {
+		v.Reason = fmt.Sprintf("trip count %d too small to vectorize", v.TripCount)
+		return v
+	}
+
+	// ---- Derived induction variables: a slot with a single in-loop store
+	// whose value is affine over the IV and invariant slots (the bwaves
+	// ip1 = i + 1 pattern). Addresses through such slots are rewritten in
+	// terms of the IV. This assumes the derived slot is assigned before
+	// use within the iteration, which holds for C locals initialized at
+	// their declaration.
+	derived := make(map[int32]Affine)
+	for _, in := range body {
+		if in.Op != ir.OpStore {
+			continue
+		}
+		addr := res.operand(in.X, 0)
+		s, ok := addr.isSlotAddr()
+		if !ok || s == iv || storesPerSlot[s] != 1 {
+			continue
+		}
+		val := res.operand(in.Y, 0)
+		if !val.OK || val.Base.Kind != BaseNone {
+			continue
+		}
+		affineInLoop := true
+		for t := range val.Coeff {
+			if t != iv && storesPerSlot[t] > 0 {
+				affineInLoop = false
+				break
+			}
+		}
+		if affineInLoop {
+			derived[s] = val
+		}
+	}
+	substitute := func(a Affine) Affine {
+		changed := false
+		for s := range a.Coeff {
+			if _, ok := derived[s]; ok {
+				changed = true
+			}
+		}
+		if !changed {
+			return a
+		}
+		out := a.clone()
+		for s, c := range a.Coeff {
+			d, ok := derived[s]
+			if !ok {
+				continue
+			}
+			out.addTerm(s, -c)
+			for t, dc := range d.Coeff {
+				out.addTerm(t, c*dc)
+			}
+			out.Const += c * d.Const
+		}
+		return out
+	}
+
+	// ---- Classify memory accesses.
+	var accesses []access
+	for order, in := range body {
+		if in.Op != ir.OpLoad && in.Op != ir.OpStore {
+			continue
+		}
+		a := access{in: in, isStore: in.Op == ir.OpStore, order: order, scalarSlot: -1}
+		a.addr = res.operand(in.X, 0)
+		if s, ok := a.addr.isSlotAddr(); ok {
+			a.scalarSlot = s
+		} else if !a.addr.OK {
+			v.Reason = "data-dependent (non-affine) access pattern"
+			return v
+		} else {
+			a.addr = substitute(a.addr)
+			// An address formed from a loop-variant scalar other than the
+			// induction variable is data-dependent indexing (the gromacs
+			// j3 = 3*jjnr(k) pattern): the symbol's per-iteration value is
+			// unknown statically.
+			for s := range a.addr.Coeff {
+				if s != iv && storesPerSlot[s] > 0 {
+					v.Reason = "data-dependent (indirect) access pattern"
+					return v
+				}
+			}
+		}
+		accesses = append(accesses, a)
+	}
+
+	// ---- Scalar slots: privatizable temporaries vs reductions vs
+	// loop-carried recurrences.
+	reduction := false
+	scalarOrder := make(map[int32][]access)
+	for _, a := range accesses {
+		if a.scalarSlot >= 0 && a.scalarSlot != iv {
+			scalarOrder[a.scalarSlot] = append(scalarOrder[a.scalarSlot], a)
+		}
+	}
+	slots := make([]int32, 0, len(scalarOrder))
+	for s := range scalarOrder {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	for _, s := range slots {
+		accs := scalarOrder[s]
+		stored := false
+		for _, a := range accs {
+			if a.isStore {
+				stored = true
+			}
+		}
+		if !stored {
+			continue // read-only scalar: loop invariant
+		}
+		if !accs[0].isStore {
+			// Read-before-write with a write in the loop: loop-carried.
+			if isReductionSlot(res, accs, s) {
+				reduction = true
+				continue
+			}
+			v.Reason = "loop-carried scalar recurrence"
+			return v
+		}
+		// Written first each iteration: privatizable.
+	}
+
+	// ---- Array dependence and stride tests.
+	for i := range accesses {
+		a := &accesses[i]
+		if a.scalarSlot >= 0 {
+			continue
+		}
+		// Stride per iteration must be zero (invariant) or the element
+		// size (contiguous).
+		stride := a.addr.Coeff[iv] * step
+		if stride != 0 && stride != a.in.Type.Size() {
+			v.Reason = fmt.Sprintf("non-unit stride access (stride %d bytes)", stride)
+			return v
+		}
+		if !a.isStore {
+			continue
+		}
+		for j := range accesses {
+			b := &accesses[j]
+			if i == j || b.scalarSlot >= 0 {
+				continue
+			}
+			if sameShape(a.addr, b.addr) {
+				s := a.addr.Coeff[iv] * step
+				d := b.addr.Const - a.addr.Const
+				if s == 0 {
+					if d == 0 {
+						// A loop-invariant location updated every
+						// iteration: vectorizable only as a reduction
+						// (s += expr where s is a global scalar or an
+						// invariant array element).
+						if isReductionAccess(res, a) {
+							reduction = true
+							continue
+						}
+						v.Reason = "loop-invariant store recurrence"
+						return v
+					}
+					continue
+				}
+				if d%s == 0 && d/s != 0 {
+					dist := d / s
+					if dist < 0 {
+						dist = -dist
+					}
+					// A dependence distance at or beyond the constant trip
+					// count can never be realized inside the loop.
+					if v.TripCount >= 0 && dist >= v.TripCount {
+						continue
+					}
+					v.Reason = fmt.Sprintf("loop-carried dependence (distance %d)", d/s)
+					return v
+				}
+				continue
+			}
+			// Same global, identical IV coefficient, shapes differing only
+			// in loop-invariant symbols: the distance is a (symbolic)
+			// iteration-independent constant, so a production compiler
+			// emits a runtime overlap check and vectorizes the main
+			// version. Model that multiversioning as success.
+			if a.addr.Base.Kind == BaseGlobal && a.addr.Base == b.addr.Base &&
+				a.addr.Coeff[iv] == b.addr.Coeff[iv] &&
+				invariantShapeDelta(a.addr, b.addr, iv, storesPerSlot) {
+				continue
+			}
+			if mayAlias(a.addr, b.addr) {
+				v.Reason = "possible aliasing between memory accesses"
+				return v
+			}
+		}
+	}
+
+	v.Vectorized = true
+	v.Reduction = reduction
+	return v
+}
+
+// invariantShapeDelta reports whether the coefficient maps of a and b differ
+// only in slots that the loop never stores to (loop-invariant symbols). The
+// IV's coefficients are compared by the caller.
+func invariantShapeDelta(a, b Affine, iv int32, storesPerSlot map[int32]int) bool {
+	check := func(x, y Affine) bool {
+		for s, c := range x.Coeff {
+			if s == iv {
+				continue
+			}
+			if y.Coeff[s] != c && storesPerSlot[s] > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return check(a, b) && check(b, a)
+}
+
+// isReductionAccess recognizes the s += expr shape for a store to a
+// loop-invariant memory location: the stored value is a floating-point
+// add/sub (or pure multiply) whose *reduction spine* carries a load of the
+// same address. Restricting the search to the spine — adds/subs under an
+// additive root, multiplies under a multiplicative root — is what separates
+// reassociable reductions from first-order recurrences like
+// prev = cur·0.25 + prev·0.5, which scale the accumulator and must stay
+// sequential.
+func isReductionAccess(res *resolver, a *access) bool {
+	if !a.isStore || a.in.Y.Kind != ir.KindReg {
+		return false
+	}
+	def := res.regDef[a.in.Y.Reg]
+	if def == nil || def.Op != ir.OpBin || !def.Type.IsFloat() {
+		return false
+	}
+	if def.Bin != ir.AddOp && def.Bin != ir.SubOp && def.Bin != ir.MulOp {
+		return false
+	}
+	match := func(load *ir.Instr) bool {
+		la := res.operand(load.X, 0)
+		return sameShape(la, a.addr) && la.Const == a.addr.Const
+	}
+	return spineReads(res, def, def.Bin, match, 0)
+}
+
+// spineReads walks the reduction spine of a float expression tree rooted at
+// an add/sub (additive reduction) or mul (multiplicative reduction) and
+// reports whether a load matching `match` appears on it. For an additive
+// root the spine continues through adds (both operands) and subs (left
+// operand only — s = s − x reduces, s' = x − s does not); for a
+// multiplicative root it continues through muls only.
+func spineReads(res *resolver, in *ir.Instr, root ir.BinOp, match func(*ir.Instr) bool, depth int) bool {
+	if depth > 16 {
+		return false
+	}
+	check := func(o ir.Operand, allowed bool) bool {
+		if !allowed || o.Kind != ir.KindReg {
+			return false
+		}
+		def := res.regDef[o.Reg]
+		if def == nil {
+			return false
+		}
+		if def.Op == ir.OpLoad {
+			return match(def)
+		}
+		if def.Op != ir.OpBin || !def.Type.IsFloat() {
+			return false
+		}
+		if root == ir.MulOp {
+			if def.Bin != ir.MulOp {
+				return false
+			}
+		} else if def.Bin != ir.AddOp && def.Bin != ir.SubOp {
+			return false
+		}
+		return spineReads(res, def, root, match, depth+1)
+	}
+	rightOK := in.Bin == ir.AddOp || in.Bin == ir.MulOp
+	return check(in.X, true) || check(in.Y, rightOK)
+}
+
+// isReductionSlot recognizes the s += expr shape for a frame-slot
+// accumulator: every store to the slot writes the result of a
+// floating-point add/sub (or pure multiply) whose reduction spine carries a
+// load of the same slot. See spineReads for the spine restriction.
+func isReductionSlot(res *resolver, accs []access, slot int32) bool {
+	for _, a := range accs {
+		if !a.isStore {
+			continue
+		}
+		if a.in.Y.Kind != ir.KindReg {
+			return false
+		}
+		def := res.regDef[a.in.Y.Reg]
+		if def == nil || def.Op != ir.OpBin || !def.Type.IsFloat() {
+			return false
+		}
+		if def.Bin != ir.AddOp && def.Bin != ir.SubOp && def.Bin != ir.MulOp {
+			return false
+		}
+		match := func(load *ir.Instr) bool {
+			addr := res.operand(load.X, 0)
+			s, ok := addr.isSlotAddr()
+			return ok && s == slot
+		}
+		if !spineReads(res, def, def.Bin, match, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// constTripCount extracts the loop trip count when the exit test compares
+// the IV against a compile-time constant and the IV's start is a constant
+// stored immediately before the loop. Returns -1 when unknown.
+func constTripCount(fn *ir.Function, cfg *cfgutil.CFG, dom *cfgutil.DomTree, l *cfgutil.Loop, res *resolver, iv int32, step int64) int64 {
+	// Find the header's conditional branch and its comparison.
+	var cmp *ir.Instr
+	for _, bi := range l.Blocks {
+		for i := range fn.Blocks[bi].Instrs {
+			in := &fn.Blocks[bi].Instrs[i]
+			if in.Op != ir.OpCondBr || in.X.Kind != ir.KindReg {
+				continue
+			}
+			def := res.regDef[in.X.Reg]
+			if def != nil && def.Op == ir.OpCmp {
+				cmp = def
+			}
+		}
+	}
+	if cmp == nil || step == 0 {
+		return -1
+	}
+	x := res.operand(cmp.X, 0)
+	y := res.operand(cmp.Y, 0)
+	// Want iv <cmp> const (or const <cmp> iv).
+	isIV := func(a Affine) bool {
+		return a.OK && a.Base.Kind == BaseNone && len(a.Coeff) == 1 && a.Coeff[iv] == 1 && a.Const == 0
+	}
+	var bound Affine
+	switch {
+	case isIV(x) && y.isPure():
+		bound = y
+	case isIV(y) && x.isPure():
+		bound = x
+	default:
+		return -1
+	}
+	start, ok := ivStartConst(fn, cfg, dom, l, res, iv)
+	if !ok {
+		return -1
+	}
+	span := bound.Const - start
+	if step < 0 {
+		span = start - bound.Const
+	}
+	if span <= 0 {
+		return 0
+	}
+	abs := step
+	if abs < 0 {
+		abs = -abs
+	}
+	return (span + abs - 1) / abs
+}
+
+// ivStartConst finds the constant initial value stored to the IV slot in a
+// block that dominates the loop header. The latest such store (in block
+// order) is the one that reaches the loop entry; non-dominating stores (an
+// earlier loop reusing the same counter, for example) are irrelevant.
+func ivStartConst(fn *ir.Function, cfg *cfgutil.CFG, dom *cfgutil.DomTree, l *cfgutil.Loop, res *resolver, iv int32) (int64, bool) {
+	val := int64(0)
+	found := false
+	for _, b := range fn.Blocks {
+		if l.Contains(b.Index) || !cfg.Reachable(b.Index) || !dom.Dominates(b.Index, l.Header) {
+			continue
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != ir.OpStore {
+				continue
+			}
+			addr := res.operand(in.X, 0)
+			if s, ok := addr.isSlotAddr(); ok && s == iv {
+				v := res.operand(in.Y, 0)
+				if !v.isPure() {
+					// A dominating non-constant write: unknown start. Keep
+					// scanning — a later dominating constant store would
+					// overwrite it.
+					found = false
+					continue
+				}
+				val = v.Const
+				found = true
+			}
+		}
+	}
+	return val, found
+}

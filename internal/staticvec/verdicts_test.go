@@ -1,0 +1,111 @@
+package staticvec_test
+
+import (
+	"testing"
+
+	"github.com/example/vectrace/internal/kernels"
+	"github.com/example/vectrace/internal/pipeline"
+	"github.com/example/vectrace/internal/staticvec"
+)
+
+// TestSPECVerdictSnapshot pins the vectorizer's decision for every Table 1
+// target loop. This is the icc-stand-in's contract with Table 1's "Percent
+// Packed" column: any behavioural drift in the dependence tests shows up
+// here first, with the offending loop named.
+func TestSPECVerdictSnapshot(t *testing.T) {
+	// Expected verdicts keyed by paper loop label. True means the target
+	// loop (or a loop nested in it) vectorizes.
+	want := map[string]bool{
+		"block_solver.f : 55":          true,  // 5-wide reduction MACs
+		"block_solver.f : 176":         true,  // back-substitution MACs (inner)
+		"quark_stuff.c : 1452":         false, // AoS complex interleave
+		"path_product.c : 49":          false, // chained AoS products
+		"advx3.f : 637":                true,  // upwind stencil
+		"innerf.f : 3960":              false, // jjnr indirection
+		"ns.c : 1264":                  false, // distance checks + branch
+		"StaggeredLeapfrog2.F : 342":   true,  // leapfrog stream
+		"tml.f : 522":                  true,  // flux differences
+		"tml.f : 889":                  true,  // cross-direction flux
+		"ComputeNonbondedBase.h : 321": false, // pairlist indirection
+		"ComputeList.C : 71":           false, // list construction
+		"step-14.cc : 715":             false, // DOF indirection
+		"ssvector.cc : 983":            false, // sparse index array
+		"bbox.cpp : 894":               false, // worklist conditionals
+		"csg.cpp : 248":                false, // per-object conditionals
+		"e_c3d.f : 675":                true,  // dense element arithmetic
+		"Utilities DV.c : 1241":        true,  // dot-product reduction
+		"FrontMtx_update.c : 207":      true,  // rank-one updates
+		"update.F90 : 108":             true,  // FDTD curl
+		"mol.F90 : 5565":               true,  // streaming exp/sqrt
+		"lbm.c : 186":                  true,  // stream-collide
+		"solve_em.F90 : 179":           true,  // advection stencil
+		"solve_em.F90 : 884":           false, // plane-strided column walk
+		"vector.c : 521":               true,  // Mahalanobis reduction
+	}
+
+	seen := make(map[string]bool)
+	for _, b := range kernels.SPEC() {
+		mod, err := pipeline.Compile(b.Kernel.Name+".c", b.Kernel.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Kernel.Name, err)
+		}
+		verdicts := staticvec.AnalyzeModule(mod)
+		for _, target := range b.Targets {
+			lm := mod.LoopByLine(b.Kernel.LineOf(target.Marker))
+			if lm == nil {
+				t.Fatalf("%s: no loop for %s", b.Name, target.Label)
+			}
+			seen[target.Label] = true
+
+			// The target or any loop in its static subtree.
+			inSubtree := map[int]bool{lm.ID: true}
+			for changed := true; changed; {
+				changed = false
+				for i := range mod.Loops {
+					l := &mod.Loops[i]
+					if !inSubtree[l.ID] && l.Parent >= 0 && inSubtree[l.Parent] {
+						inSubtree[l.ID] = true
+						changed = true
+					}
+				}
+			}
+			got := false
+			for id, v := range verdicts {
+				if inSubtree[id] && v.Vectorized {
+					got = true
+				}
+			}
+			wantV, ok := want[target.Label]
+			if !ok {
+				t.Errorf("no expectation for %s — add it to the snapshot", target.Label)
+				continue
+			}
+			if got != wantV {
+				t.Errorf("%s %s: vectorized = %v, want %v", b.Name, target.Label, got, wantV)
+			}
+		}
+	}
+	for label := range want {
+		if !seen[label] {
+			t.Errorf("expected loop %s missing from the SPEC suite", label)
+		}
+	}
+}
+
+// TestVerdictReasonsNonEmpty: every negative verdict explains itself.
+func TestVerdictReasonsNonEmpty(t *testing.T) {
+	for _, b := range kernels.SPEC() {
+		mod, err := pipeline.Compile(b.Kernel.Name+".c", b.Kernel.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, v := range staticvec.AnalyzeModule(mod) {
+			if !v.Vectorized && v.Reason == "" {
+				t.Errorf("%s: loop L%d rejected without a reason", b.Kernel.Name, id)
+			}
+			if v.Vectorized && v.Reason != "" {
+				t.Errorf("%s: loop L%d vectorized but carries reason %q", b.Kernel.Name, id, v.Reason)
+			}
+		}
+	}
+}

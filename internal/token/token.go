@@ -1,0 +1,186 @@
+// Package token defines the lexical tokens of the MiniC language, the small
+// C-like language the reproduction uses in place of the paper's C/C++/Fortran
+// inputs (which were handled via Clang and DragonEgg).
+package token
+
+import "strconv"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds. The blocks are ordered: special, literals, operators,
+// delimiters, keywords.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	litBeg
+	IDENT // kernel
+	INT   // 42
+	FLOAT // 3.14, 1e-6
+	litEnd
+
+	opBeg
+	ADD // +
+	SUB // -
+	MUL // *
+	QUO // /
+	REM // %
+
+	LAND // &&
+	LOR  // ||
+	NOT  // !
+
+	EQL // ==
+	NEQ // !=
+	LSS // <
+	LEQ // <=
+	GTR // >
+	GEQ // >=
+
+	ASSIGN     // =
+	ADD_ASSIGN // +=
+	SUB_ASSIGN // -=
+	MUL_ASSIGN // *=
+	QUO_ASSIGN // /=
+	INC        // ++
+	DEC        // --
+
+	AND   // & (address-of)
+	ARROW // ->
+	opEnd
+
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	LBRACKET  // [
+	RBRACKET  // ]
+	COMMA     // ,
+	SEMICOLON // ;
+	PERIOD    // .
+
+	keywordBeg
+	BREAK
+	CONTINUE
+	DO
+	DOUBLE
+	ELSE
+	FLOATKW // "float"
+	FOR
+	IF
+	INTKW // "int"
+	RETURN
+	STRUCT
+	VOID
+	WHILE
+	keywordEnd
+)
+
+var names = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF",
+	IDENT: "IDENT", INT: "INT", FLOAT: "FLOAT",
+	ADD: "+", SUB: "-", MUL: "*", QUO: "/", REM: "%",
+	LAND: "&&", LOR: "||", NOT: "!",
+	EQL: "==", NEQ: "!=", LSS: "<", LEQ: "<=", GTR: ">", GEQ: ">=",
+	ASSIGN: "=", ADD_ASSIGN: "+=", SUB_ASSIGN: "-=", MUL_ASSIGN: "*=", QUO_ASSIGN: "/=",
+	INC: "++", DEC: "--",
+	AND: "&", ARROW: "->",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACKET: "[", RBRACKET: "]", COMMA: ",", SEMICOLON: ";", PERIOD: ".",
+	BREAK: "break", CONTINUE: "continue", DO: "do", DOUBLE: "double", ELSE: "else",
+	FLOATKW: "float", FOR: "for", IF: "if", INTKW: "int", RETURN: "return",
+	STRUCT: "struct", VOID: "void", WHILE: "while",
+}
+
+// String returns the source text of operator/keyword tokens, or the kind name
+// for classes like IDENT.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return "token(" + strconv.Itoa(int(k)) + ")"
+}
+
+// IsLiteral reports whether k is an identifier or literal token.
+func (k Kind) IsLiteral() bool { return litBeg < k && k < litEnd }
+
+// IsOperator reports whether k is an operator token.
+func (k Kind) IsOperator() bool { return opBeg < k && k < opEnd }
+
+// IsKeyword reports whether k is a keyword token.
+func (k Kind) IsKeyword() bool { return keywordBeg < k && k < keywordEnd }
+
+var keywords = map[string]Kind{
+	"break": BREAK, "continue": CONTINUE, "do": DO, "double": DOUBLE,
+	"else": ELSE, "float": FLOATKW, "for": FOR, "if": IF, "int": INTKW,
+	"return": RETURN, "struct": STRUCT, "void": VOID, "while": WHILE,
+}
+
+// Lookup maps an identifier to its keyword kind, or IDENT if it is not a
+// keyword.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Precedence levels for binary operators, used by the parser's precedence
+// climbing. Higher binds tighter. Non-binary operators return 0.
+const (
+	LowestPrec = 0
+	prefixPrec = 7
+)
+
+// Precedence returns the binding power of a binary operator.
+func (k Kind) Precedence() int {
+	switch k {
+	case LOR:
+		return 1
+	case LAND:
+		return 2
+	case EQL, NEQ:
+		return 3
+	case LSS, LEQ, GTR, GEQ:
+		return 4
+	case ADD, SUB:
+		return 5
+	case MUL, QUO, REM:
+		return 6
+	}
+	return LowestPrec
+}
+
+// IsAssign reports whether k is an assignment operator (=, +=, -=, *=, /=).
+func (k Kind) IsAssign() bool {
+	switch k {
+	case ASSIGN, ADD_ASSIGN, SUB_ASSIGN, MUL_ASSIGN, QUO_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// BaseOf returns the arithmetic operator underlying a compound assignment
+// (ADD for +=, and so on). It returns ILLEGAL for plain ASSIGN.
+func (k Kind) BaseOf() Kind {
+	switch k {
+	case ADD_ASSIGN:
+		return ADD
+	case SUB_ASSIGN:
+		return SUB
+	case MUL_ASSIGN:
+		return MUL
+	case QUO_ASSIGN:
+		return QUO
+	}
+	return ILLEGAL
+}
+
+// Token is one lexed token: its kind, literal text (for IDENT/INT/FLOAT), and
+// byte offset in the file.
+type Token struct {
+	Kind   Kind
+	Lit    string
+	Offset int
+}

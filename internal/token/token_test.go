@@ -1,0 +1,103 @@
+package token
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	cases := map[string]Kind{
+		"for": FOR, "while": WHILE, "if": IF, "else": ELSE,
+		"int": INTKW, "float": FLOATKW, "double": DOUBLE, "void": VOID,
+		"struct": STRUCT, "return": RETURN, "break": BREAK,
+		"continue": CONTINUE, "do": DO,
+		"forx": IDENT, "For": IDENT, "x": IDENT, "": IDENT,
+	}
+	for s, want := range cases {
+		if got := Lookup(s); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IDENT.IsLiteral() || !INT.IsLiteral() || !FLOAT.IsLiteral() {
+		t.Error("literal predicates")
+	}
+	if ADD.IsLiteral() || FOR.IsLiteral() {
+		t.Error("non-literals misclassified")
+	}
+	for _, k := range []Kind{ADD, SUB, MUL, QUO, REM, LAND, LOR, NOT, EQL, NEQ, LSS, LEQ, GTR, GEQ, ASSIGN, INC, DEC, AND, ARROW} {
+		if !k.IsOperator() {
+			t.Errorf("%v should be an operator", k)
+		}
+	}
+	for _, k := range []Kind{BREAK, CONTINUE, DO, DOUBLE, ELSE, FLOATKW, FOR, IF, INTKW, RETURN, STRUCT, VOID, WHILE} {
+		if !k.IsKeyword() {
+			t.Errorf("%v should be a keyword", k)
+		}
+	}
+	if LPAREN.IsOperator() || LPAREN.IsKeyword() || LPAREN.IsLiteral() {
+		t.Error("delimiter misclassified")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// Standard C-like ordering: || < && < ==/!= < relational < additive <
+	// multiplicative.
+	order := [][]Kind{
+		{LOR},
+		{LAND},
+		{EQL, NEQ},
+		{LSS, LEQ, GTR, GEQ},
+		{ADD, SUB},
+		{MUL, QUO, REM},
+	}
+	for i := 1; i < len(order); i++ {
+		for _, lo := range order[i-1] {
+			for _, hi := range order[i] {
+				if lo.Precedence() >= hi.Precedence() {
+					t.Errorf("%v (prec %d) should bind looser than %v (prec %d)",
+						lo, lo.Precedence(), hi, hi.Precedence())
+				}
+			}
+		}
+	}
+	if ASSIGN.Precedence() != LowestPrec || FOR.Precedence() != LowestPrec {
+		t.Error("non-binary tokens should have lowest precedence")
+	}
+}
+
+func TestAssignHelpers(t *testing.T) {
+	for k, base := range map[Kind]Kind{
+		ADD_ASSIGN: ADD, SUB_ASSIGN: SUB, MUL_ASSIGN: MUL, QUO_ASSIGN: QUO,
+	} {
+		if !k.IsAssign() {
+			t.Errorf("%v should be an assignment operator", k)
+		}
+		if k.BaseOf() != base {
+			t.Errorf("BaseOf(%v) = %v, want %v", k, k.BaseOf(), base)
+		}
+	}
+	if !ASSIGN.IsAssign() {
+		t.Error("= is an assignment operator")
+	}
+	if ASSIGN.BaseOf() != ILLEGAL {
+		t.Error("BaseOf(=) should be ILLEGAL")
+	}
+	if ADD.IsAssign() {
+		t.Error("+ is not an assignment operator")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[Kind]string{
+		ADD: "+", ARROW: "->", LEQ: "<=", FOR: "for", IDENT: "IDENT",
+		EOF: "EOF", SEMICOLON: ";",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(250).String(); got != "token(250)" {
+		t.Errorf("unknown kind prints %q", got)
+	}
+}

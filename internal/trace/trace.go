@@ -1,0 +1,113 @@
+// Package trace defines the execution-trace model produced by the
+// instrumenting interpreter and consumed by the DDG builder.
+//
+// A trace is the sequence of dynamic instruction instances in execution
+// order. Each event records the static instruction ID and, for loads and
+// stores, the run-time byte address accessed — precisely the information the
+// paper's LLVM instrumentation writes to disk ("run-time instances of static
+// instructions, including any relevant run-time data such as memory
+// addresses for loads/stores, procedure calls, etc.", §3).
+//
+// Register and control-flow structure is not recorded per event: it is
+// static, so the DDG builder recovers it by replaying the event stream
+// against the module.
+package trace
+
+import (
+	"github.com/example/vectrace/internal/ir"
+)
+
+// Event is one dynamic instruction instance.
+type Event struct {
+	// ID is the static instruction ID (module-unique).
+	ID int32
+	// Addr is the byte address accessed by loads/stores, else 0.
+	Addr int64
+}
+
+// Trace is an in-memory execution trace together with the module it was
+// produced from.
+type Trace struct {
+	Module *ir.Module
+	Events []Event
+}
+
+// Len returns the number of dynamic instruction instances.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Append records one event.
+func (t *Trace) Append(id int32, addr int64) {
+	t.Events = append(t.Events, Event{ID: id, Addr: addr})
+}
+
+// Region is a contiguous sub-trace corresponding to one dynamic execution of
+// a source loop, from loop entry to loop exit — the unit the paper analyzes
+// ("A subtrace was started upon loop entry and terminated upon loop exit").
+type Region struct {
+	LoopID int
+	// Start and End delimit the half-open event range [Start, End) in the
+	// parent trace, excluding the loop.begin/loop.end marker events.
+	Start, End int
+}
+
+// Events returns the region's event slice within t.
+func (t *Trace) RegionEvents(r Region) []Event {
+	return t.Events[r.Start:r.End]
+}
+
+// Regions scans the trace and returns every dynamic region of the given
+// source loop, in execution order. Loop markers are matched with awareness
+// of the call stack: a return instruction closes any loops opened within the
+// returning frame.
+func (t *Trace) Regions(loopID int) []Region {
+	var out []Region
+	type open struct {
+		loopID int
+		start  int
+		depth  int
+	}
+	var stack []open
+	depth := 0
+	m := t.Module
+	closeTo := func(minDepth, endIdx int) {
+		for len(stack) > 0 && stack[len(stack)-1].depth >= minDepth {
+			o := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if o.loopID == loopID {
+				out = append(out, Region{LoopID: loopID, Start: o.start, End: endIdx})
+			}
+		}
+	}
+	for i, ev := range t.Events {
+		in := m.InstrAt(ev.ID)
+		switch in.Op {
+		case ir.OpLoopBegin:
+			stack = append(stack, open{loopID: int(in.Loop), start: i + 1, depth: depth})
+		case ir.OpLoopEnd:
+			if len(stack) > 0 {
+				o := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if o.loopID == loopID {
+					out = append(out, Region{LoopID: loopID, Start: o.start, End: i})
+				}
+			}
+		case ir.OpCall:
+			depth++
+		case ir.OpRet:
+			// Close loops opened in the returning frame (early return from
+			// inside a loop never emits its loop.end marker).
+			closeTo(depth, i)
+			if depth > 0 {
+				depth--
+			}
+		}
+	}
+	closeTo(0, len(t.Events))
+	return out
+}
+
+// Slice returns a new Trace containing only the given region's events (the
+// module is shared). The DDG for a region is built from such a slice.
+func (t *Trace) Slice(r Region) *Trace {
+	return &Trace{Module: t.Module, Events: t.Events[r.Start:r.End]}
+}

@@ -1,0 +1,292 @@
+// Package types defines MiniC's type system and C-compatible memory layout
+// rules (sizes, alignments, struct field offsets, row-major arrays).
+//
+// Layout fidelity matters for this reproduction: the paper's stride analysis
+// operates on raw byte addresses, so array-of-struct access must genuinely
+// produce stride sizeof(struct), double arrays stride 8, float arrays
+// stride 4, and so on.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is the interface implemented by all MiniC types.
+type Type interface {
+	// Size returns the type's size in bytes.
+	Size() int64
+	// Align returns the type's alignment in bytes.
+	Align() int64
+	String() string
+}
+
+// BasicKind enumerates the scalar types.
+type BasicKind int
+
+// Scalar kinds. Bool is internal (comparison results); MiniC has no bool
+// keyword, matching C89-style usage in the paper's benchmark listings.
+const (
+	Void BasicKind = iota
+	Bool
+	Int     // 64-bit signed integer
+	Float32 // C float
+	Float64 // C double
+)
+
+// Basic is a scalar type.
+type Basic struct {
+	Kind BasicKind
+}
+
+// Singleton basic types, shared by all packages.
+var (
+	VoidType    = &Basic{Void}
+	BoolType    = &Basic{Bool}
+	IntType     = &Basic{Int}
+	Float32Type = &Basic{Float32}
+	Float64Type = &Basic{Float64}
+)
+
+// Size returns the byte size of the scalar.
+func (b *Basic) Size() int64 {
+	switch b.Kind {
+	case Void:
+		return 0
+	case Bool:
+		return 1
+	case Int:
+		return 8
+	case Float32:
+		return 4
+	case Float64:
+		return 8
+	}
+	panic(fmt.Sprintf("types: unknown basic kind %d", b.Kind))
+}
+
+// Align returns the byte alignment of the scalar.
+func (b *Basic) Align() int64 {
+	if b.Kind == Void {
+		return 1
+	}
+	return b.Size()
+}
+
+func (b *Basic) String() string {
+	switch b.Kind {
+	case Void:
+		return "void"
+	case Bool:
+		return "bool"
+	case Int:
+		return "int"
+	case Float32:
+		return "float"
+	case Float64:
+		return "double"
+	}
+	return "?"
+}
+
+// IsNumeric reports whether t is int, float, or double.
+func IsNumeric(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && (b.Kind == Int || b.Kind == Float32 || b.Kind == Float64)
+}
+
+// IsFloat reports whether t is float or double. These are the paper's
+// "candidate" operand types: only floating-point add/sub/mul/div instructions
+// are characterized for SIMD potential.
+func IsFloat(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && (b.Kind == Float32 || b.Kind == Float64)
+}
+
+// IsInt reports whether t is the integer type.
+func IsInt(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && b.Kind == Int
+}
+
+// IsBool reports whether t is the internal boolean type.
+func IsBool(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && b.Kind == Bool
+}
+
+// IsVoid reports whether t is void.
+func IsVoid(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && b.Kind == Void
+}
+
+// Pointer is a pointer type.
+type Pointer struct {
+	Elem Type
+}
+
+// Size returns the pointer size (8 bytes).
+func (*Pointer) Size() int64 { return 8 }
+
+// Align returns the pointer alignment (8 bytes).
+func (*Pointer) Align() int64 { return 8 }
+
+func (p *Pointer) String() string { return p.Elem.String() + "*" }
+
+// Array is a fixed-length array type with row-major layout.
+type Array struct {
+	Elem Type
+	Len  int64
+}
+
+// Size returns Len * sizeof(Elem).
+func (a *Array) Size() int64 { return a.Len * a.Elem.Size() }
+
+// Align returns the element alignment.
+func (a *Array) Align() int64 { return a.Elem.Align() }
+
+func (a *Array) String() string { return fmt.Sprintf("%s[%d]", a.Elem, a.Len) }
+
+// Field is one struct field with its computed byte offset.
+type Field struct {
+	Name   string
+	Type   Type
+	Offset int64
+}
+
+// Struct is a named struct type with C layout.
+type Struct struct {
+	Name   string
+	Fields []Field
+
+	size  int64
+	align int64
+}
+
+// NewStruct computes C-compatible layout for the given fields: each field is
+// placed at the next offset aligned to its own alignment, and the struct size
+// is rounded up to the maximum field alignment.
+func NewStruct(name string, fields []Field) *Struct {
+	s := &Struct{Name: name, align: 1}
+	var off int64
+	for _, f := range fields {
+		a := f.Type.Align()
+		if a > s.align {
+			s.align = a
+		}
+		off = alignUp(off, a)
+		f.Offset = off
+		off += f.Type.Size()
+		s.Fields = append(s.Fields, f)
+	}
+	s.size = alignUp(off, s.align)
+	return s
+}
+
+func alignUp(n, a int64) int64 {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// Size returns the padded struct size.
+func (s *Struct) Size() int64 { return s.size }
+
+// Align returns the struct alignment.
+func (s *Struct) Align() int64 { return s.align }
+
+func (s *Struct) String() string { return "struct " + s.Name }
+
+// FieldByName returns the named field, or nil.
+func (s *Struct) FieldByName(name string) *Field {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+// Func is a function signature.
+type Func struct {
+	Params []Type
+	Result Type
+}
+
+// Size panics: function types have no storage size.
+func (*Func) Size() int64 { panic("types: Size of function type") }
+
+// Align panics: function types have no storage alignment.
+func (*Func) Align() int64 { panic("types: Align of function type") }
+
+func (f *Func) String() string {
+	var b strings.Builder
+	b.WriteString(f.Result.String())
+	b.WriteString("(")
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Identical reports structural type identity. Named structs are identical
+// only when they are the same declared type.
+func Identical(a, b Type) bool {
+	switch a := a.(type) {
+	case *Basic:
+		b, ok := b.(*Basic)
+		return ok && a.Kind == b.Kind
+	case *Pointer:
+		b, ok := b.(*Pointer)
+		return ok && Identical(a.Elem, b.Elem)
+	case *Array:
+		b, ok := b.(*Array)
+		return ok && a.Len == b.Len && Identical(a.Elem, b.Elem)
+	case *Struct:
+		return a == b
+	case *Func:
+		bf, ok := b.(*Func)
+		if !ok || len(a.Params) != len(bf.Params) || !Identical(a.Result, bf.Result) {
+			return false
+		}
+		for i := range a.Params {
+			if !Identical(a.Params[i], bf.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Decay converts array types to pointers to their element type (C array
+// decay); all other types are returned unchanged.
+func Decay(t Type) Type {
+	if a, ok := t.(*Array); ok {
+		return &Pointer{Elem: a.Elem}
+	}
+	return t
+}
+
+// Common returns the C "usual arithmetic conversion" result type for two
+// numeric operands: double wins over float wins over int.
+func Common(a, b Type) Type {
+	ab, aok := a.(*Basic)
+	bb, bok := b.(*Basic)
+	if !aok || !bok {
+		return a
+	}
+	if ab.Kind == Float64 || bb.Kind == Float64 {
+		return Float64Type
+	}
+	if ab.Kind == Float32 || bb.Kind == Float32 {
+		return Float32Type
+	}
+	return IntType
+}

@@ -1,0 +1,217 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicSizes(t *testing.T) {
+	cases := []struct {
+		typ         Type
+		size, align int64
+	}{
+		{IntType, 8, 8},
+		{Float64Type, 8, 8},
+		{Float32Type, 4, 4},
+		{BoolType, 1, 1},
+		{VoidType, 0, 1},
+		{&Pointer{Elem: Float64Type}, 8, 8},
+		{&Array{Elem: Float64Type, Len: 10}, 80, 8},
+		{&Array{Elem: Float32Type, Len: 3}, 12, 4},
+		{&Array{Elem: &Array{Elem: Float64Type, Len: 4}, Len: 2}, 64, 8},
+	}
+	for _, c := range cases {
+		if got := c.typ.Size(); got != c.size {
+			t.Errorf("%s: size %d, want %d", c.typ, got, c.size)
+		}
+		if got := c.typ.Align(); got != c.align {
+			t.Errorf("%s: align %d, want %d", c.typ, got, c.align)
+		}
+	}
+}
+
+func TestStructLayoutSimple(t *testing.T) {
+	// struct { double r; double i; } — the milc complex.
+	s := NewStruct("complex", []Field{
+		{Name: "r", Type: Float64Type},
+		{Name: "i", Type: Float64Type},
+	})
+	if s.Size() != 16 || s.Align() != 8 {
+		t.Fatalf("size=%d align=%d, want 16/8", s.Size(), s.Align())
+	}
+	if s.FieldByName("r").Offset != 0 || s.FieldByName("i").Offset != 8 {
+		t.Fatal("field offsets wrong")
+	}
+	if s.FieldByName("missing") != nil {
+		t.Fatal("missing field should be nil")
+	}
+}
+
+func TestStructLayoutPadding(t *testing.T) {
+	// struct { float x; double y; float z; } → x@0, y@8 (padded), z@16,
+	// size rounded to 24.
+	s := NewStruct("p", []Field{
+		{Name: "x", Type: Float32Type},
+		{Name: "y", Type: Float64Type},
+		{Name: "z", Type: Float32Type},
+	})
+	if got := s.FieldByName("y").Offset; got != 8 {
+		t.Errorf("y offset = %d, want 8", got)
+	}
+	if got := s.FieldByName("z").Offset; got != 16 {
+		t.Errorf("z offset = %d, want 16", got)
+	}
+	if s.Size() != 24 {
+		t.Errorf("size = %d, want 24", s.Size())
+	}
+}
+
+func TestStructOfArrays(t *testing.T) {
+	// The su3_matrix shape: struct { complex e[3][3]; } = 144 bytes.
+	complexT := NewStruct("complex", []Field{
+		{Name: "r", Type: Float64Type},
+		{Name: "i", Type: Float64Type},
+	})
+	mat := NewStruct("su3_matrix", []Field{
+		{Name: "e", Type: &Array{Elem: &Array{Elem: complexT, Len: 3}, Len: 3}},
+	})
+	if mat.Size() != 144 {
+		t.Fatalf("su3_matrix size = %d, want 144", mat.Size())
+	}
+}
+
+func TestEmptyStruct(t *testing.T) {
+	s := NewStruct("empty", nil)
+	if s.Size() != 0 || s.Align() != 1 {
+		t.Errorf("empty struct size=%d align=%d", s.Size(), s.Align())
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	sA := NewStruct("s", []Field{{Name: "x", Type: IntType}})
+	sB := NewStruct("s", []Field{{Name: "x", Type: IntType}})
+	cases := []struct {
+		a, b Type
+		want bool
+	}{
+		{IntType, IntType, true},
+		{IntType, Float64Type, false},
+		{&Pointer{Elem: IntType}, &Pointer{Elem: IntType}, true},
+		{&Pointer{Elem: IntType}, &Pointer{Elem: Float64Type}, false},
+		{&Array{Elem: IntType, Len: 3}, &Array{Elem: IntType, Len: 3}, true},
+		{&Array{Elem: IntType, Len: 3}, &Array{Elem: IntType, Len: 4}, false},
+		{sA, sA, true},
+		{sA, sB, false}, // nominal typing: separate declarations differ
+		{&Func{Result: IntType}, &Func{Result: IntType}, true},
+		{&Func{Result: IntType, Params: []Type{IntType}}, &Func{Result: IntType}, false},
+	}
+	for _, c := range cases {
+		if got := Identical(c.a, c.b); got != c.want {
+			t.Errorf("Identical(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDecay(t *testing.T) {
+	arr := &Array{Elem: Float64Type, Len: 8}
+	d, ok := Decay(arr).(*Pointer)
+	if !ok || !Identical(d.Elem, Float64Type) {
+		t.Fatalf("array should decay to double*, got %s", Decay(arr))
+	}
+	if Decay(IntType) != IntType {
+		t.Error("non-array types must not decay")
+	}
+}
+
+func TestCommon(t *testing.T) {
+	cases := []struct {
+		a, b, want Type
+	}{
+		{IntType, IntType, IntType},
+		{IntType, Float32Type, Float32Type},
+		{Float32Type, IntType, Float32Type},
+		{IntType, Float64Type, Float64Type},
+		{Float32Type, Float64Type, Float64Type},
+		{Float64Type, Float64Type, Float64Type},
+	}
+	for _, c := range cases {
+		if got := Common(c.a, c.b); !Identical(got, c.want) {
+			t.Errorf("Common(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPredicateHelpers(t *testing.T) {
+	if !IsNumeric(IntType) || !IsNumeric(Float32Type) || !IsNumeric(Float64Type) {
+		t.Error("numeric predicates")
+	}
+	if IsNumeric(BoolType) || IsNumeric(VoidType) || IsNumeric(&Pointer{Elem: IntType}) {
+		t.Error("non-numerics misclassified")
+	}
+	if !IsFloat(Float32Type) || !IsFloat(Float64Type) || IsFloat(IntType) {
+		t.Error("float predicates")
+	}
+	if !IsInt(IntType) || IsInt(Float64Type) {
+		t.Error("int predicate")
+	}
+	if !IsBool(BoolType) || IsBool(IntType) {
+		t.Error("bool predicate")
+	}
+	if !IsVoid(VoidType) || IsVoid(IntType) {
+		t.Error("void predicate")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := map[string]Type{
+		"int":         IntType,
+		"double":      Float64Type,
+		"float":       Float32Type,
+		"double*":     &Pointer{Elem: Float64Type},
+		"double[8]":   &Array{Elem: Float64Type, Len: 8},
+		"struct s":    NewStruct("s", nil),
+		"int(double)": &Func{Params: []Type{Float64Type}, Result: IntType},
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestStructLayoutProperties quick-checks the layout invariants for random
+// field lists: offsets are aligned, fields do not overlap, size is a
+// multiple of the struct alignment, and fields are in declaration order.
+func TestStructLayoutProperties(t *testing.T) {
+	basics := []Type{IntType, Float32Type, Float64Type, BoolType}
+	check := func(picks []uint8) bool {
+		if len(picks) > 12 {
+			picks = picks[:12]
+		}
+		var fields []Field
+		for i, p := range picks {
+			fields = append(fields, Field{Name: string(rune('a' + i)), Type: basics[int(p)%len(basics)]})
+		}
+		s := NewStruct("q", fields)
+		var prevEnd int64
+		for _, f := range s.Fields {
+			if f.Offset%f.Type.Align() != 0 {
+				return false // misaligned field
+			}
+			if f.Offset < prevEnd {
+				return false // overlap or reorder
+			}
+			prevEnd = f.Offset + f.Type.Size()
+		}
+		if s.Size() < prevEnd {
+			return false // fields past the end
+		}
+		if s.Align() > 0 && s.Size()%s.Align() != 0 {
+			return false // unpadded tail
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
