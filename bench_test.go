@@ -210,6 +210,36 @@ func BenchmarkDDGAnalysisPerNode(b *testing.B) {
 	b.ReportMetric(nsPerNode, "ns/node")
 }
 
+// BenchmarkAnalyzeParallel measures the concurrent analysis scheduler on a
+// Table-1-scale graph at 1, 2, 4, and 8 workers. Workers=1 is the
+// sequential oracle; the speedup of the other settings is bounded by the
+// machine's core count (on a single-core host all settings converge).
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	k := kernels.GaussSeidel(32, 2)
+	mod, err := pipeline.Compile(k.Name+".c", k.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, tr, err := pipeline.Trace(mod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := ddg.Build(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	candidates := len(g.CandidateInstances())
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.Analyze(g, core.Options{Workers: w})
+			}
+			b.ReportMetric(float64(candidates), "candidates")
+		})
+	}
+}
+
 // BenchmarkTimestamps measures one Algorithm 1 sweep.
 func BenchmarkTimestamps(b *testing.B) {
 	k := kernels.Listing1(64)

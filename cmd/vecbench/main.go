@@ -6,6 +6,7 @@
 //	vecbench             regenerate everything
 //	vecbench -table 1    one table (1–4)
 //	vecbench -figure 2   one figure (1–2)
+//	vecbench -workers 4  table rows analyzed by a 4-worker pool
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"strconv"
 
+	"github.com/example/vectrace/internal/core"
 	"github.com/example/vectrace/internal/report"
 )
 
@@ -23,13 +25,15 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate only this figure (1-2)")
 	n := flag.Int("n", 16, "problem size for the figures")
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of the paper layout")
+	workers := flag.Int("workers", 0, "analysis worker count (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	opts := core.Options{Workers: *workers}
 	var err error
 	if *csvOut {
-		err = runCSV(*table, *figure, *n)
+		err = runCSV(*table, *figure, *n, opts)
 	} else {
-		err = run(*table, *figure, *n)
+		err = run(*table, *figure, *n, opts)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vecbench:", err)
@@ -39,7 +43,7 @@ func main() {
 
 // runCSV emits the requested artifacts as CSV on stdout, one artifact per
 // invocation (use -table/-figure to select; default regenerates Table 1).
-func runCSV(table, figure, n int) error {
+func runCSV(table, figure, n int, opts core.Options) error {
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
 	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
@@ -61,7 +65,7 @@ func runCSV(table, figure, n int) error {
 			w.Write([]string{r.Analysis, r.Statement, strconv.Itoa(r.Partitions), f(r.AvgSize), strconv.Itoa(r.MaxSize)})
 		}
 	case table == 2:
-		rows, err := report.Table2()
+		rows, err := report.Table2Opts(opts)
 		if err != nil {
 			return err
 		}
@@ -70,7 +74,7 @@ func runCSV(table, figure, n int) error {
 			w.Write([]string{r.Benchmark, f(r.PercentPacked), f(r.AvgConcurrency), f(r.UnitPct), f(r.UnitSize), f(r.NonUnitPct), f(r.NonUnitSize)})
 		}
 	case table == 3:
-		rows, err := report.Table3()
+		rows, err := report.Table3Opts(opts)
 		if err != nil {
 			return err
 		}
@@ -88,7 +92,7 @@ func runCSV(table, figure, n int) error {
 			w.Write([]string{r.Benchmark, r.Machine, f(r.OriginalTime), f(r.TransformedTime), f(r.Speedup)})
 		}
 	default:
-		rows, err := report.Table1()
+		rows, err := report.Table1Opts(opts)
 		if err != nil {
 			return err
 		}
@@ -100,7 +104,7 @@ func runCSV(table, figure, n int) error {
 	return nil
 }
 
-func run(table, figure, n int) error {
+func run(table, figure, n int, opts core.Options) error {
 	all := table == 0 && figure == 0
 
 	if all || figure == 1 {
@@ -122,7 +126,7 @@ func run(table, figure, n int) error {
 		fmt.Println()
 	}
 	if all || table == 1 {
-		rows, err := report.Table1()
+		rows, err := report.Table1Opts(opts)
 		if err != nil {
 			return err
 		}
@@ -131,7 +135,7 @@ func run(table, figure, n int) error {
 		fmt.Println()
 	}
 	if all || table == 2 {
-		rows, err := report.Table2()
+		rows, err := report.Table2Opts(opts)
 		if err != nil {
 			return err
 		}
@@ -140,7 +144,7 @@ func run(table, figure, n int) error {
 		fmt.Println()
 	}
 	if all || table == 3 {
-		rows, err := report.Table3()
+		rows, err := report.Table3Opts(opts)
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,8 @@
 //	vectrace profile file.c          hot-loop cycle profile (HPCToolkit stand-in)
 //	vectrace vectorize file.c        static auto-vectorizer verdicts (icc stand-in)
 //	vectrace analyze file.c -line N  dynamic analysis of the loop on line N
+//	                                 (-instance -1 analyzes every dynamic
+//	                                 region; -workers sets the pool size)
 //	vectrace rank file.c             rank hot loops by unexploited potential
 //	vectrace annotate file.c         per-line vectorization-potential listing
 //	vectrace tree file.c             run-time loop tree with profile + verdicts
@@ -133,11 +135,12 @@ func run(args []string) error {
 	case "analyze":
 		fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 		line := fs.Int("line", 0, "source line of the loop to analyze")
-		instance := fs.Int("instance", 0, "which dynamic execution of the loop to analyze")
+		instance := fs.Int("instance", 0, "which dynamic execution of the loop to analyze (-1 = all)")
 		relax := fs.Bool("relax-reductions", false, "ignore reduction-carried dependences")
 		compare := fs.Bool("baselines", false, "also run the Kumar critical-path baseline")
 		traceFile := fs.String("trace", "", "analyze a previously saved trace instead of re-executing")
 		intOps := fs.Bool("int-ops", false, "also characterize integer add/sub/mul")
+		workers := fs.Int("workers", 0, "analysis worker count (0 = GOMAXPROCS)")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
@@ -164,6 +167,20 @@ func run(args []string) error {
 			}
 		}
 		opts := ddg.Options{CharacterizeInts: *intOps}
+		copts := core.Options{RelaxReductions: *relax, Workers: *workers}
+		if *line != 0 && *instance < 0 {
+			// Analyze every dynamic execution of the loop, regions fanned
+			// out across the worker pool.
+			regs, err := pipeline.AnalyzeLoopRegions(tr, *line, opts, copts)
+			if err != nil {
+				return err
+			}
+			for _, rr := range regs {
+				fmt.Printf("== region %d/%d: %d events ==\n", rr.Index+1, len(regs), rr.Events)
+				fmt.Print(rr.Report.String())
+			}
+			return nil
+		}
 		var g *ddg.Graph
 		if *line == 0 {
 			g, err = ddg.BuildOpts(tr, opts)
@@ -178,7 +195,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		rep := core.Analyze(g, core.Options{RelaxReductions: *relax})
+		rep := core.Analyze(g, copts)
 		fmt.Print(rep.String())
 		if *compare {
 			p := baseline.Kumar(g)

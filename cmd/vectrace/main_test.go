@@ -126,6 +126,40 @@ func TestAnalyzeCommand(t *testing.T) {
 	}
 }
 
+// TestAnalyzeWorkersFlag pins the -workers determinism contract at the CLI
+// boundary: the report printed by a 4-worker pool must be byte-identical to
+// the sequential (-workers 1) run.
+func TestAnalyzeWorkersFlag(t *testing.T) {
+	path := writeSample(t)
+	seq, err := capture(t, "analyze", path, "-line", "11", "-workers", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := capture(t, "analyze", path, "-line", "11", "-workers", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Fatalf("parallel analyze differs from sequential:\nseq:\n%s\npar:\n%s", seq, par)
+	}
+}
+
+// TestAnalyzeAllRegions exercises -instance -1: every dynamic execution of
+// the loop is analyzed and printed with a region banner.
+func TestAnalyzeAllRegions(t *testing.T) {
+	path := writeSample(t)
+	out, err := capture(t, "analyze", path, "-line", "11", "-instance", "-1", "-workers", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "== region 1/1:") {
+		t.Errorf("missing region banner:\n%s", out)
+	}
+	if !strings.Contains(out, "unit-stride") {
+		t.Errorf("missing per-region report body:\n%s", out)
+	}
+}
+
 func TestRankCommand(t *testing.T) {
 	out, err := capture(t, "rank", writeSample(t), "-threshold", "5")
 	if err != nil {

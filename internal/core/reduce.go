@@ -12,17 +12,13 @@ import (
 type reductionInfo struct {
 	id int32
 	// accumPred maps instance node index → the predecessor node index that
-	// carries the accumulator value into it.
+	// carries the accumulator value into it. Absence of a key means the
+	// instance has no accumulator edge; readers must use the comma-ok form
+	// (node index 0 is a valid predecessor, not a sentinel).
 	accumPred map[int32]int32
 	// frac is the fraction of instances (beyond the first) that have an
 	// accumulator predecessor.
 	frac float64
-}
-
-// isAccumPred reports whether edge p→n is the accumulator-carried edge of
-// instance n.
-func (r *reductionInfo) isAccumPred(g *ddg.Graph, n, p int32) bool {
-	return r.accumPred[n] == p
 }
 
 // detectReduction inspects the dynamic instances of id and identifies
@@ -37,6 +33,12 @@ func (r *reductionInfo) isAccumPred(g *ddg.Graph, n, p int32) bool {
 // Returns nil when the instruction shows no reduction structure (fewer than
 // half of its instances carry an accumulator edge).
 func detectReduction(g *ddg.Graph, id int32) *reductionInfo {
+	return detectReductionInst(g, id, InstancesOf(g, id))
+}
+
+// detectReductionInst is detectReduction over a precomputed instance list,
+// so callers that already hold instances[id] avoid the full-graph rescan.
+func detectReductionInst(g *ddg.Graph, id int32, inst []int32) *reductionInfo {
 	in := g.Mod.InstrAt(id)
 	if !(in.Op == ir.OpBin && in.Type.IsFloat()) {
 		return nil
@@ -44,26 +46,31 @@ func detectReduction(g *ddg.Graph, id int32) *reductionInfo {
 	if in.Bin != ir.AddOp && in.Bin != ir.SubOp && in.Bin != ir.MulOp {
 		return nil
 	}
+	if len(inst) < 3 {
+		return nil
+	}
 	info := &reductionInfo{id: id, accumPred: make(map[int32]int32)}
-	instances := 0
-	var preds []int32
-	for i := range g.Nodes {
-		if g.Nodes[i].Instr != id {
+	for _, n := range inst {
+		nd := &g.Nodes[n]
+		storeAddr := nd.StoreAddr
+		if p := nd.P1; p != ddg.NoPred && carriesAccum(g, p, id, storeAddr) {
+			info.accumPred[n] = p
 			continue
 		}
-		instances++
-		preds = g.Preds(int32(i), preds[:0])
-		for _, p := range preds {
-			if carriesAccum(g, p, id, g.Nodes[i].StoreAddr) {
-				info.accumPred[int32(i)] = p
-				break
+		if p := nd.P2; p != ddg.NoPred && carriesAccum(g, p, id, storeAddr) {
+			info.accumPred[n] = p
+			continue
+		}
+		if g.Extra != nil {
+			for _, p := range g.Extra[n] {
+				if carriesAccum(g, p, id, storeAddr) {
+					info.accumPred[n] = p
+					break
+				}
 			}
 		}
 	}
-	if instances < 3 {
-		return nil
-	}
-	info.frac = float64(len(info.accumPred)) / float64(instances-1)
+	info.frac = float64(len(info.accumPred)) / float64(len(inst)-1)
 	if info.frac < 0.5 {
 		return nil
 	}
@@ -78,6 +85,10 @@ func detectReduction(g *ddg.Graph, id int32) *reductionInfo {
 // same-location requirement distinguishes true reductions from array
 // recurrences like B[j][i] = B[j-1][i]·A[i], whose chain walks distinct
 // addresses and is not reassociable into a vector reduction.
+//
+// A consumer that was never stored (NoAddr) or whose tuple slot carries the
+// artificial zero address has no trustworthy round-trip location, so only
+// register-carried accumulation can match it.
 func carriesAccum(g *ddg.Graph, p int32, id int32, consumerStoreAddr int64) bool {
 	if p == ddg.NoPred {
 		return false
@@ -87,7 +98,7 @@ func carriesAccum(g *ddg.Graph, p int32, id int32, consumerStoreAddr int64) bool
 		return true
 	}
 	in := g.Mod.InstrAt(nd.Instr)
-	if in.Op != ir.OpLoad || consumerStoreAddr == 0 || nd.Addr != consumerStoreAddr {
+	if in.Op != ir.OpLoad || consumerStoreAddr == ddg.NoAddr || consumerStoreAddr == 0 || nd.Addr != consumerStoreAddr {
 		return false
 	}
 	// A load's memory predecessor is the producing store; find it among the

@@ -83,6 +83,12 @@ type Report struct {
 // Analyze runs the complete §3 pipeline over the graph: Algorithm 1 per
 // candidate instruction, unit-stride subpartitioning of every parallel
 // partition, and the non-unit stride analysis of the leftovers.
+//
+// The per-candidate pipelines are independent (Property 3.1 reads the graph
+// and writes only its own timestamp buffer), so they are fanned out across
+// opts.WorkerCount() workers; results land in index-addressed slots and all
+// aggregation happens afterwards over integer counters in candidate-id
+// order, making the output byte-identical for every worker count.
 func Analyze(g *ddg.Graph, opts Options) *Report {
 	rep := &Report{TotalNodes: g.NumNodes()}
 	instances := g.CandidateInstances()
@@ -91,59 +97,33 @@ func Analyze(g *ddg.Graph, opts Options) *Report {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) == 0 {
+		return rep
+	}
+
+	results := make([]InstrReport, len(ids))
+	ParallelFor(len(ids), opts.WorkerCount(), func(i int) {
+		sc := getScratch(len(g.Nodes))
+		results[i] = analyzeInstr(g, ids[i], instances[ids[i]], opts, sc)
+		sc.release()
+	})
 
 	totalOps := 0
 	totalPartitions := 0
 	unitVecOps, unitSubparts, unitSum := 0, 0, 0
 	nonVecOps, nonSubparts, nonSum := 0, 0, 0
-
-	ts := make([]int32, len(g.Nodes))
-	for _, id := range ids {
-		fillTimestamps(g, id, opts, ts)
-		parts := partitionByTimestamp(g, id, ts)
-		n := len(instances[id])
-		totalOps += n
-		totalPartitions += len(parts)
-
-		elem := elemSizeOf(g, id)
-		ust := unitStrideStats(g, parts, elem)
-		nst := nonUnitStrideStats(g, ust.Singletons, ts)
-
-		unitVecOps += ust.VecOps
-		unitSubparts += ust.Subpartitions
-		unitSum += ust.SumSizes
-		nonVecOps += nst.VecOps
-		nonSubparts += nst.Subpartitions
-		nonSum += nst.SumSizes
-
-		in := g.Mod.InstrAt(id)
-		var cp int32
-		for i := range g.Nodes {
-			if g.Nodes[i].Instr == id && ts[i] > cp {
-				cp = ts[i]
-			}
-		}
-		ir := InstrReport{
-			ID:           id,
-			Line:         in.Pos.Line,
-			AssignID:     in.AssignID,
-			Text:         in.String(),
-			Instances:    n,
-			Partitions:   len(parts),
-			CriticalPath: cp,
-			Unit: StrideSummary{
-				VecOps: ust.VecOps, Subpartitions: ust.Subpartitions, SumSizes: ust.SumSizes,
-			},
-			NonUnit: StrideSummary{
-				VecOps: nst.VecOps, Subpartitions: nst.Subpartitions, SumSizes: nst.SumSizes,
-			},
-			IsReduction: IsReduction(g, id),
-		}
-		if len(parts) > 0 {
-			ir.AvgPartitionSize = float64(n) / float64(len(parts))
-		}
-		rep.PerInstr = append(rep.PerInstr, ir)
+	for i := range results {
+		r := &results[i]
+		totalOps += r.Instances
+		totalPartitions += r.Partitions
+		unitVecOps += r.Unit.VecOps
+		unitSubparts += r.Unit.Subpartitions
+		unitSum += r.Unit.SumSizes
+		nonVecOps += r.NonUnit.VecOps
+		nonSubparts += r.NonUnit.Subpartitions
+		nonSum += r.NonUnit.SumSizes
 	}
+	rep.PerInstr = results
 
 	rep.TotalCandidateOps = totalOps
 	if totalPartitions > 0 {
@@ -171,31 +151,43 @@ func Analyze(g *ddg.Graph, opts Options) *Report {
 
 // AnalyzeInstr runs the pipeline for a single static instruction.
 func AnalyzeInstr(g *ddg.Graph, id int32, opts Options) InstrReport {
-	ts := Timestamps(g, id, opts)
-	parts := partitionByTimestamp(g, id, ts)
-	n := 0
-	var cp int32
-	for i := range g.Nodes {
-		if g.Nodes[i].Instr == id {
-			n++
-			if ts[i] > cp {
-				cp = ts[i]
-			}
-		}
+	sc := getScratch(len(g.Nodes))
+	defer sc.release()
+	return analyzeInstr(g, id, InstancesOf(g, id), opts, sc)
+}
+
+// analyzeInstr is the complete per-candidate pipeline — timestamps →
+// partitions → unit-stride → non-unit-stride → report — over the
+// precomputed instance list, using the scratch's recycled buffers. It is
+// the unit of work the scheduler fans out, and it only reads shared state.
+func analyzeInstr(g *ddg.Graph, id int32, inst []int32, opts Options, sc *instrScratch) InstrReport {
+	red := detectReductionInst(g, id, inst)
+	var cut *reductionInfo
+	if opts.RelaxReductions {
+		cut = red
 	}
+	fillTimestampsRed(g, id, cut, sc.ts)
+	ts := sc.ts
+	parts := sc.partition(inst, ts)
 	elem := elemSizeOf(g, id)
 	ust := unitStrideStats(g, parts, elem)
 	nst := nonUnitStrideStats(g, ust.Singletons, ts)
+	var cp int32
+	for _, n := range inst {
+		if ts[n] > cp {
+			cp = ts[n]
+		}
+	}
 	in := g.Mod.InstrAt(id)
 	rep := InstrReport{
 		ID: id, Line: in.Pos.Line, AssignID: in.AssignID, Text: in.String(),
-		Instances: n, Partitions: len(parts), CriticalPath: cp,
+		Instances: len(inst), Partitions: len(parts), CriticalPath: cp,
 		Unit:        StrideSummary{VecOps: ust.VecOps, Subpartitions: ust.Subpartitions, SumSizes: ust.SumSizes},
 		NonUnit:     StrideSummary{VecOps: nst.VecOps, Subpartitions: nst.Subpartitions, SumSizes: nst.SumSizes},
-		IsReduction: IsReduction(g, id),
+		IsReduction: red != nil,
 	}
 	if len(parts) > 0 {
-		rep.AvgPartitionSize = float64(n) / float64(len(parts))
+		rep.AvgPartitionSize = float64(len(inst)) / float64(len(parts))
 	}
 	return rep
 }

@@ -4,6 +4,11 @@
 // maximal independent sets, subdivision of partitions by contiguous
 // (unit/zero-stride) memory access (§3.2), the non-unit constant-stride
 // wait-list analysis (§3.3), and the metrics reported in the paper's tables.
+//
+// The per-candidate sweep is embarrassingly parallel — Property 3.1 reads
+// the graph and writes only its own timestamp buffer — and Analyze fans it
+// out across a bounded worker pool (see parallel.go) while keeping output
+// byte-identical to the sequential order.
 package core
 
 import (
@@ -19,6 +24,12 @@ type Options struct {
 	// to reductions, which would uncover these additional vectorization
 	// opportunities").
 	RelaxReductions bool
+	// Workers bounds the analysis worker pool: the number of candidate
+	// instructions timestamped concurrently by Analyze (and, for callers
+	// that fan out over regions, the number of regions analyzed at once).
+	// 1 forces the sequential path; 0 or negative selects GOMAXPROCS.
+	// Output is identical for every setting.
+	Workers int
 }
 
 // Timestamps runs Algorithm 1 for static instruction id over the graph and
@@ -37,25 +48,47 @@ func Timestamps(g *ddg.Graph, id int32, opts Options) []int32 {
 	return ts
 }
 
-// fillTimestamps is Timestamps with a caller-provided buffer, reused across
-// the per-instruction sweep in Analyze.
+// fillTimestamps is Timestamps with a caller-provided buffer.
 func fillTimestamps(g *ddg.Graph, id int32, opts Options, ts []int32) {
 	var red *reductionInfo
 	if opts.RelaxReductions {
 		red = detectReduction(g, id)
 	}
-	var preds []int32
-	for i := range g.Nodes {
-		nd := &g.Nodes[i]
+	fillTimestampsRed(g, id, red, ts)
+}
+
+// fillTimestampsRed is the Algorithm 1 kernel: one linear sweep over the
+// trace with the reduction structure (if any) precomputed by the caller.
+// The predecessor slots are read inline rather than through Preds so the
+// hot loop performs no appends; Extra is consulted only when the graph has
+// overflow predecessors at all.
+func fillTimestampsRed(g *ddg.Graph, id int32, red *reductionInfo, ts []int32) {
+	nodes := g.Nodes
+	extra := g.Extra
+	for i := range nodes {
+		nd := &nodes[i]
 		isInstance := nd.Instr == id
-		var max int32
-		preds = g.Preds(int32(i), preds[:0])
-		for _, p := range preds {
-			if isInstance && red != nil && red.isAccumPred(g, int32(i), p) {
-				continue // cut the reduction-carried edge
+		// cut is the accumulator-carried predecessor to ignore (NoPred if
+		// none): timestamping the reduction instruction itself skips its
+		// own chain edge.
+		cut := ddg.NoPred
+		if red != nil && isInstance {
+			if ap, ok := red.accumPred[int32(i)]; ok {
+				cut = ap
 			}
-			if ts[p] > max {
-				max = ts[p]
+		}
+		var max int32
+		if p := nd.P1; p != ddg.NoPred && p != cut && ts[p] > max {
+			max = ts[p]
+		}
+		if p := nd.P2; p != ddg.NoPred && p != cut && ts[p] > max {
+			max = ts[p]
+		}
+		if extra != nil {
+			for _, p := range extra[int32(i)] {
+				if p != cut && ts[p] > max {
+					max = ts[p]
+				}
 			}
 		}
 		if isInstance {
@@ -79,29 +112,9 @@ type Partition struct {
 // returned in increasing timestamp order.
 func Partitions(g *ddg.Graph, id int32, opts Options) []Partition {
 	ts := Timestamps(g, id, opts)
-	return partitionByTimestamp(g, id, ts)
-}
-
-func partitionByTimestamp(g *ddg.Graph, id int32, ts []int32) []Partition {
-	byTS := make(map[int32][]int32)
-	var maxTS int32
-	for i := range g.Nodes {
-		if g.Nodes[i].Instr != id {
-			continue
-		}
-		t := ts[i]
-		byTS[t] = append(byTS[t], int32(i))
-		if t > maxTS {
-			maxTS = t
-		}
-	}
-	out := make([]Partition, 0, len(byTS))
-	for t := int32(1); t <= maxTS; t++ {
-		if nodes, ok := byTS[t]; ok {
-			out = append(out, Partition{Timestamp: t, Nodes: nodes})
-		}
-	}
-	return out
+	// A fresh (non-pooled) scratch: the partitions escape to the caller.
+	sc := new(instrScratch)
+	return sc.partition(InstancesOf(g, id), ts)
 }
 
 // ParallelismProfile is the per-instruction analogue of Kumar's parallelism
@@ -119,25 +132,22 @@ type ParallelismProfile struct {
 
 // Profile computes the parallelism profile of static instruction id.
 func Profile(g *ddg.Graph, id int32, opts Options) ParallelismProfile {
+	inst := InstancesOf(g, id)
 	ts := Timestamps(g, id, opts)
 	var max int32
-	n := 0
-	for i := range g.Nodes {
-		if g.Nodes[i].Instr == id {
-			n++
-			if ts[i] > max {
-				max = ts[i]
-			}
+	for _, n := range inst {
+		if ts[n] > max {
+			max = ts[n]
 		}
 	}
 	p := ParallelismProfile{CriticalPath: max, Histogram: make([]int, max)}
-	for i := range g.Nodes {
-		if g.Nodes[i].Instr == id && ts[i] > 0 {
-			p.Histogram[ts[i]-1]++
+	for _, n := range inst {
+		if ts[n] > 0 {
+			p.Histogram[ts[n]-1]++
 		}
 	}
 	if max > 0 {
-		p.AvgParallelism = float64(n) / float64(max)
+		p.AvgParallelism = float64(len(inst)) / float64(max)
 	}
 	return p
 }
@@ -149,9 +159,9 @@ func Profile(g *ddg.Graph, id int32, opts Options) ParallelismProfile {
 func CriticalPath(g *ddg.Graph, id int32, opts Options) int32 {
 	ts := Timestamps(g, id, opts)
 	var max int32
-	for i := range g.Nodes {
-		if g.Nodes[i].Instr == id && ts[i] > max {
-			max = ts[i]
+	for _, n := range InstancesOf(g, id) {
+		if ts[n] > max {
+			max = ts[n]
 		}
 	}
 	return max
@@ -170,10 +180,16 @@ func InstancesOf(g *ddg.Graph, id int32) []int32 {
 }
 
 // tupleOf returns the memory-access tuple the stride analysis sorts by:
-// (result-store address, operand provenance addresses). Constants and
-// register-resident values contribute the paper's artificial address zero.
+// (result-store address, operand provenance addresses). Constants,
+// register-resident values, and never-stored results contribute the paper's
+// artificial address zero (the builder's NoAddr sentinel keeps a genuine
+// store to address 0 distinguishable from "never stored").
 func tupleOf(nd *ddg.Node) [3]int64 {
-	return [3]int64{nd.StoreAddr, nd.OpAddr1, nd.OpAddr2}
+	sa := nd.StoreAddr
+	if sa == ddg.NoAddr {
+		sa = 0
+	}
+	return [3]int64{sa, nd.OpAddr1, nd.OpAddr2}
 }
 
 // elemSizeOf returns the element byte size of the candidate instruction

@@ -24,6 +24,12 @@ import (
 // NoPred marks an absent predecessor slot.
 const NoPred int32 = -1
 
+// NoAddr marks a value that was never stored to memory. It is distinct from
+// address 0 so a genuine first store to address 0 is recorded rather than
+// silently dropped from the §3.2 memory tuple; the stride analysis maps
+// NoAddr to the paper's artificial zero address when forming tuples.
+const NoAddr int64 = -1
+
 // Node is one dynamic instruction instance.
 //
 // P1 and P2 are the common-case flow predecessors (most instructions consume
@@ -36,12 +42,12 @@ const NoPred int32 = -1
 // are the addresses the operand values were loaded from (0 when an operand
 // is a constant or was produced by a non-load instruction — the paper's
 // "artificial address of zero"), and StoreAddr is the address the result was
-// first stored to (0 if never stored).
+// first stored to (NoAddr if never stored).
 type Node struct {
 	Instr     int32 // static instruction ID
 	P1, P2    int32 // flow predecessors, NoPred if absent
 	Addr      int64 // load/store address
-	StoreAddr int64 // where this node's value was first stored
+	StoreAddr int64 // where this node's value was first stored, NoAddr if never
 	OpAddr1   int64 // provenance address of operand X
 	OpAddr2   int64 // provenance address of operand Y
 }
@@ -106,188 +112,217 @@ type Options struct {
 // Build constructs the DDG for the given trace.
 func Build(tr *trace.Trace) (*Graph, error) { return BuildOpts(tr, Options{}) }
 
+// frame is one call-stack entry during trace replay.
+type frame struct {
+	fn     *ir.Function
+	writer []int32 // register → producing node, NoPred if unwritten
+	// callerDst is the caller register receiving the return value.
+	callerDst ir.Reg
+}
+
+// newWriter allocates a register-writer table with all slots unwritten.
+func newWriter(n int) []int32 {
+	w := make([]int32, n)
+	for i := range w {
+		w[i] = NoPred
+	}
+	return w
+}
+
+// builder holds the replay state of one BuildOpts run. Hoisting the state
+// into a struct keeps the per-event path free of closure allocations: the
+// predecessor staging buffer ps is reused for every event, and the only
+// steady-state allocations are the graph itself and map growth.
+type builder struct {
+	g          *Graph
+	mod        *ir.Module
+	opts       Options
+	lastStore  map[int64]int32   // element start address → last storing node
+	lastReads  map[int64][]int32 // readers since the last store, for anti deps
+	frames     []frame
+	ps         []int32 // predecessor staging buffer, reset per event
+	lastBranch int32
+}
+
 // BuildOpts constructs the DDG with explicit options.
 func BuildOpts(tr *trace.Trace, opts Options) (*Graph, error) {
-	mod := tr.Module
-	g := &Graph{Mod: mod, Nodes: make([]Node, len(tr.Events)), IncludesInts: opts.CharacterizeInts}
-
-	// lastStore maps element start address → node index of the last store.
-	lastStore := make(map[int64]int32, 1024)
-	// lastReads tracks reader nodes since the last store per address, for
-	// optional anti-dependences.
-	var lastReads map[int64][]int32
+	b := &builder{
+		g:    &Graph{Mod: tr.Module, Nodes: make([]Node, len(tr.Events)), IncludesInts: opts.CharacterizeInts},
+		mod:  tr.Module,
+		opts: opts,
+		// Addresses repeat heavily inside loops: presizing to a fraction of
+		// the event count avoids rehash-and-copy growth on large traces
+		// without overshooting on small regions.
+		lastStore:  make(map[int64]int32, len(tr.Events)/4+16),
+		lastBranch: NoPred,
+	}
 	if opts.IncludeAntiOutput {
-		lastReads = make(map[int64][]int32, 1024)
+		b.lastReads = make(map[int64][]int32, len(tr.Events)/4+16)
 	}
+	for i, ev := range tr.Events {
+		if err := b.step(int32(i), ev); err != nil {
+			return nil, err
+		}
+	}
+	return b.g, nil
+}
 
-	// isLoad records, per node, whether it was a load (operand provenance).
-	// We consult it via the static instruction, so no extra storage needed.
+// producer resolves an operand to the node that produced its value.
+func producer(f *frame, o ir.Operand) int32 {
+	if o.Kind == ir.KindReg && int(o.Reg) < len(f.writer) {
+		return f.writer[o.Reg]
+	}
+	return NoPred
+}
 
-	type frame struct {
-		fn     *ir.Function
-		writer []int32 // register → producing node, NoPred if unwritten
-		// callerDst is the caller register receiving the return value.
-		callerDst ir.Reg
-	}
-	newWriter := func(n int) []int32 {
-		w := make([]int32, n)
-		for i := range w {
-			w[i] = NoPred
-		}
-		return w
-	}
-	var frames []frame
-	pushInitial := func(id int32) {
-		fn := mod.FuncOfInstr(id)
-		frames = append(frames, frame{fn: fn, writer: newWriter(fn.NumRegs), callerDst: ir.RegNone})
-	}
-
-	// producer resolves an operand to the node that produced its value.
-	producer := func(f *frame, o ir.Operand) int32 {
-		if o.Kind == ir.KindReg && int(o.Reg) < len(f.writer) {
-			return f.writer[o.Reg]
-		}
-		return NoPred
-	}
-	// loadAddrOf returns the provenance address for an operand: the address
-	// of the defining load, or 0.
-	loadAddrOf := func(p int32) int64 {
-		if p == NoPred {
-			return 0
-		}
-		if mod.InstrAt(g.Nodes[p].Instr).Op == ir.OpLoad {
-			return g.Nodes[p].Addr
-		}
+// loadAddrOf returns the provenance address for an operand: the address of
+// the defining load, or 0.
+func (b *builder) loadAddrOf(p int32) int64 {
+	if p == NoPred {
 		return 0
 	}
+	if b.mod.InstrAt(b.g.Nodes[p].Instr).Op == ir.OpLoad {
+		return b.g.Nodes[p].Addr
+	}
+	return 0
+}
 
-	lastBranch := NoPred
-	for i, ev := range tr.Events {
-		n := int32(i)
-		in := mod.InstrAt(ev.ID)
-		if len(frames) == 0 {
-			pushInitial(ev.ID)
+// stage appends predecessor candidates to the staging buffer.
+func (b *builder) stage(ps ...int32) {
+	b.ps = append(b.ps, ps...)
+}
+
+// flush assigns the staged predecessors (plus the control edge, when
+// enabled) into node n's slots and clears the staging buffer.
+func (b *builder) flush(n int32) {
+	if b.opts.IncludeControl && b.lastBranch != NoPred {
+		b.ps = append(b.ps, b.lastBranch)
+	}
+	nd := &b.g.Nodes[n]
+	slot := 0
+	for _, p := range b.ps {
+		if p == NoPred {
+			continue
 		}
-		f := &frames[len(frames)-1]
-		if f.fn != mod.FuncOfInstr(ev.ID) {
-			// A region sliced mid-call or a malformed trace.
-			return nil, fmt.Errorf("ddg: event %d (instr %d in %s) does not match current frame %s",
-				i, ev.ID, mod.FuncOfInstr(ev.ID).Name, f.fn.Name)
-		}
-
-		nd := &g.Nodes[n]
-		nd.Instr = ev.ID
-		nd.P1, nd.P2 = NoPred, NoPred
-
-		setPreds := func(ps ...int32) {
-			if opts.IncludeControl && lastBranch != NoPred {
-				ps = append(ps, lastBranch)
-			}
-			slot := 0
-			for _, p := range ps {
-				if p == NoPred {
-					continue
-				}
-				switch slot {
-				case 0:
-					nd.P1 = p
-				case 1:
-					nd.P2 = p
-				default:
-					if g.Extra == nil {
-						g.Extra = make(map[int32][]int32)
-					}
-					g.Extra[n] = append(g.Extra[n], p)
-				}
-				slot++
-			}
-		}
-
-		switch in.Op {
-		case ir.OpLoad:
-			px := producer(f, in.X)
-			pm, seen := lastStore[ev.Addr]
-			if !seen {
-				pm = NoPred
-			}
-			setPreds(px, pm)
-			nd.Addr = ev.Addr
-			if lastReads != nil {
-				lastReads[ev.Addr] = append(lastReads[ev.Addr], n)
-			}
-			f.writer[in.Dst] = n
-
-		case ir.OpStore:
-			px := producer(f, in.X)
-			pv := producer(f, in.Y)
-			if opts.IncludeAntiOutput {
-				var extra []int32
-				if prev, ok := lastStore[ev.Addr]; ok {
-					extra = append(extra, prev) // output dependence
-				}
-				extra = append(extra, lastReads[ev.Addr]...) // anti dependences
-				lastReads[ev.Addr] = lastReads[ev.Addr][:0]
-				setPreds(append([]int32{px, pv}, extra...)...)
-			} else {
-				setPreds(px, pv)
-			}
-			nd.Addr = ev.Addr
-			lastStore[ev.Addr] = n
-			// Record result-store provenance on the value's producer: the
-			// first store of a value defines its memory tuple slot.
-			if pv != NoPred && g.Nodes[pv].StoreAddr == 0 {
-				g.Nodes[pv].StoreAddr = ev.Addr
-			}
-
-		case ir.OpCall:
-			callee := mod.Funcs[in.Callee]
-			var argProducers []int32
-			preds := make([]int32, 0, len(in.Args))
-			for _, a := range in.Args {
-				p := producer(f, a)
-				argProducers = append(argProducers, p)
-				preds = append(preds, p)
-			}
-			setPreds(preds...)
-			w := newWriter(callee.NumRegs)
-			copy(w, argProducers)
-			frames = append(frames, frame{fn: callee, writer: w, callerDst: in.Dst})
-
-		case ir.OpRet:
-			retProducer := NoPred
-			if in.X.Kind == ir.KindReg {
-				retProducer = producer(f, in.X)
-			}
-			setPreds(retProducer)
-			callerDst := f.callerDst
-			frames = frames[:len(frames)-1]
-			if len(frames) > 0 && callerDst != ir.RegNone {
-				frames[len(frames)-1].writer[callerDst] = retProducer
-			}
-
+		switch slot {
+		case 0:
+			nd.P1 = p
+		case 1:
+			nd.P2 = p
 		default:
-			px := producer(f, in.X)
-			py := producer(f, in.Y)
-			setPreds(px, py)
-			if opts.IncludeControl && in.Op == ir.OpCondBr {
-				lastBranch = n
+			if b.g.Extra == nil {
+				b.g.Extra = make(map[int32][]int32)
 			}
-			if g.isCandidate(in) {
-				nd.OpAddr1 = loadAddrOf(px)
-				nd.OpAddr2 = loadAddrOf(py)
-				if in.X.IsConst() {
-					nd.OpAddr1 = 0
-				}
-				if in.Y.IsConst() {
-					nd.OpAddr2 = 0
-				}
+			b.g.Extra[n] = append(b.g.Extra[n], p)
+		}
+		slot++
+	}
+	b.ps = b.ps[:0]
+}
+
+// step replays one trace event into the graph.
+func (b *builder) step(n int32, ev trace.Event) error {
+	in := b.mod.InstrAt(ev.ID)
+	if len(b.frames) == 0 {
+		fn := b.mod.FuncOfInstr(ev.ID)
+		b.frames = append(b.frames, frame{fn: fn, writer: newWriter(fn.NumRegs), callerDst: ir.RegNone})
+	}
+	f := &b.frames[len(b.frames)-1]
+	if f.fn != b.mod.FuncOfInstr(ev.ID) {
+		// A region sliced mid-call or a malformed trace.
+		return fmt.Errorf("ddg: event %d (instr %d in %s) does not match current frame %s",
+			n, ev.ID, b.mod.FuncOfInstr(ev.ID).Name, f.fn.Name)
+	}
+
+	nd := &b.g.Nodes[n]
+	nd.Instr = ev.ID
+	nd.P1, nd.P2 = NoPred, NoPred
+	nd.StoreAddr = NoAddr
+
+	switch in.Op {
+	case ir.OpLoad:
+		px := producer(f, in.X)
+		pm, seen := b.lastStore[ev.Addr]
+		if !seen {
+			pm = NoPred
+		}
+		b.stage(px, pm)
+		b.flush(n)
+		nd.Addr = ev.Addr
+		if b.lastReads != nil {
+			b.lastReads[ev.Addr] = append(b.lastReads[ev.Addr], n)
+		}
+		f.writer[in.Dst] = n
+
+	case ir.OpStore:
+		px := producer(f, in.X)
+		pv := producer(f, in.Y)
+		b.stage(px, pv)
+		if b.opts.IncludeAntiOutput {
+			if prev, ok := b.lastStore[ev.Addr]; ok {
+				b.stage(prev) // output dependence
 			}
-			if in.Dst != ir.RegNone {
-				f.writer[in.Dst] = n
+			b.stage(b.lastReads[ev.Addr]...) // anti dependences
+			b.lastReads[ev.Addr] = b.lastReads[ev.Addr][:0]
+		}
+		b.flush(n)
+		nd.Addr = ev.Addr
+		b.lastStore[ev.Addr] = n
+		// Record result-store provenance on the value's producer: the
+		// first store of a value defines its memory tuple slot.
+		if pv != NoPred && b.g.Nodes[pv].StoreAddr == NoAddr {
+			b.g.Nodes[pv].StoreAddr = ev.Addr
+		}
+
+	case ir.OpCall:
+		callee := b.mod.Funcs[in.Callee]
+		argProducers := make([]int32, 0, len(in.Args))
+		for _, a := range in.Args {
+			p := producer(f, a)
+			argProducers = append(argProducers, p)
+			b.stage(p)
+		}
+		b.flush(n)
+		w := newWriter(callee.NumRegs)
+		copy(w, argProducers)
+		b.frames = append(b.frames, frame{fn: callee, writer: w, callerDst: in.Dst})
+
+	case ir.OpRet:
+		retProducer := NoPred
+		if in.X.Kind == ir.KindReg {
+			retProducer = producer(f, in.X)
+		}
+		b.stage(retProducer)
+		b.flush(n)
+		callerDst := f.callerDst
+		b.frames = b.frames[:len(b.frames)-1]
+		if len(b.frames) > 0 && callerDst != ir.RegNone {
+			b.frames[len(b.frames)-1].writer[callerDst] = retProducer
+		}
+
+	default:
+		px := producer(f, in.X)
+		py := producer(f, in.Y)
+		b.stage(px, py)
+		b.flush(n)
+		if b.opts.IncludeControl && in.Op == ir.OpCondBr {
+			b.lastBranch = n
+		}
+		if b.g.isCandidate(in) {
+			nd.OpAddr1 = b.loadAddrOf(px)
+			nd.OpAddr2 = b.loadAddrOf(py)
+			if in.X.IsConst() {
+				nd.OpAddr1 = 0
 			}
+			if in.Y.IsConst() {
+				nd.OpAddr2 = 0
+			}
+		}
+		if in.Dst != ir.RegNone {
+			f.writer[in.Dst] = n
 		}
 	}
-	return g, nil
+	return nil
 }
 
 // CandidateInstances returns, for each candidate static instruction that

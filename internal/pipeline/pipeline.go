@@ -7,6 +7,8 @@ package pipeline
 import (
 	"fmt"
 
+	"github.com/example/vectrace/internal/core"
+	"github.com/example/vectrace/internal/ddg"
 	"github.com/example/vectrace/internal/interp"
 	"github.com/example/vectrace/internal/ir"
 	"github.com/example/vectrace/internal/lower"
@@ -68,6 +70,55 @@ func CompileAndTrace(filename, src string) (*ir.Module, *interp.Result, *trace.T
 		return mod, nil, nil, err
 	}
 	return mod, res, tr, nil
+}
+
+// RegionReport pairs one dynamic region (sub-trace) of a loop with its
+// analysis result.
+type RegionReport struct {
+	// Index is the region's position among the loop's dynamic executions.
+	Index int
+	// Events is the region's dynamic instruction count.
+	Events int
+	// Report is the §3 analysis of the region's DDG.
+	Report *core.Report
+}
+
+// AnalyzeLoopRegions analyzes every dynamic execution (sub-trace region) of
+// the loop whose "for"/"while" keyword is on the given source line. Regions
+// are independent — each gets its own DDG — so their construction and
+// analysis fan out across copts.WorkerCount() workers. Region-level
+// parallelism outranks instruction-level parallelism (regions are the
+// coarser independent unit), so each region's Analyze runs with Workers=1.
+// Results land in index-addressed slots, making the output deterministic
+// and identical to a sequential region-by-region run.
+func AnalyzeLoopRegions(tr *trace.Trace, line int, dopts ddg.Options, copts core.Options) ([]RegionReport, error) {
+	lm := tr.Module.LoopByLine(line)
+	if lm == nil {
+		return nil, fmt.Errorf("pipeline: no loop on line %d", line)
+	}
+	regions := tr.Regions(lm.ID)
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("pipeline: loop on line %d never executed", line)
+	}
+	out := make([]RegionReport, len(regions))
+	errs := make([]error, len(regions))
+	inner := copts
+	inner.Workers = 1
+	core.ParallelFor(len(regions), copts.WorkerCount(), func(i int) {
+		sub := tr.Slice(regions[i])
+		g, err := ddg.BuildOpts(sub, dopts)
+		if err != nil {
+			errs[i] = fmt.Errorf("pipeline: region %d: %w", i, err)
+			return
+		}
+		out[i] = RegionReport{Index: i, Events: sub.Len(), Report: core.Analyze(g, inner)}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // LoopRegion returns the idx-th dynamic sub-trace of the source loop whose

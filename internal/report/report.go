@@ -55,13 +55,22 @@ func RepresentativeReport(tr *trace.Trace, loopID int, maxRegions int, opts core
 	if len(picks) > maxRegions {
 		picks = picks[:maxRegions]
 	}
-	var reps []*core.Report
-	for _, idx := range picks {
-		g, err := ddg.Build(tr.Slice(regions[idx]))
+	// The sampled regions are independent; build and analyze them across
+	// opts.WorkerCount() workers, merging by pick index for determinism.
+	reps := make([]*core.Report, len(picks))
+	errs := make([]error, len(picks))
+	core.ParallelFor(len(picks), opts.WorkerCount(), func(i int) {
+		g, err := ddg.Build(tr.Slice(regions[picks[i]]))
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		reps[i] = core.Analyze(g, opts)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		reps = append(reps, core.Analyze(g, opts))
 	}
 	sort.SliceStable(reps, func(i, j int) bool {
 		return reps[i].TotalCandidateOps < reps[j].TotalCandidateOps
@@ -114,15 +123,38 @@ type T1Row struct {
 }
 
 // Table1 regenerates Table 1 over the SPEC-shaped kernel suite.
-func Table1() ([]T1Row, error) {
-	var rows []T1Row
+func Table1() ([]T1Row, error) { return Table1Opts(core.Options{}) }
+
+// Table1Opts regenerates Table 1 with explicit analysis options. Each row's
+// kernel is compiled, traced, and analyzed independently, so the rows fan
+// out across opts.WorkerCount() workers; results are merged by row index,
+// keeping the table identical to a sequential regeneration.
+func Table1Opts(opts core.Options) ([]T1Row, error) {
+	type job struct {
+		bench, label, marker string
+		kernel               kernels.Kernel
+	}
+	var jobs []job
 	for _, b := range kernels.SPEC() {
 		for _, target := range b.Targets {
-			la, err := analyzeKernelLoop(b.Kernel, target.Marker, core.Options{})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, T1Row{Benchmark: b.Name, Loop: target.Label, LoopAnalysis: *la})
+			jobs = append(jobs, job{b.Name, target.Label, target.Marker, b.Kernel})
+		}
+	}
+	rows := make([]T1Row, len(jobs))
+	errs := make([]error, len(jobs))
+	inner := opts
+	inner.Workers = 1
+	core.ParallelFor(len(jobs), opts.WorkerCount(), func(i int) {
+		la, err := analyzeKernelLoop(jobs[i].kernel, jobs[i].marker, inner)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		rows[i] = T1Row{Benchmark: jobs[i].bench, Loop: jobs[i].label, LoopAnalysis: *la}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return rows, nil
@@ -152,21 +184,35 @@ type T2Row struct {
 
 // Table2 regenerates Table 2: the 2-D Gauss-Seidel stencil and the 2-D PDE
 // grid solver.
-func Table2() ([]T2Row, error) {
-	var rows []T2Row
-	for _, spec := range []struct {
+func Table2() ([]T2Row, error) { return Table2Opts(core.Options{}) }
+
+// Table2Opts regenerates Table 2 with explicit analysis options, fanning
+// the two kernels out across opts.WorkerCount() workers.
+func Table2Opts(opts core.Options) ([]T2Row, error) {
+	specs := []struct {
 		name   string
 		kernel kernels.Kernel
 		marker string
 	}{
 		{"2-D Gauss-Seidel Stencil", kernels.GaussSeidel(32, 2), "@time-loop"},
 		{"2-D PDE Grid Solver", kernels.PDESolver(16, 4), "@grid-j"},
-	} {
-		la, err := analyzeKernelLoop(spec.kernel, spec.marker, core.Options{})
+	}
+	rows := make([]T2Row, len(specs))
+	errs := make([]error, len(specs))
+	inner := opts
+	inner.Workers = 1
+	core.ParallelFor(len(specs), opts.WorkerCount(), func(i int) {
+		la, err := analyzeKernelLoop(specs[i].kernel, specs[i].marker, inner)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		rows[i] = T2Row{Benchmark: specs[i].name, LoopAnalysis: *la}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, T2Row{Benchmark: spec.name, LoopAnalysis: *la})
 	}
 	return rows, nil
 }
@@ -194,18 +240,36 @@ type T3Row struct {
 }
 
 // Table3 regenerates Table 3 over the UTDSP pairs.
-func Table3() ([]T3Row, error) {
-	var rows []T3Row
+func Table3() ([]T3Row, error) { return Table3Opts(core.Options{}) }
+
+// Table3Opts regenerates Table 3 with explicit analysis options. The
+// Array/Pointer variants of every UTDSP pair are flattened into one job list
+// and fanned out across opts.WorkerCount() workers, merged by job index.
+func Table3Opts(opts core.Options) ([]T3Row, error) {
+	type job struct {
+		bench, style string
+		kernel       kernels.Kernel
+	}
+	var jobs []job
 	for _, pair := range kernels.UTDSP() {
-		for _, v := range []struct {
-			style  string
-			kernel kernels.Kernel
-		}{{"Array", pair.Array}, {"Pointer", pair.Pointer}} {
-			la, err := analyzeKernelLoop(v.kernel, "@hot", core.Options{})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, T3Row{Benchmark: pair.Name, Style: v.style, LoopAnalysis: *la})
+		jobs = append(jobs, job{pair.Name, "Array", pair.Array})
+		jobs = append(jobs, job{pair.Name, "Pointer", pair.Pointer})
+	}
+	rows := make([]T3Row, len(jobs))
+	errs := make([]error, len(jobs))
+	inner := opts
+	inner.Workers = 1
+	core.ParallelFor(len(jobs), opts.WorkerCount(), func(i int) {
+		la, err := analyzeKernelLoop(jobs[i].kernel, "@hot", inner)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		rows[i] = T3Row{Benchmark: jobs[i].bench, Style: jobs[i].style, LoopAnalysis: *la}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return rows, nil
