@@ -15,8 +15,13 @@
 //	vectrace rank file.c             rank hot loops by unexploited potential
 //	vectrace annotate file.c         per-line vectorization-potential listing
 //	vectrace tree file.c             run-time loop tree with profile + verdicts
-//	vectrace trace file.c -o t.vtr   write the execution trace to disk
+//	vectrace record file.c -o t.vtr  stream the execution trace to disk
+//	                                 ("trace" is the legacy alias)
 //	vectrace speedup a.c b.c         verify equivalence, model the speedup
+//
+// Recording streams VTR1 events to disk as the program executes, and
+// "analyze -trace file.vtr -line N" replays regions from disk one at a
+// time, so neither side ever materializes the full trace in memory.
 package main
 
 import (
@@ -47,7 +52,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: vectrace {run|ir|profile|vectorize|analyze|rank|annotate|tree|trace|speedup} file.c [flags]")
+	return fmt.Errorf("usage: vectrace {run|ir|profile|vectorize|analyze|rank|annotate|tree|record|trace|speedup} file.c [flags]")
 }
 
 func run(args []string) error {
@@ -144,11 +149,62 @@ func run(args []string) error {
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
+		opts := ddg.Options{CharacterizeInts: *intOps}
+		copts := core.Options{RelaxReductions: *relax, Workers: *workers}
+
+		// printRegions and printGraph share the output layout between the
+		// streaming and in-memory paths, keeping them byte-identical.
+		printRegions := func(regs []pipeline.RegionReport) {
+			for _, rr := range regs {
+				fmt.Printf("== region %d/%d: %d events ==\n", rr.Index+1, len(regs), rr.Events)
+				fmt.Print(rr.Report.String())
+			}
+		}
+		printGraph := func(g *ddg.Graph) {
+			rep := core.Analyze(g, copts)
+			fmt.Print(rep.String())
+			if *compare {
+				p := baseline.Kumar(g)
+				fmt.Printf("kumar: critical path %d, avg parallelism %.1f\n",
+					p.CriticalPath, p.AvgParallelism)
+			}
+		}
+
+		if *traceFile != "" && *line != 0 {
+			// Offline mode, the paper's workflow: the instrumented run wrote
+			// the trace to disk; analysis replays it against the same module,
+			// streaming one region at a time so memory stays bounded by the
+			// largest region rather than the trace.
+			f, err := os.Open(*traceFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			dec := trace.NewDecoder(f)
+			if *instance < 0 {
+				regs, err := pipeline.AnalyzeLoopRegionsStream(mod, dec, *line, opts, copts)
+				if err != nil {
+					return err
+				}
+				printRegions(regs)
+				return nil
+			}
+			region, err := pipeline.LoopRegionStream(mod, dec, *line, *instance)
+			if err != nil {
+				return err
+			}
+			g, err := ddg.BuildOpts(region, opts)
+			if err != nil {
+				return err
+			}
+			printGraph(g)
+			return nil
+		}
+
 		var tr *trace.Trace
 		if *traceFile != "" {
-			// Offline mode, the paper's workflow: the instrumented run
-			// wrote the trace to disk; analysis replays it against the
-			// same module.
+			// Whole-program analysis needs every event resident; only this
+			// mode decodes the file into memory.
 			f, err := os.Open(*traceFile)
 			if err != nil {
 				return err
@@ -166,8 +222,6 @@ func run(args []string) error {
 				return err
 			}
 		}
-		opts := ddg.Options{CharacterizeInts: *intOps}
-		copts := core.Options{RelaxReductions: *relax, Workers: *workers}
 		if *line != 0 && *instance < 0 {
 			// Analyze every dynamic execution of the loop, regions fanned
 			// out across the worker pool.
@@ -175,10 +229,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			for _, rr := range regs {
-				fmt.Printf("== region %d/%d: %d events ==\n", rr.Index+1, len(regs), rr.Events)
-				fmt.Print(rr.Report.String())
-			}
+			printRegions(regs)
 			return nil
 		}
 		var g *ddg.Graph
@@ -195,13 +246,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		rep := core.Analyze(g, copts)
-		fmt.Print(rep.String())
-		if *compare {
-			p := baseline.Kumar(g)
-			fmt.Printf("kumar: critical path %d, avg parallelism %.1f\n",
-				p.CriticalPath, p.AvgParallelism)
-		}
+		printGraph(g)
 		return nil
 
 	case "annotate":
@@ -247,25 +292,28 @@ func run(args []string) error {
 		fmt.Print(report.RenderOpportunities(rows))
 		return nil
 
-	case "trace":
-		fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	case "record", "trace":
+		// "record" streams VTR1 events to disk as the program runs — the
+		// trace is never materialized in memory. "trace" is the legacy
+		// name for the same operation.
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 		out := fs.String("o", "trace.vtr", "output trace file")
 		if err := fs.Parse(rest); err != nil {
-			return err
-		}
-		_, tr, err := pipeline.Trace(mod)
-		if err != nil {
 			return err
 		}
 		f, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := trace.Encode(f, tr.Events); err != nil {
+		res, err := pipeline.Record(mod, f)
+		if err != nil {
+			f.Close()
 			return err
 		}
-		fmt.Printf("wrote %d events to %s\n", len(tr.Events), *out)
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events to %s\n", res.Steps, *out)
 		return nil
 	}
 	return usage()

@@ -17,8 +17,13 @@ import (
 	"github.com/example/vectrace/internal/ir"
 )
 
+// NoAddr is the address reported for instructions that access no memory.
+// It mirrors trace.NoAddr (the interpreter does not import the trace
+// package, keeping the instrumentation interface dependency-free).
+const NoAddr int64 = -1
+
 // Tracer observes executed instructions. Exec is called once per dynamic
-// instance, with the accessed address for loads/stores (0 otherwise).
+// instance, with the accessed address for loads/stores (NoAddr otherwise).
 type Tracer interface {
 	Exec(id int32, addr int64)
 }
@@ -378,7 +383,7 @@ func (m *Machine) loop() error {
 			}
 		}
 
-		var traceAddr int64
+		traceAddr := NoAddr
 
 		switch in.Op {
 		case ir.OpBin:
@@ -450,7 +455,7 @@ func (m *Machine) loop() error {
 			}
 			callee := m.Mod.Funcs[in.Callee]
 			if tracer != nil {
-				tracer.Exec(in.ID, 0)
+				tracer.Exec(in.ID, NoAddr)
 			}
 			args := make([]uint64, len(in.Args))
 			for i, a := range in.Args {
@@ -476,14 +481,14 @@ func (m *Machine) loop() error {
 
 		case ir.OpBr:
 			if tracer != nil {
-				tracer.Exec(in.ID, 0)
+				tracer.Exec(in.ID, NoAddr)
 			}
 			blockIdx, instrIdx = in.Then, 0
 			continue
 
 		case ir.OpCondBr:
 			if tracer != nil {
-				tracer.Exec(in.ID, 0)
+				tracer.Exec(in.ID, NoAddr)
 			}
 			if m.operand(f, in.X) != 0 {
 				blockIdx = in.Then
@@ -495,7 +500,7 @@ func (m *Machine) loop() error {
 
 		case ir.OpRet:
 			if tracer != nil {
-				tracer.Exec(in.ID, 0)
+				tracer.Exec(in.ID, NoAddr)
 			}
 			// Close loops left open by an early return.
 			for f.loopsOpen > 0 {

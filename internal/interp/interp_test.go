@@ -463,14 +463,14 @@ void main() {
 	if int64(len(sink.Events)) != res.Steps {
 		t.Fatalf("trace has %d events, interpreter ran %d steps", len(sink.Events), res.Steps)
 	}
-	// Loads and stores carry addresses; everything else must not.
+	// Loads and stores carry addresses; everything else reports NoAddr.
 	for _, ev := range sink.Events {
 		in := mod.InstrAt(ev.ID)
 		isMem := in.Op == ir.OpLoad || in.Op == ir.OpStore
-		if isMem && ev.Addr == 0 {
+		if isMem && ev.Addr == interp.NoAddr {
 			t.Fatalf("memory op %s without address", in.Op)
 		}
-		if !isMem && ev.Addr != 0 {
+		if !isMem && ev.Addr != interp.NoAddr {
 			t.Fatalf("non-memory op %s with address %#x", in.Op, ev.Addr)
 		}
 	}

@@ -1,0 +1,51 @@
+package parser_test
+
+import (
+	"testing"
+
+	"github.com/example/vectrace/internal/parser"
+)
+
+// FuzzParse feeds arbitrary text to the MiniC parser. The parser must never
+// panic or hang: malformed input yields a non-nil partial AST plus errors,
+// and deeply nested input trips the recursion guard instead of overflowing
+// the stack.
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add("void main() { }")
+	f.Add(`
+double a[64];
+double b[64];
+void main() {
+  int i;
+  for (i = 1; i < 64; i++) { a[i] = a[i-1] * 0.5 + b[i]; }
+}
+`)
+	f.Add(`
+struct pt { int x; int y; };
+struct pt g;
+int f(int *p, double m[4][4]) {
+  if (*p > 0) { return g.x; } else { return (int)m[1][2]; }
+}
+void main() {
+  int v; v = 3;
+  while (v > 0) { v--; }
+  do { v++; } while (v < 2);
+}
+`)
+	// Malformed and adversarial seeds: unbalanced braces, deep nesting,
+	// stray tokens, truncated constructs.
+	f.Add("void main() { if (x ")
+	f.Add("int a = ;;;; }}}} ((((")
+	f.Add("void f() {{{{{{{{{{{{{{{{ }")
+	f.Add("void f() { x = ((((((((1)))))))); }")
+	f.Add("void f() { y = --------------1; }")
+	f.Add("void f() { if (a) b = 1; else if (c) d = 2; else e = 3; }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, _ := parser.Parse("fuzz.c", src)
+		if prog == nil {
+			t.Fatal("Parse returned a nil program")
+		}
+	})
+}

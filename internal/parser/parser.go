@@ -33,11 +33,21 @@ func Parse(filename, src string) (*ast.Program, error) {
 	return prog, errs.Err()
 }
 
+// maxNestingDepth caps statement and expression nesting so that pathological
+// input (deeply nested parentheses, blocks, or unary-operator chains) degrades
+// into a parse error instead of exhausting the goroutine stack. Every
+// recursion cycle in the parser passes through parseStmt or parseUnary, and
+// each nesting level consumes at least one token before recursing, so the
+// guards there bound total recursion depth without breaking the progress
+// guarantees of the recovery loops.
+const maxNestingDepth = 256
+
 type parser struct {
-	file *source.File
-	toks []token.Token
-	pos  int
-	errs *source.ErrorList
+	file  *source.File
+	toks  []token.Token
+	pos   int
+	errs  *source.ErrorList
+	depth int
 
 	nextLoopID   int
 	nextAssignID int
@@ -116,11 +126,15 @@ func (p *parser) line(off int) int { return p.file.PosFor(off).Line }
 func (p *parser) parseProgram() *ast.Program {
 	prog := &ast.Program{File: p.file}
 	for p.kind() != token.EOF {
+		before := p.pos
 		d := p.parseDecl()
 		if d != nil {
 			prog.Decls = append(prog.Decls, d)
 		} else {
 			p.sync()
+		}
+		if p.pos == before {
+			p.next() // guarantee progress on malformed input (e.g. stray "}")
 		}
 	}
 	prog.NumLoops = p.nextLoopID
@@ -298,6 +312,13 @@ func (p *parser) parseBlock() *ast.Block {
 }
 
 func (p *parser) parseStmt() ast.Stmt {
+	if p.depth >= maxNestingDepth {
+		p.errorf(p.cur().Offset, "statement nesting exceeds %d levels", maxNestingDepth)
+		p.sync()
+		return nil
+	}
+	p.depth++
+	defer func() { p.depth-- }()
 	off := p.cur().Offset
 	switch p.kind() {
 	case token.LBRACE:
@@ -383,7 +404,9 @@ func (p *parser) parseIf() ast.Stmt {
 	var els ast.Stmt
 	if p.accept(token.ELSE) {
 		if p.kind() == token.IF {
-			els = p.parseIf()
+			// Route through parseStmt so else-if chains count against the
+			// nesting limit like every other recursion path.
+			els = p.parseStmt()
 		} else {
 			els = p.blockOrSingle()
 		}
@@ -478,6 +501,12 @@ func (p *parser) parseBinary(minPrec int) ast.Expr {
 }
 
 func (p *parser) parseUnary() ast.Expr {
+	if p.depth >= maxNestingDepth {
+		p.errorf(p.cur().Offset, "expression nesting exceeds %d levels", maxNestingDepth)
+		return &ast.IntLit{Off: p.cur().Offset, Value: 0}
+	}
+	p.depth++
+	defer func() { p.depth-- }()
 	t := p.cur()
 	switch t.Kind {
 	case token.SUB, token.NOT, token.MUL, token.AND:

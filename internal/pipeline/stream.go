@@ -1,0 +1,176 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/example/vectrace/internal/core"
+	"github.com/example/vectrace/internal/ddg"
+	"github.com/example/vectrace/internal/interp"
+	"github.com/example/vectrace/internal/ir"
+	"github.com/example/vectrace/internal/trace"
+)
+
+// interp.NoAddr and trace.NoAddr must agree for events to flow through the
+// tracer sink unchanged; this line fails to compile if they ever diverge.
+var _ = [1]struct{}{}[interp.NoAddr-trace.NoAddr]
+
+// encoderSink streams events straight into a trace.Encoder as the
+// interpreter executes, so recording never materializes the trace.
+type encoderSink struct {
+	enc *trace.Encoder
+	err error
+}
+
+// Exec implements interp.Tracer.
+func (s *encoderSink) Exec(id int32, addr int64) {
+	if s.err == nil {
+		s.err = s.enc.Write(trace.Event{ID: id, Addr: addr})
+	}
+}
+
+// Record executes the module's main function under full instrumentation,
+// streaming the VTR1-encoded trace to w as it is produced. Peak memory is
+// the interpreter's working set plus the encoder's buffer, independent of
+// the trace length — the streaming half of the paper's record-then-analyze
+// workflow.
+func Record(mod *ir.Module, w io.Writer) (*interp.Result, error) {
+	enc := trace.NewEncoder(w)
+	sink := &encoderSink{enc: enc}
+	m := interp.New(mod, interp.Config{Tracer: sink, CountLoopCycles: true})
+	res, err := m.Run("main")
+	if err != nil {
+		return nil, err
+	}
+	if sink.err != nil {
+		return nil, fmt.Errorf("pipeline: recording trace: %w", sink.err)
+	}
+	if err := enc.Close(); err != nil {
+		return nil, fmt.Errorf("pipeline: recording trace: %w", err)
+	}
+	return res, nil
+}
+
+// AnalyzeLoopRegionsStream is the bounded-memory counterpart of
+// AnalyzeLoopRegions: it scans src for the dynamic regions of the loop
+// whose "for"/"while" keyword is on the given source line and runs the full
+// per-region analysis as regions arrive. At most 2×copts.WorkerCount()
+// regions are materialized at any moment (the worker pool plus its feed
+// queue), so peak memory scales with the largest region, never the trace.
+//
+// The per-region computation is byte-for-byte the one AnalyzeLoopRegions
+// performs, and results land in region-index order, so the output is
+// identical to the in-memory path for any worker count.
+func AnalyzeLoopRegionsStream(mod *ir.Module, src trace.EventSource, line int, dopts ddg.Options, copts core.Options) ([]RegionReport, error) {
+	lm := mod.LoopByLine(line)
+	if lm == nil {
+		return nil, fmt.Errorf("pipeline: no loop on line %d", line)
+	}
+	sc := trace.NewRegionScanner(mod, lm.ID, src)
+	workers := copts.WorkerCount()
+	inner := copts
+	inner.Workers = 1
+
+	type job struct {
+		idx int
+		sub *trace.Trace
+	}
+	jobs := make(chan job, workers)
+	var (
+		mu   sync.Mutex
+		out  []RegionReport
+		errs map[int]error
+	)
+	place := func(idx int, rr RegionReport, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if errs == nil {
+				errs = make(map[int]error)
+			}
+			errs[idx] = err
+			return
+		}
+		for len(out) <= idx {
+			out = append(out, RegionReport{})
+		}
+		out[idx] = rr
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				g, err := ddg.BuildOpts(j.sub, dopts)
+				if err != nil {
+					place(j.idx, RegionReport{}, fmt.Errorf("pipeline: region %d: %w", j.idx, err))
+					continue
+				}
+				place(j.idx, RegionReport{Index: j.idx, Events: j.sub.Len(), Report: core.Analyze(g, inner)}, nil)
+			}
+		}()
+	}
+	n := 0
+	var scanErr error
+	for {
+		sub, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			scanErr = err
+			break
+		}
+		jobs <- job{idx: n, sub: sub}
+		n++
+	}
+	close(jobs)
+	wg.Wait()
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("pipeline: loop on line %d never executed", line)
+	}
+	if len(errs) > 0 {
+		// Report the error of the earliest region, matching the in-memory
+		// path's region-order error selection.
+		first := -1
+		for i := range errs {
+			if first < 0 || i < first {
+				first = i
+			}
+		}
+		return nil, errs[first]
+	}
+	return out, nil
+}
+
+// LoopRegionStream returns the idx-th dynamic sub-trace of the source loop
+// whose "for"/"while" keyword is on the given source line, reading only as
+// much of the stream as needed to materialize it. Memory stays bounded by
+// the largest region even when the requested region is deep into the trace.
+func LoopRegionStream(mod *ir.Module, src trace.EventSource, line, idx int) (*trace.Trace, error) {
+	lm := mod.LoopByLine(line)
+	if lm == nil {
+		return nil, fmt.Errorf("pipeline: no loop on line %d", line)
+	}
+	sc := trace.NewRegionScanner(mod, lm.ID, src)
+	n := 0
+	for {
+		sub, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if n == idx {
+			return sub, nil
+		}
+		n++
+	}
+	return nil, fmt.Errorf("pipeline: loop on line %d has %d dynamic regions, want index %d", line, n, idx)
+}

@@ -1,0 +1,148 @@
+package pipeline_test
+
+// BenchmarkStreamingAnalyze demonstrates the bounded-memory property of the
+// streaming path: as the number of dynamic regions (and thus the trace
+// length) grows with the region size fixed, the streaming path's peak live
+// heap stays flat while the in-memory path's grows with the trace. Compare
+// the peak-B/op column of Streaming vs InMemory across region counts.
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/example/vectrace/internal/core"
+	"github.com/example/vectrace/internal/ddg"
+	"github.com/example/vectrace/internal/pipeline"
+	"github.com/example/vectrace/internal/trace"
+)
+
+// repeatedKernel returns a program executing the same inner loop (line 6)
+// reps times: reps regions of identical size, trace length ∝ reps.
+func repeatedKernel(reps int) string {
+	return fmt.Sprintf(`
+double a[256];
+double b[256];
+void main() {
+  int t; int i;
+  for (t = 0; t < %d; t++) {
+    for (i = 1; i < 256; i++) { a[i] = a[i-1] * 0.5 + b[i] * 1.5; }
+  }
+}
+`, reps)
+}
+
+const repeatedKernelLoopLine = 7
+
+// peakLiveBytes runs f while sampling the live heap, returning the observed
+// peak growth over the pre-run baseline. Sampling is coarse, but the
+// in-memory/streaming gap it has to resolve is an order of magnitude.
+func peakLiveBytes(f func()) uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+	peak := base
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var m runtime.MemStats
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > peak {
+					peak = m.HeapAlloc
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	f()
+	close(stop)
+	wg.Wait()
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	if end.HeapAlloc > peak {
+		peak = end.HeapAlloc
+	}
+	return peak - base
+}
+
+func benchTraceBytes(b *testing.B, reps int) []byte {
+	b.Helper()
+	mod, err := pipeline.Compile("bench.c", repeatedKernel(reps))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := pipeline.Record(mod, &buf); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkStreamingAnalyze(b *testing.B) {
+	for _, reps := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("regions=%d", reps), func(b *testing.B) {
+			mod, err := pipeline.Compile("bench.c", repeatedKernel(reps))
+			if err != nil {
+				b.Fatal(err)
+			}
+			encoded := benchTraceBytes(b, reps)
+			b.SetBytes(int64(len(encoded)))
+			b.ResetTimer()
+			var peak uint64
+			for i := 0; i < b.N; i++ {
+				p := peakLiveBytes(func() {
+					dec := trace.NewDecoder(bytes.NewReader(encoded))
+					if _, err := pipeline.AnalyzeLoopRegionsStream(mod, dec, repeatedKernelLoopLine, ddg.Options{}, core.Options{Workers: 1}); err != nil {
+						b.Fatal(err)
+					}
+				})
+				if p > peak {
+					peak = p
+				}
+			}
+			b.ReportMetric(float64(peak), "peak-B/op")
+		})
+	}
+}
+
+func BenchmarkInMemoryAnalyze(b *testing.B) {
+	for _, reps := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("regions=%d", reps), func(b *testing.B) {
+			mod, err := pipeline.Compile("bench.c", repeatedKernel(reps))
+			if err != nil {
+				b.Fatal(err)
+			}
+			encoded := benchTraceBytes(b, reps)
+			b.SetBytes(int64(len(encoded)))
+			b.ResetTimer()
+			var peak uint64
+			for i := 0; i < b.N; i++ {
+				p := peakLiveBytes(func() {
+					events, err := trace.Decode(bytes.NewReader(encoded))
+					if err != nil {
+						b.Fatal(err)
+					}
+					tr := &trace.Trace{Module: mod, Events: events}
+					if _, err := pipeline.AnalyzeLoopRegions(tr, repeatedKernelLoopLine, ddg.Options{}, core.Options{Workers: 1}); err != nil {
+						b.Fatal(err)
+					}
+				})
+				if p > peak {
+					peak = p
+				}
+			}
+			b.ReportMetric(float64(peak), "peak-B/op")
+		})
+	}
+}

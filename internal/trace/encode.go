@@ -2,91 +2,296 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 )
 
 // The on-disk trace format is a compact varint stream:
 //
 //	magic "VTR1"
 //	for each event:
-//	    uvarint(id+1)            // 0 is the end-of-stream sentinel
-//	    if instruction accesses memory (bit from id table is NOT stored;
-//	    addresses are self-describing): svarint(addr delta) is stored only
-//	    when the event carried an address, flagged in the low bit of the
-//	    first field.
+//	    uvarint((id+1)<<1 | hasAddr)
+//	    if hasAddr: svarint(addr - prevAddr)
+//	uvarint(0)                       // end-of-stream sentinel
 //
-// Concretely each event is encoded as uvarint((id+1)<<1 | hasAddr), followed
-// by svarint(addr - prevAddr) when hasAddr is set. Address deltas are small
-// for strided access patterns, so traces stay compact — the same engineering
-// concern the paper notes for its two-to-three-orders-of-magnitude tracing
-// overhead.
+// hasAddr is set exactly when the event carries a memory address (loads and
+// stores); register and control-flow events store no address at all, so a
+// genuine access to byte address 0 is representable and survives a round
+// trip — in memory such events are distinguished by the NoAddr sentinel, not
+// by the address value. prevAddr starts at 0 and is updated only by events
+// that carry an address, so address deltas stay small for strided access
+// patterns and traces stay compact — the same engineering concern behind the
+// paper's two-to-three-orders-of-magnitude tracing overhead.
+//
+// The encoding is canonical: every valid byte stream is produced by exactly
+// one event stream. The decoder enforces this (minimal varints, id range,
+// no reserved addresses), which is what makes the fuzzed round-trip property
+// — decode then re-encode is the identity on valid inputs — hold byte for
+// byte. See DESIGN.md §8 for the full wire-format contract and versioning
+// rules.
 
 const magic = "VTR1"
 
-// Encode writes the trace's event stream to w in the VTR1 format.
-func Encode(w io.Writer, events []Event) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(magic); err != nil {
-		return err
-	}
-	var buf [binary.MaxVarintLen64]byte
-	prevAddr := int64(0)
-	for _, ev := range events {
-		head := (uint64(ev.ID+1) << 1)
-		hasAddr := ev.Addr != 0
-		if hasAddr {
-			head |= 1
-		}
-		n := binary.PutUvarint(buf[:], head)
-		if _, err := bw.Write(buf[:n]); err != nil {
-			return err
-		}
-		if hasAddr {
-			n = binary.PutVarint(buf[:], ev.Addr-prevAddr)
-			if _, err := bw.Write(buf[:n]); err != nil {
-				return err
-			}
-			prevAddr = ev.Addr
-		}
-	}
-	n := binary.PutUvarint(buf[:], 0)
-	if _, err := bw.Write(buf[:n]); err != nil {
-		return err
-	}
-	return bw.Flush()
+// maxID is the largest encodable instruction ID: id+1 must fit in an int32.
+const maxID = math.MaxInt32 - 1
+
+// ErrReservedAddr reports an address field holding the in-memory NoAddr
+// sentinel, which the format reserves (an event without an address simply
+// omits the field).
+var ErrReservedAddr = errors.New("trace: address -1 is reserved")
+
+// An Encoder writes events to an io.Writer in the VTR1 format as they
+// arrive, so a trace can be recorded to disk without ever materializing it.
+type Encoder struct {
+	bw          *bufio.Writer
+	buf         [binary.MaxVarintLen64]byte
+	prevAddr    int64
+	wroteHeader bool
+	closed      bool
+	err         error
 }
 
-// Decode reads a VTR1 event stream from r.
-func Decode(r io.Reader) ([]Event, error) {
-	br := bufio.NewReader(r)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+// NewEncoder returns an Encoder writing the VTR1 stream to w. The magic
+// header is written on the first Write (or Close, for an empty trace).
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{bw: bufio.NewWriter(w)}
+}
+
+// header writes the magic once.
+func (e *Encoder) header() error {
+	if e.wroteHeader {
+		return nil
 	}
-	if string(m[:]) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", m[:])
+	e.wroteHeader = true
+	_, err := e.bw.WriteString(magic)
+	return err
+}
+
+// Write appends one event to the stream. Events with Addr == NoAddr are
+// encoded without an address field.
+func (e *Encoder) Write(ev Event) error {
+	if e.err != nil {
+		return e.err
 	}
-	var events []Event
-	prevAddr := int64(0)
-	for {
-		head, err := binary.ReadUvarint(br)
+	if e.closed {
+		e.err = errors.New("trace: write on closed Encoder")
+		return e.err
+	}
+	if ev.ID < 0 || int64(ev.ID) > maxID {
+		e.err = fmt.Errorf("trace: event ID %d out of range", ev.ID)
+		return e.err
+	}
+	if err := e.header(); err != nil {
+		e.err = err
+		return err
+	}
+	head := uint64(ev.ID+1) << 1
+	if ev.Addr != NoAddr {
+		head |= 1
+	}
+	n := binary.PutUvarint(e.buf[:], head)
+	if _, err := e.bw.Write(e.buf[:n]); err != nil {
+		e.err = err
+		return err
+	}
+	if ev.Addr != NoAddr {
+		n = binary.PutVarint(e.buf[:], ev.Addr-e.prevAddr)
+		if _, err := e.bw.Write(e.buf[:n]); err != nil {
+			e.err = err
+			return err
+		}
+		e.prevAddr = ev.Addr
+	}
+	return nil
+}
+
+// Close terminates the stream with the end-of-stream sentinel and flushes
+// buffered bytes. It does not close the underlying writer.
+func (e *Encoder) Close() error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if err := e.header(); err != nil {
+		e.err = err
+		return err
+	}
+	if err := e.bw.WriteByte(0); err != nil {
+		e.err = err
+		return err
+	}
+	if err := e.bw.Flush(); err != nil {
+		e.err = err
+		return err
+	}
+	return nil
+}
+
+// Encode writes the trace's event stream to w in the VTR1 format.
+func Encode(w io.Writer, events []Event) error {
+	e := NewEncoder(w)
+	for _, ev := range events {
+		if err := e.Write(ev); err != nil {
+			return err
+		}
+	}
+	return e.Close()
+}
+
+// A Decoder reads events one at a time from an io.Reader without
+// materializing the stream: peak memory is constant in the trace length.
+//
+// The decoder is strict: it rejects non-minimal varints, out-of-range
+// instruction IDs, and reserved address values, so every successfully
+// decoded stream re-encodes byte-identically.
+type Decoder struct {
+	br       io.ByteReader
+	prevAddr int64
+	started  bool
+	done     bool
+	err      error
+}
+
+// NewDecoder returns a Decoder reading a VTR1 stream from r. The magic
+// header is checked on the first Next call.
+func NewDecoder(r io.Reader) *Decoder {
+	br, ok := r.(io.ByteReader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &Decoder{br: br}
+}
+
+// readUvarint reads a canonically (minimally) encoded uvarint.
+func (d *Decoder) readUvarint() (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := d.br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("trace: reading event header: %w", err)
-		}
-		if head == 0 {
-			return events, nil
-		}
-		ev := Event{ID: int32(head>>1) - 1}
-		if head&1 != 0 {
-			d, err := binary.ReadVarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("trace: reading address delta: %w", err)
+			if err == io.EOF && i > 0 {
+				err = io.ErrUnexpectedEOF
 			}
-			prevAddr += d
-			ev.Addr = prevAddr
+			return 0, err
+		}
+		if i == binary.MaxVarintLen64-1 && b > 1 {
+			return 0, errors.New("varint overflows 64 bits")
+		}
+		if b < 0x80 {
+			if i > 0 && b == 0 {
+				return 0, errors.New("non-minimal varint")
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}
+
+// readVarint reads a canonically encoded zigzag varint.
+func (d *Decoder) readVarint() (int64, error) {
+	ux, err := d.readUvarint()
+	if err != nil {
+		return 0, err
+	}
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
+	}
+	return x, nil
+}
+
+// fail records and returns a decoding error, wrapping it with context.
+func (d *Decoder) fail(context string, err error) (Event, error) {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	d.err = fmt.Errorf("trace: %s: %w", context, err)
+	return Event{}, d.err
+}
+
+// Next returns the next event in the stream. It returns io.EOF after the
+// end-of-stream sentinel; any other error means the stream is malformed or
+// the underlying reader failed.
+func (d *Decoder) Next() (Event, error) {
+	if d.err != nil {
+		return Event{}, d.err
+	}
+	if d.done {
+		return Event{}, io.EOF
+	}
+	if !d.started {
+		d.started = true
+		var m [4]byte
+		for i := range m {
+			b, err := d.br.ReadByte()
+			if err != nil {
+				return d.fail("reading magic", err)
+			}
+			m[i] = b
+		}
+		if string(m[:]) != magic {
+			return d.fail("reading magic", fmt.Errorf("bad magic %q", m[:]))
+		}
+	}
+	head, err := d.readUvarint()
+	if err != nil {
+		return d.fail("reading event header", err)
+	}
+	if head == 0 {
+		d.done = true
+		return Event{}, io.EOF
+	}
+	id := head >> 1
+	if id == 0 || id > maxID+1 {
+		return d.fail("reading event header", fmt.Errorf("instruction ID %d out of range", int64(id)-1))
+	}
+	ev := Event{ID: int32(id) - 1, Addr: NoAddr}
+	if head&1 != 0 {
+		delta, err := d.readVarint()
+		if err != nil {
+			return d.fail("reading address delta", err)
+		}
+		addr := d.prevAddr + delta
+		if addr == NoAddr {
+			return d.fail("reading address delta", ErrReservedAddr)
+		}
+		d.prevAddr = addr
+		ev.Addr = addr
+	}
+	return ev, nil
+}
+
+// Decode reads a complete VTR1 event stream from r. It is strict about
+// framing: data after the end-of-stream sentinel is an error, so a decoded
+// stream always re-encodes to the exact input bytes.
+func Decode(r io.Reader) ([]Event, error) {
+	d := NewDecoder(r)
+	var events []Event
+	for {
+		ev, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
 		}
 		events = append(events, ev)
 	}
+	if _, err := d.br.ReadByte(); err != io.EOF {
+		return nil, errors.New("trace: trailing data after end-of-stream sentinel")
+	}
+	return events, nil
+}
+
+// DecodeBytes decodes a complete in-memory VTR1 stream.
+func DecodeBytes(data []byte) ([]Event, error) {
+	return Decode(bytes.NewReader(data))
 }

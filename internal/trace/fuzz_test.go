@@ -1,0 +1,75 @@
+package trace_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/example/vectrace/internal/trace"
+)
+
+// fuzzSeed builds a VTR1 byte stream from events, for seeding the corpus.
+func fuzzSeed(events []trace.Event) []byte {
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, events); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecode feeds arbitrary bytes to the VTR1 decoder. The decoder must
+// never panic or hang, and — because decoding is strict (minimal varints,
+// no trailing data, reserved values rejected) — any input it accepts must
+// re-encode to exactly the same bytes (round-trip property).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("VTR1"))
+	f.Add([]byte("VTR1\x00"))
+	f.Add(fuzzSeed(nil))
+	f.Add(fuzzSeed([]trace.Event{
+		{ID: 0, Addr: trace.NoAddr},
+		{ID: 1, Addr: 0},
+		{ID: 2, Addr: 4096},
+		{ID: 3, Addr: 4088},
+		{ID: 2, Addr: trace.NoAddr},
+	}))
+	f.Add(fuzzSeed([]trace.Event{
+		{ID: 1<<30 - 1, Addr: -9000},
+		{ID: 7, Addr: 1 << 40},
+	}))
+	// Deliberately malformed seeds: bad magic, truncated event, non-minimal
+	// varint, reserved address, trailing garbage.
+	f.Add([]byte("VTR0\x00"))
+	f.Add([]byte("VTR1\x84"))
+	f.Add([]byte("VTR1\x84\x00\x00"))
+	f.Add([]byte("VTR1\x03\x01\x00"))
+	f.Add([]byte("VTR1\x00\x7f"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := trace.DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := trace.Encode(&buf, events); err != nil {
+			t.Fatalf("decoded events failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("round trip changed bytes:\n in: %x\nout: %x", data, buf.Bytes())
+		}
+		// The streaming decoder must agree with the one-shot path.
+		dec := trace.NewDecoder(bytes.NewReader(data))
+		for i := range events {
+			ev, err := dec.Next()
+			if err != nil {
+				t.Fatalf("streaming decode failed at event %d: %v", i, err)
+			}
+			if ev != events[i] {
+				t.Fatalf("event %d: streaming %+v, one-shot %+v", i, ev, events[i])
+			}
+		}
+		if _, err := dec.Next(); err != io.EOF {
+			t.Fatalf("streaming decoder: want io.EOF after %d events, got %v", len(events), err)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/example/vectrace/internal/ir"
+)
+
+// An EventSource yields trace events one at a time. Next returns io.EOF
+// after the final event. *Decoder is the canonical streaming source; a
+// SliceSource adapts an in-memory event slice.
+type EventSource interface {
+	Next() (Event, error)
+}
+
+// SliceSource is an EventSource over an in-memory event slice.
+type SliceSource struct {
+	Events []Event
+	pos    int
+}
+
+// Next implements EventSource.
+func (s *SliceSource) Next() (Event, error) {
+	if s.pos >= len(s.Events) {
+		return Event{}, io.EOF
+	}
+	ev := s.Events[s.pos]
+	s.pos++
+	return ev, nil
+}
+
+// A RegionScanner consumes an event stream and yields the dynamic regions
+// of one source loop, one materialized sub-trace at a time, in the order
+// the regions close — exactly the semantics of Trace.Regions, including
+// call-stack-aware closing on early returns.
+//
+// The scanner retains events only while a target-loop region is open, so
+// peak memory is bounded by the largest single region (plus nested marker
+// events), not by the trace length. That is the property that lets the
+// analysis pipeline process traces far larger than memory.
+type RegionScanner struct {
+	mod    *ir.Module
+	src    EventSource
+	tk     regionTracker
+	buf    []Event  // retained events; buf[0] is absolute index base
+	base   int      // absolute index of buf[0]
+	idx    int      // absolute index of the next event
+	peak   int      // high-water mark of len(buf)
+	active bool     // a target region is open, events are being retained
+	queue  []*Trace // regions closed but not yet returned
+	done   bool
+	err    error
+}
+
+// NewRegionScanner returns a scanner yielding the dynamic regions of the
+// given source loop from src, validated against mod.
+func NewRegionScanner(mod *ir.Module, loopID int, src EventSource) *RegionScanner {
+	return &RegionScanner{mod: mod, src: src, tk: regionTracker{target: loopID}}
+}
+
+// MaxRetained returns the high-water mark of retained events — the
+// scanner's peak buffering, which tracks the largest open region rather
+// than the stream length.
+func (s *RegionScanner) MaxRetained() int { return s.peak }
+
+// emit materializes closed regions into the yield queue, copying out of the
+// retention buffer (which is about to be reused).
+func (s *RegionScanner) emit(closed []Region) {
+	for _, r := range closed {
+		events := make([]Event, r.End-r.Start)
+		copy(events, s.buf[r.Start-s.base:r.End-s.base])
+		s.queue = append(s.queue, &Trace{Module: s.mod, Events: events})
+	}
+}
+
+// Next returns the next closed region as a materialized sub-trace sharing
+// the scanner's module. It returns io.EOF when the stream is exhausted.
+func (s *RegionScanner) Next() (*Trace, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for {
+		if len(s.queue) > 0 {
+			tr := s.queue[0]
+			s.queue = s.queue[1:]
+			return tr, nil
+		}
+		if s.done {
+			return nil, io.EOF
+		}
+		ev, err := s.src.Next()
+		if err == io.EOF {
+			s.done = true
+			s.emit(s.tk.finish(s.idx))
+			s.buf = nil
+			continue
+		}
+		if err != nil {
+			s.err = err
+			return nil, err
+		}
+		if ev.ID < 0 || int(ev.ID) >= s.mod.NumInstrs {
+			s.err = fmt.Errorf("trace: event %d: instruction ID %d not in module (%d instructions)",
+				s.idx, ev.ID, s.mod.NumInstrs)
+			return nil, s.err
+		}
+		// Closed regions end at s.idx exclusive, so they are materialized
+		// before the current event (an end marker or a return) is retained.
+		s.emit(s.tk.step(s.idx, s.mod.InstrAt(ev.ID)))
+		if start := s.tk.earliestOpen(); start >= 0 {
+			if !s.active {
+				// The current event is the target loop.begin marker: the
+				// region's events start at the next index.
+				s.active = true
+				s.base = start
+				s.buf = s.buf[:0]
+			}
+			if s.idx >= s.base {
+				s.buf = append(s.buf, ev)
+				if len(s.buf) > s.peak {
+					s.peak = len(s.buf)
+				}
+			}
+		} else if s.active {
+			// The last open target region just closed: nothing needs to be
+			// retained until the next target loop.begin.
+			s.active = false
+			s.buf = s.buf[:0]
+		}
+		s.idx++
+	}
+}

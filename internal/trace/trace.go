@@ -11,19 +11,32 @@
 // Register and control-flow structure is not recorded per event: it is
 // static, so the DDG builder recovers it by replaying the event stream
 // against the module.
+//
+// Traces exist in two shapes: the in-memory Trace slice, and the VTR1
+// stream consumed through Decoder/RegionScanner, which never materializes
+// more than one region (see DESIGN.md §8).
 package trace
 
 import (
 	"github.com/example/vectrace/internal/ir"
 )
 
+// NoAddr marks an event that carries no memory address (everything but
+// loads and stores). It is distinct from address 0 so a genuine access to
+// byte address 0 survives encoding — the same sentinel discipline ddg.NoAddr
+// applies to store provenance.
+const NoAddr int64 = -1
+
 // Event is one dynamic instruction instance.
 type Event struct {
 	// ID is the static instruction ID (module-unique).
 	ID int32
-	// Addr is the byte address accessed by loads/stores, else 0.
+	// Addr is the byte address accessed by loads/stores, NoAddr otherwise.
 	Addr int64
 }
+
+// HasAddr reports whether the event carries a memory address.
+func (e Event) HasAddr() bool { return e.Addr != NoAddr }
 
 // Trace is an in-memory execution trace together with the module it was
 // produced from.
@@ -55,54 +68,98 @@ func (t *Trace) RegionEvents(r Region) []Event {
 	return t.Events[r.Start:r.End]
 }
 
+// openRegion is one entry of the region tracker's open-loop stack.
+type openRegion struct {
+	loopID int
+	start  int
+	depth  int
+}
+
+// regionTracker is the shared state machine behind the in-memory Regions
+// sweep and the streaming RegionScanner: fed one event at a time, it reports
+// the dynamic regions of the target loop as they close, with call-stack
+// awareness (a return instruction closes any loops opened within the
+// returning frame).
+type regionTracker struct {
+	target int
+	stack  []openRegion
+	depth  int
+	closed []Region // scratch, reused across steps
+}
+
+// step feeds the event at absolute index i and returns the target-loop
+// regions it closes, in close order. The returned slice is reused by the
+// next call.
+func (t *regionTracker) step(i int, in *ir.Instr) []Region {
+	t.closed = t.closed[:0]
+	switch in.Op {
+	case ir.OpLoopBegin:
+		t.stack = append(t.stack, openRegion{loopID: int(in.Loop), start: i + 1, depth: t.depth})
+	case ir.OpLoopEnd:
+		if len(t.stack) > 0 {
+			o := t.stack[len(t.stack)-1]
+			t.stack = t.stack[:len(t.stack)-1]
+			if o.loopID == t.target {
+				t.closed = append(t.closed, Region{LoopID: t.target, Start: o.start, End: i})
+			}
+		}
+	case ir.OpCall:
+		t.depth++
+	case ir.OpRet:
+		// Close loops opened in the returning frame (early return from
+		// inside a loop never emits its loop.end marker).
+		t.closeTo(t.depth, i)
+		if t.depth > 0 {
+			t.depth--
+		}
+	}
+	return t.closed
+}
+
+// finish closes every still-open region at end-of-trace index n and returns
+// them in close order.
+func (t *regionTracker) finish(n int) []Region {
+	t.closed = t.closed[:0]
+	t.closeTo(0, n)
+	return t.closed
+}
+
+// closeTo pops stack entries at or above minDepth, recording target regions.
+func (t *regionTracker) closeTo(minDepth, endIdx int) {
+	for len(t.stack) > 0 && t.stack[len(t.stack)-1].depth >= minDepth {
+		o := t.stack[len(t.stack)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		if o.loopID == t.target {
+			t.closed = append(t.closed, Region{LoopID: t.target, Start: o.start, End: endIdx})
+		}
+	}
+}
+
+// earliestOpen returns the start index of the earliest open target-loop
+// region, or -1 when none is open. While a target region is open, a
+// streaming scanner must retain events from this index on; when none is,
+// nothing needs to be retained — that is the bounded-memory invariant.
+func (t *regionTracker) earliestOpen() int {
+	for _, o := range t.stack {
+		if o.loopID == t.target {
+			return o.start
+		}
+	}
+	return -1
+}
+
 // Regions scans the trace and returns every dynamic region of the given
-// source loop, in execution order. Loop markers are matched with awareness
-// of the call stack: a return instruction closes any loops opened within the
-// returning frame.
+// source loop, in execution order of region close. Loop markers are matched
+// with awareness of the call stack: a return instruction closes any loops
+// opened within the returning frame.
 func (t *Trace) Regions(loopID int) []Region {
 	var out []Region
-	type open struct {
-		loopID int
-		start  int
-		depth  int
-	}
-	var stack []open
-	depth := 0
+	tk := regionTracker{target: loopID}
 	m := t.Module
-	closeTo := func(minDepth, endIdx int) {
-		for len(stack) > 0 && stack[len(stack)-1].depth >= minDepth {
-			o := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if o.loopID == loopID {
-				out = append(out, Region{LoopID: loopID, Start: o.start, End: endIdx})
-			}
-		}
-	}
 	for i, ev := range t.Events {
-		in := m.InstrAt(ev.ID)
-		switch in.Op {
-		case ir.OpLoopBegin:
-			stack = append(stack, open{loopID: int(in.Loop), start: i + 1, depth: depth})
-		case ir.OpLoopEnd:
-			if len(stack) > 0 {
-				o := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				if o.loopID == loopID {
-					out = append(out, Region{LoopID: loopID, Start: o.start, End: i})
-				}
-			}
-		case ir.OpCall:
-			depth++
-		case ir.OpRet:
-			// Close loops opened in the returning frame (early return from
-			// inside a loop never emits its loop.end marker).
-			closeTo(depth, i)
-			if depth > 0 {
-				depth--
-			}
-		}
+		out = append(out, tk.step(i, m.InstrAt(ev.ID))...)
 	}
-	closeTo(0, len(t.Events))
+	out = append(out, tk.finish(len(t.Events))...)
 	return out
 }
 
