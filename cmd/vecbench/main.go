@@ -7,6 +7,9 @@
 //	vecbench -table 1    one table (1–4)
 //	vecbench -figure 2   one figure (1–2)
 //	vecbench -workers 4  table rows analyzed by a 4-worker pool
+//
+// Profiling: -cpuprofile, -memprofile, and -trace write the standard
+// runtime profiles for the whole run (view with go tool pprof / trace).
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"strconv"
 
 	"github.com/example/vectrace/internal/core"
+	"github.com/example/vectrace/internal/diag"
 	"github.com/example/vectrace/internal/report"
 )
 
@@ -26,14 +30,23 @@ func main() {
 	n := flag.Int("n", 16, "problem size for the figures")
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of the paper layout")
 	workers := flag.Int("workers", 0, "analysis worker count (0 = GOMAXPROCS)")
+	var prof diag.Flags
+	prof.Register(flag.CommandLine, "trace")
 	flag.Parse()
 
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "vecbench:", err)
+		os.Exit(1)
+	}
 	opts := core.Options{Workers: *workers}
 	var err error
 	if *csvOut {
 		err = runCSV(*table, *figure, *n, opts)
 	} else {
 		err = run(*table, *figure, *n, opts)
+	}
+	if serr := prof.Stop(); err == nil {
+		err = serr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vecbench:", err)

@@ -22,6 +22,11 @@
 // Recording streams VTR1 events to disk as the program executes, and
 // "analyze -trace file.vtr -line N" replays regions from disk one at a
 // time, so neither side ever materializes the full trace in memory.
+//
+// Profiling the analysis itself: analyze accepts -cpuprofile and
+// -memprofile (pprof format) and -exectrace (go tool trace format); the
+// profile brackets compilation, tracing, and analysis. The execution-trace
+// flag is -exectrace here because -trace names the input trace file.
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 	"github.com/example/vectrace/internal/baseline"
 	"github.com/example/vectrace/internal/core"
 	"github.com/example/vectrace/internal/ddg"
+	"github.com/example/vectrace/internal/diag"
 	"github.com/example/vectrace/internal/interp"
 	"github.com/example/vectrace/internal/ir"
 	"github.com/example/vectrace/internal/opt"
@@ -138,20 +144,105 @@ func run(args []string) error {
 		return nil
 
 	case "analyze":
-		fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
-		line := fs.Int("line", 0, "source line of the loop to analyze")
-		instance := fs.Int("instance", 0, "which dynamic execution of the loop to analyze (-1 = all)")
+		return analyzeCmd(mod, rest)
+
+	case "annotate":
+		fs := flag.NewFlagSet("annotate", flag.ContinueOnError)
 		relax := fs.Bool("relax-reductions", false, "ignore reduction-carried dependences")
-		compare := fs.Bool("baselines", false, "also run the Kumar critical-path baseline")
-		traceFile := fs.String("trace", "", "analyze a previously saved trace instead of re-executing")
-		intOps := fs.Bool("int-ops", false, "also characterize integer add/sub/mul")
-		workers := fs.Int("workers", 0, "analysis worker count (0 = GOMAXPROCS)")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		opts := ddg.Options{CharacterizeInts: *intOps}
-		copts := core.Options{RelaxReductions: *relax, Workers: *workers}
+		_, tr, err := pipeline.Trace(mod)
+		if err != nil {
+			return err
+		}
+		anns, err := report.AnnotateSource(tr, core.Options{RelaxReductions: *relax})
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.RenderAnnotatedSource(string(src), anns))
+		return nil
 
+	case "tree":
+		res, err := pipeline.Run(mod, true)
+		if err != nil {
+			return err
+		}
+		roots := report.LoopTree(mod, res, staticvec.AnalyzeModule(mod))
+		fmt.Print(report.RenderLoopTree(roots))
+		return nil
+
+	case "rank":
+		fs := flag.NewFlagSet("rank", flag.ContinueOnError)
+		threshold := fs.Float64("threshold", 10, "hot-loop cycle percentage threshold")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		res, tr, err := pipeline.Trace(mod)
+		if err != nil {
+			return err
+		}
+		rows, err := report.RankOpportunities(mod, res, tr, *threshold)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.RenderOpportunities(rows))
+		return nil
+
+	case "record", "trace":
+		// "record" streams VTR1 events to disk as the program runs — the
+		// trace is never materialized in memory. "trace" is the legacy
+		// name for the same operation.
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		out := fs.String("o", "trace.vtr", "output trace file")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		res, err := pipeline.Record(mod, f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events to %s\n", res.Steps, *out)
+		return nil
+	}
+	return usage()
+}
+
+// analyzeCmd is the "analyze" subcommand. Profiling (-cpuprofile,
+// -memprofile, -exectrace) brackets the whole analysis, so the body runs in
+// a closure and the profilers are flushed on every exit path. The
+// execution-trace flag is -exectrace because -trace already names the
+// input-trace file here.
+func analyzeCmd(mod *ir.Module, rest []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	line := fs.Int("line", 0, "source line of the loop to analyze")
+	instance := fs.Int("instance", 0, "which dynamic execution of the loop to analyze (-1 = all)")
+	relax := fs.Bool("relax-reductions", false, "ignore reduction-carried dependences")
+	compare := fs.Bool("baselines", false, "also run the Kumar critical-path baseline")
+	traceFile := fs.String("trace", "", "analyze a previously saved trace instead of re-executing")
+	intOps := fs.Bool("int-ops", false, "also characterize integer add/sub/mul")
+	workers := fs.Int("workers", 0, "analysis worker count (0 = GOMAXPROCS)")
+	tile := fs.Int("tile", 0, "candidates per fused Algorithm-1 pass (0 = auto, <0 = per-candidate kernel)")
+	var prof diag.Flags
+	prof.Register(fs, "exectrace")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	opts := ddg.Options{CharacterizeInts: *intOps}
+	copts := core.Options{RelaxReductions: *relax, Workers: *workers, TileSize: *tile}
+
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	err := func() error {
 		// printRegions and printGraph share the output layout between the
 		// streaming and in-memory paths, keeping them byte-identical.
 		printRegions := func(regs []pipeline.RegionReport) {
@@ -233,6 +324,7 @@ func run(args []string) error {
 			return nil
 		}
 		var g *ddg.Graph
+		var err error
 		if *line == 0 {
 			g, err = ddg.BuildOpts(tr, opts)
 		} else {
@@ -248,75 +340,11 @@ func run(args []string) error {
 		}
 		printGraph(g)
 		return nil
-
-	case "annotate":
-		fs := flag.NewFlagSet("annotate", flag.ContinueOnError)
-		relax := fs.Bool("relax-reductions", false, "ignore reduction-carried dependences")
-		if err := fs.Parse(rest); err != nil {
-			return err
-		}
-		_, tr, err := pipeline.Trace(mod)
-		if err != nil {
-			return err
-		}
-		anns, err := report.AnnotateSource(tr, core.Options{RelaxReductions: *relax})
-		if err != nil {
-			return err
-		}
-		fmt.Print(report.RenderAnnotatedSource(string(src), anns))
-		return nil
-
-	case "tree":
-		res, err := pipeline.Run(mod, true)
-		if err != nil {
-			return err
-		}
-		roots := report.LoopTree(mod, res, staticvec.AnalyzeModule(mod))
-		fmt.Print(report.RenderLoopTree(roots))
-		return nil
-
-	case "rank":
-		fs := flag.NewFlagSet("rank", flag.ContinueOnError)
-		threshold := fs.Float64("threshold", 10, "hot-loop cycle percentage threshold")
-		if err := fs.Parse(rest); err != nil {
-			return err
-		}
-		res, tr, err := pipeline.Trace(mod)
-		if err != nil {
-			return err
-		}
-		rows, err := report.RankOpportunities(mod, res, tr, *threshold)
-		if err != nil {
-			return err
-		}
-		fmt.Print(report.RenderOpportunities(rows))
-		return nil
-
-	case "record", "trace":
-		// "record" streams VTR1 events to disk as the program runs — the
-		// trace is never materialized in memory. "trace" is the legacy
-		// name for the same operation.
-		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
-		out := fs.String("o", "trace.vtr", "output trace file")
-		if err := fs.Parse(rest); err != nil {
-			return err
-		}
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		res, err := pipeline.Record(mod, f)
-		if err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %d events to %s\n", res.Steps, *out)
-		return nil
+	}()
+	if serr := prof.Stop(); err == nil {
+		err = serr
 	}
-	return usage()
+	return err
 }
 
 // speedupCmd models the §4.4 before/after workflow: run the original and a

@@ -1,0 +1,116 @@
+package core
+
+// Kernel-level differential tests: the fused tiled Algorithm-1 kernel
+// against fillTimestampsRed, the sequential per-candidate oracle, on
+// randomly generated graphs — including overflow predecessors and synthetic
+// reduction cuts — across tile widths. These run below the Analyze pipeline
+// so a divergence points directly at the kernel.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/example/vectrace/internal/ddg"
+)
+
+// randTestGraph assembles a random well-formed graph (edges point
+// backwards) over numIDs static instruction ids.
+func randTestGraph(rng *rand.Rand, n, numIDs int) *ddg.Graph {
+	g := &ddg.Graph{Nodes: make([]ddg.Node, n)}
+	for i := range g.Nodes {
+		g.Nodes[i].Instr = int32(rng.Intn(numIDs))
+		g.Nodes[i].P1, g.Nodes[i].P2 = ddg.NoPred, ddg.NoPred
+		if i > 0 && rng.Intn(4) > 0 {
+			g.Nodes[i].P1 = int32(rng.Intn(i))
+		}
+		if i > 0 && rng.Intn(4) > 0 {
+			g.Nodes[i].P2 = int32(rng.Intn(i))
+		}
+		if i > 1 && rng.Intn(10) == 0 {
+			if g.Extra == nil {
+				g.Extra = make(map[int32][]int32)
+			}
+			for k := 0; k < 1+rng.Intn(2); k++ {
+				g.Extra[int32(i)] = append(g.Extra[int32(i)], int32(rng.Intn(i)))
+			}
+		}
+	}
+	return g
+}
+
+// randCut fabricates a reduction structure for id: each instance with a
+// first predecessor gets that predecessor as its accumulator edge with
+// probability 1/2. (The kernel treats the cut map as opaque, so synthetic
+// cuts exercise exactly the relaxation path.)
+func randCut(rng *rand.Rand, g *ddg.Graph, id int32) *reductionInfo {
+	info := &reductionInfo{id: id, accumPred: make(map[int32]int32)}
+	for _, n := range g.Instances(id) {
+		if p := g.Nodes[n].P1; p != ddg.NoPred && rng.Intn(2) == 0 {
+			info.accumPred[n] = p
+		}
+	}
+	if len(info.accumPred) == 0 {
+		return nil
+	}
+	return info
+}
+
+func TestFusedKernelMatchesOracleKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(300)
+		numIDs := 1 + rng.Intn(12)
+		g := randTestGraph(rng, n, numIDs)
+
+		// The tile is every id present in the graph, in increasing order.
+		var ids []int32
+		for id := int32(0); id < int32(numIDs); id++ {
+			if len(g.Instances(id)) > 0 {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
+			continue
+		}
+		cuts := make([]*reductionInfo, len(ids))
+		for c, id := range ids {
+			if rng.Intn(2) == 0 {
+				cuts[c] = randCut(rng, g, id)
+			}
+		}
+
+		for _, T := range []int{1, 2, 7, 64} {
+			for lo := 0; lo < len(ids); lo += T {
+				hi := min(lo+T, len(ids))
+				tileIDs := ids[lo:hi]
+				w := hi - lo
+				fs := getFusedScratch(tileIDs, n, w)
+				fillTimestampsFused(g, tileIDs, cuts[lo:hi], fs.colOf, fs.tile)
+				for j, id := range tileIDs {
+					want := make([]int32, n)
+					fillTimestampsRed(g, id, cuts[lo+j], want)
+					for i := 0; i < n; i++ {
+						if got := fs.tile[i*w+j]; got != want[i] {
+							t.Fatalf("trial %d T=%d id=%d node %d: fused %d, oracle %d",
+								trial, T, id, i, got, want[i])
+						}
+					}
+				}
+				fs.release()
+			}
+		}
+	}
+}
+
+// TestDetectReductionsFusedEmptyTile pins the degenerate contract of the
+// tile-level reduction detector: an empty tile yields an empty result
+// without touching the module. (The full per-candidate comparison against
+// detectReductionInst needs real programs and lives in fused_test.go.)
+func TestDetectReductionsFusedEmptyTile(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randTestGraph(rng, 50, 3)
+	reds := detectReductionsFused(g, nil)
+	if len(reds) != 0 {
+		t.Fatalf("empty tile produced %d entries", len(reds))
+	}
+}

@@ -69,8 +69,13 @@ func ParallelFor(n, workers int, fn func(i int)) {
 // a full Analyze sweep performs O(workers) buffer allocations instead of
 // O(candidates).
 type instrScratch struct {
-	// ts is the per-node timestamp buffer filled by Algorithm 1.
+	// ts is the per-node timestamp buffer filled by Algorithm 1 (used only
+	// by the per-candidate oracle kernel; the fused kernel reads its tile
+	// matrix instead).
 	ts []int32
+	// instTS holds the analyzed instruction's per-instance timestamps,
+	// parallel to its instance list.
+	instTS []int32
 	// counts is indexed by timestamp (1..maxTS) during partition bucketing.
 	counts []int32
 	// backing is the single allocation all of one instruction's partition
@@ -78,6 +83,9 @@ type instrScratch struct {
 	backing []int32
 	// parts is the reused partition header slice.
 	parts []Partition
+	// singles collects one partition's unit-stride singleton leftovers for
+	// the §3.3 wait-list analysis.
+	singles []int32
 }
 
 // scratchPool recycles instrScratch buffers across analysis units, workers,
@@ -100,24 +108,26 @@ func getScratch(nNodes int) *instrScratch {
 func (sc *instrScratch) release() { scratchPool.Put(sc) }
 
 // partition buckets the instances of one static instruction by timestamp
-// into dense, slice-indexed buckets. Timestamps of instances are contiguous
-// in 1..maxTS (each instance increments its own timestamp, so no instance
-// sits at 0), which makes a counting sort both allocation-lean and
-// deterministic: every bucket keeps its members in trace order because the
-// instance list is walked in trace order, and buckets are emitted in
-// increasing timestamp order.
+// into dense, slice-indexed buckets. instTS carries the instances'
+// timestamps, parallel to inst (so both kernels can feed it: the oracle
+// gathers from its per-node array, the fused kernel from its tile column).
+// Timestamps of instances are contiguous in 1..maxTS (each instance
+// increments its own timestamp, so no instance sits at 0), which makes a
+// counting sort both allocation-lean and deterministic: every bucket keeps
+// its members in trace order because the instance list is walked in trace
+// order, and buckets are emitted in increasing timestamp order.
 //
 // The returned partitions alias sc.backing and sc.parts; they are valid
 // until the scratch's next partition call.
-func (sc *instrScratch) partition(inst []int32, ts []int32) []Partition {
+func (sc *instrScratch) partition(inst []int32, instTS []int32) []Partition {
 	sc.parts = sc.parts[:0]
 	if len(inst) == 0 {
 		return sc.parts
 	}
 	var maxTS int32
-	for _, n := range inst {
-		if ts[n] > maxTS {
-			maxTS = ts[n]
+	for _, t := range instTS {
+		if t > maxTS {
+			maxTS = t
 		}
 	}
 	if cap(sc.counts) < int(maxTS)+1 {
@@ -129,8 +139,8 @@ func (sc *instrScratch) partition(inst []int32, ts []int32) []Partition {
 		}
 	}
 	counts := sc.counts
-	for _, n := range inst {
-		counts[ts[n]]++
+	for _, t := range instTS {
+		counts[t]++
 	}
 	// Exclusive prefix sum: counts[t] becomes bucket t's start offset.
 	var sum int32
@@ -143,8 +153,8 @@ func (sc *instrScratch) partition(inst []int32, ts []int32) []Partition {
 		sc.backing = make([]int32, len(inst))
 	}
 	backing := sc.backing[:len(inst)]
-	for _, n := range inst {
-		t := ts[n]
+	for k, n := range inst {
+		t := instTS[k]
 		backing[counts[t]] = n
 		counts[t]++
 	}

@@ -36,38 +36,55 @@ func detectReduction(g *ddg.Graph, id int32) *reductionInfo {
 	return detectReductionInst(g, id, InstancesOf(g, id))
 }
 
+// reductionEligible reports whether the static instruction's opcode can
+// participate in a reassociable reduction: a floating-point add, sub, or
+// mul (div is not reassociable, and integer candidates are excluded to
+// match the paper's FP reduction discussion).
+func reductionEligible(in *ir.Instr) bool {
+	if !(in.Op == ir.OpBin && in.Type.IsFloat()) {
+		return false
+	}
+	return in.Bin == ir.AddOp || in.Bin == ir.SubOp || in.Bin == ir.MulOp
+}
+
+// accumPredOf returns the predecessor of node n (a dynamic instance of id)
+// that carries the accumulator value into it — checking the predecessor
+// slots in Preds order (P1, P2, then overflow) — or NoPred when the
+// instance has no accumulator edge. csrOff/csrFlat are the graph's CSR
+// overflow layout (nil when no node overflows).
+func accumPredOf(g *ddg.Graph, n, id int32, csrOff, csrFlat []int32) int32 {
+	nd := &g.Nodes[n]
+	storeAddr := nd.StoreAddr
+	if p := nd.P1; p != ddg.NoPred && carriesAccum(g, p, id, storeAddr) {
+		return p
+	}
+	if p := nd.P2; p != ddg.NoPred && carriesAccum(g, p, id, storeAddr) {
+		return p
+	}
+	if csrOff != nil {
+		for _, p := range csrFlat[csrOff[n]:csrOff[n+1]] {
+			if carriesAccum(g, p, id, storeAddr) {
+				return p
+			}
+		}
+	}
+	return ddg.NoPred
+}
+
 // detectReductionInst is detectReduction over a precomputed instance list,
 // so callers that already hold instances[id] avoid the full-graph rescan.
 func detectReductionInst(g *ddg.Graph, id int32, inst []int32) *reductionInfo {
-	in := g.Mod.InstrAt(id)
-	if !(in.Op == ir.OpBin && in.Type.IsFloat()) {
-		return nil
-	}
-	if in.Bin != ir.AddOp && in.Bin != ir.SubOp && in.Bin != ir.MulOp {
+	if !reductionEligible(g.Mod.InstrAt(id)) {
 		return nil
 	}
 	if len(inst) < 3 {
 		return nil
 	}
+	csrOff, csrFlat := g.OverflowCSR()
 	info := &reductionInfo{id: id, accumPred: make(map[int32]int32)}
 	for _, n := range inst {
-		nd := &g.Nodes[n]
-		storeAddr := nd.StoreAddr
-		if p := nd.P1; p != ddg.NoPred && carriesAccum(g, p, id, storeAddr) {
+		if p := accumPredOf(g, n, id, csrOff, csrFlat); p != ddg.NoPred {
 			info.accumPred[n] = p
-			continue
-		}
-		if p := nd.P2; p != ddg.NoPred && carriesAccum(g, p, id, storeAddr) {
-			info.accumPred[n] = p
-			continue
-		}
-		if g.Extra != nil {
-			for _, p := range g.Extra[n] {
-				if carriesAccum(g, p, id, storeAddr) {
-					info.accumPred[n] = p
-					break
-				}
-			}
 		}
 	}
 	info.frac = float64(len(info.accumPred)) / float64(len(inst)-1)

@@ -84,11 +84,15 @@ type Report struct {
 // candidate instruction, unit-stride subpartitioning of every parallel
 // partition, and the non-unit stride analysis of the leftovers.
 //
-// The per-candidate pipelines are independent (Property 3.1 reads the graph
-// and writes only its own timestamp buffer), so they are fanned out across
-// opts.WorkerCount() workers; results land in index-addressed slots and all
-// aggregation happens afterwards over integer counters in candidate-id
-// order, making the output byte-identical for every worker count.
+// Timestamping runs through the fused tiled kernel (fused.go): candidates
+// are grouped into tiles of opts.tileWidth() and each tile shares one
+// trace-order pass over the graph, with tiles fanned out across
+// opts.WorkerCount() workers. A negative opts.TileSize selects the legacy
+// per-candidate kernel instead (one sweep per candidate), which is retained
+// as the differential-testing oracle. Either way results land in
+// index-addressed slots and all aggregation happens afterwards over integer
+// counters in candidate-id order, making the output byte-identical for
+// every worker count, tile width, and kernel choice.
 func Analyze(g *ddg.Graph, opts Options) *Report {
 	rep := &Report{TotalNodes: g.NumNodes()}
 	instances := g.CandidateInstances()
@@ -102,11 +106,15 @@ func Analyze(g *ddg.Graph, opts Options) *Report {
 	}
 
 	results := make([]InstrReport, len(ids))
-	ParallelFor(len(ids), opts.WorkerCount(), func(i int) {
-		sc := getScratch(len(g.Nodes))
-		results[i] = analyzeInstr(g, ids[i], instances[ids[i]], opts, sc)
-		sc.release()
-	})
+	if opts.TileSize < 0 {
+		ParallelFor(len(ids), opts.WorkerCount(), func(i int) {
+			sc := getScratch(len(g.Nodes))
+			results[i] = analyzeInstr(g, ids[i], instances[ids[i]], opts, sc)
+			sc.release()
+		})
+	} else {
+		analyzeFused(g, ids, instances, opts, results)
+	}
 
 	totalOps := 0
 	totalPartitions := 0
@@ -156,10 +164,12 @@ func AnalyzeInstr(g *ddg.Graph, id int32, opts Options) InstrReport {
 	return analyzeInstr(g, id, InstancesOf(g, id), opts, sc)
 }
 
-// analyzeInstr is the complete per-candidate pipeline — timestamps →
-// partitions → unit-stride → non-unit-stride → report — over the
-// precomputed instance list, using the scratch's recycled buffers. It is
-// the unit of work the scheduler fans out, and it only reads shared state.
+// analyzeInstr is the complete per-candidate pipeline — one Algorithm 1
+// sweep for this candidate alone, then the shared post-timestamp stages —
+// over the precomputed instance list, using the scratch's recycled buffers.
+// It is the legacy (pre-fusion) unit of work, retained as the fused
+// kernel's differential-testing oracle and as AnalyzeInstr's engine, and it
+// only reads shared state.
 func analyzeInstr(g *ddg.Graph, id int32, inst []int32, opts Options, sc *instrScratch) InstrReport {
 	red := detectReductionInst(g, id, inst)
 	var cut *reductionInfo
@@ -167,23 +177,38 @@ func analyzeInstr(g *ddg.Graph, id int32, inst []int32, opts Options, sc *instrS
 		cut = red
 	}
 	fillTimestampsRed(g, id, cut, sc.ts)
-	ts := sc.ts
-	parts := sc.partition(inst, ts)
+	if cap(sc.instTS) < len(inst) {
+		sc.instTS = make([]int32, len(inst))
+	}
+	instTS := sc.instTS[:len(inst)]
+	for k, n := range inst {
+		instTS[k] = sc.ts[n]
+	}
+	return finishInstr(g, id, inst, instTS, red, sc)
+}
+
+// finishInstr runs the stages after timestamping — partitioning,
+// unit-stride subpartitioning, the non-unit wait-list analysis, and report
+// assembly — for one candidate. It consumes only per-instance timestamps
+// (instTS parallel to inst), never a whole-graph timestamp array, which is
+// what lets the fused kernel hand each candidate a gathered slice of its
+// tile column instead of materializing N timestamps per candidate.
+func finishInstr(g *ddg.Graph, id int32, inst, instTS []int32, red *reductionInfo, sc *instrScratch) InstrReport {
+	parts := sc.partition(inst, instTS)
 	elem := elemSizeOf(g, id)
-	ust := unitStrideStats(g, parts, elem)
-	nst := nonUnitStrideStats(g, ust.Singletons, ts)
+	unit, non := strideStats(g, parts, elem, sc)
 	var cp int32
-	for _, n := range inst {
-		if ts[n] > cp {
-			cp = ts[n]
+	for _, t := range instTS {
+		if t > cp {
+			cp = t
 		}
 	}
 	in := g.Mod.InstrAt(id)
 	rep := InstrReport{
 		ID: id, Line: in.Pos.Line, AssignID: in.AssignID, Text: in.String(),
 		Instances: len(inst), Partitions: len(parts), CriticalPath: cp,
-		Unit:        StrideSummary{VecOps: ust.VecOps, Subpartitions: ust.Subpartitions, SumSizes: ust.SumSizes},
-		NonUnit:     StrideSummary{VecOps: nst.VecOps, Subpartitions: nst.Subpartitions, SumSizes: nst.SumSizes},
+		Unit:        StrideSummary{VecOps: unit.VecOps, Subpartitions: unit.Subpartitions, SumSizes: unit.SumSizes},
+		NonUnit:     StrideSummary{VecOps: non.VecOps, Subpartitions: non.Subpartitions, SumSizes: non.SumSizes},
 		IsReduction: red != nil,
 	}
 	if len(parts) > 0 {

@@ -148,9 +148,6 @@ type StrideStats struct {
 	Subpartitions int
 	// SumSizes accumulates their sizes; AvgVecSize = SumSizes/Subpartitions.
 	SumSizes int
-	// Singletons lists the leftover instances (subpartitions of size one),
-	// fed to the non-unit analysis by the §3.3 pipeline.
-	Singletons []int32
 }
 
 // AvgVecSize returns the average non-singleton subpartition size, the
@@ -162,58 +159,46 @@ func (s *StrideStats) AvgVecSize() float64 {
 	return float64(s.SumSizes) / float64(s.Subpartitions)
 }
 
-// unitStrideStats runs §3.2 over all partitions of one instruction.
-// Instances in singleton *parallel* partitions are serial and are excluded
-// from the non-unit follow-up (only "instructions within a non-singleton
-// parallel partition that did not belong in any unit-stride subpartition"
-// are further analyzed).
-func unitStrideStats(g *ddg.Graph, parts []Partition, elemSize int64) StrideStats {
-	var st StrideStats
+// strideStats runs §3.2 and §3.3 over all partitions of one instruction.
+//
+// Instances in singleton *parallel* partitions are serial and excluded
+// from both analyses (only "instructions within a non-singleton parallel
+// partition that did not belong in any unit-stride subpartition" are
+// further analyzed). The §3.3 wait-list scan operates on instances "of the
+// same static instruction, and with the same timestamp" — and since every
+// singleton leftover of partition p carries exactly p's timestamp while
+// distinct partitions carry distinct timestamps, that grouping is
+// precisely per-source-partition. Processing leftovers partition by
+// partition (partitions arrive in increasing timestamp order) therefore
+// reproduces the former timestamp-keyed map grouping byte for byte while
+// needing no per-node timestamp array — which is what lets the fused
+// kernel avoid materializing one.
+func strideStats(g *ddg.Graph, parts []Partition, elemSize int64, sc *instrScratch) (unit, non StrideStats) {
 	for i := range parts {
 		p := &parts[i]
 		if len(p.Nodes) == 1 {
 			continue // singleton parallel partition: not vectorizable, not waitlisted
 		}
+		sc.singles = sc.singles[:0]
 		for _, sp := range UnitStrideSubpartitions(g, p, elemSize) {
 			if sp.Size() > 1 {
-				st.VecOps += sp.Size()
-				st.Subpartitions++
-				st.SumSizes += sp.Size()
+				unit.VecOps += sp.Size()
+				unit.Subpartitions++
+				unit.SumSizes += sp.Size()
 			} else {
-				st.Singletons = append(st.Singletons, sp.Nodes...)
+				sc.singles = append(sc.singles, sp.Nodes...)
 			}
 		}
-	}
-	return st
-}
-
-// nonUnitStrideStats runs §3.3 over the unit-stride singletons, grouped by
-// timestamp (the wait-list scan operates on instances "of the same static
-// instruction, and with the same timestamp").
-func nonUnitStrideStats(g *ddg.Graph, singletons []int32, ts []int32) StrideStats {
-	var st StrideStats
-	byTS := make(map[int32][]int32)
-	for _, n := range singletons {
-		byTS[ts[n]] = append(byTS[ts[n]], n)
-	}
-	// Deterministic iteration order.
-	keys := make([]int32, 0, len(byTS))
-	for t := range byTS {
-		keys = append(keys, t)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, t := range keys {
-		group := byTS[t]
-		if len(group) < 2 {
+		if len(sc.singles) < 2 {
 			continue
 		}
-		for _, sp := range NonUnitStrideSubpartitions(g, group) {
+		for _, sp := range NonUnitStrideSubpartitions(g, sc.singles) {
 			if sp.Size() > 1 {
-				st.VecOps += sp.Size()
-				st.Subpartitions++
-				st.SumSizes += sp.Size()
+				non.VecOps += sp.Size()
+				non.Subpartitions++
+				non.SumSizes += sp.Size()
 			}
 		}
 	}
-	return st
+	return unit, non
 }

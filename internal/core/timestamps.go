@@ -25,11 +25,21 @@ type Options struct {
 	// opportunities").
 	RelaxReductions bool
 	// Workers bounds the analysis worker pool: the number of candidate
-	// instructions timestamped concurrently by Analyze (and, for callers
-	// that fan out over regions, the number of regions analyzed at once).
-	// 1 forces the sequential path; 0 or negative selects GOMAXPROCS.
-	// Output is identical for every setting.
+	// tiles timestamped concurrently by Analyze (and, for callers that fan
+	// out over regions, the number of regions analyzed at once). 1 forces
+	// the sequential path; 0 or negative selects GOMAXPROCS. Output is
+	// identical for every setting.
 	Workers int
+	// TileSize controls the fused Algorithm-1 kernel's tile width: how many
+	// candidate instructions share one trace-order pass over the graph
+	// (see fused.go). 0 picks an automatic width — up to 64 candidates,
+	// shrunk on very large graphs so one tile's timestamp matrix stays
+	// within a fixed byte budget. Positive values force an exact width
+	// (the tests sweep {1, 2, 7, 64}). Negative values disable fusion and
+	// run the legacy per-candidate kernel, which is kept as the
+	// differential-testing oracle. Output is byte-identical for every
+	// setting.
+	TileSize int
 }
 
 // Timestamps runs Algorithm 1 for static instruction id over the graph and
@@ -57,14 +67,15 @@ func fillTimestamps(g *ddg.Graph, id int32, opts Options, ts []int32) {
 	fillTimestampsRed(g, id, red, ts)
 }
 
-// fillTimestampsRed is the Algorithm 1 kernel: one linear sweep over the
-// trace with the reduction structure (if any) precomputed by the caller.
-// The predecessor slots are read inline rather than through Preds so the
-// hot loop performs no appends; Extra is consulted only when the graph has
-// overflow predecessors at all.
+// fillTimestampsRed is the per-candidate Algorithm 1 kernel: one linear
+// sweep over the trace with the reduction structure (if any) precomputed by
+// the caller. The predecessor slots are read inline rather than through
+// Preds so the hot loop performs no appends; overflow predecessors come
+// from the graph's CSR layout, so consulting them is two slice index reads
+// behind one nil check instead of a per-node map lookup.
 func fillTimestampsRed(g *ddg.Graph, id int32, red *reductionInfo, ts []int32) {
 	nodes := g.Nodes
-	extra := g.Extra
+	csrOff, csrFlat := g.OverflowCSR()
 	for i := range nodes {
 		nd := &nodes[i]
 		isInstance := nd.Instr == id
@@ -84,8 +95,8 @@ func fillTimestampsRed(g *ddg.Graph, id int32, red *reductionInfo, ts []int32) {
 		if p := nd.P2; p != ddg.NoPred && p != cut && ts[p] > max {
 			max = ts[p]
 		}
-		if extra != nil {
-			for _, p := range extra[int32(i)] {
+		if csrOff != nil {
+			for _, p := range csrFlat[csrOff[i]:csrOff[i+1]] {
 				if p != cut && ts[p] > max {
 					max = ts[p]
 				}
@@ -112,9 +123,14 @@ type Partition struct {
 // returned in increasing timestamp order.
 func Partitions(g *ddg.Graph, id int32, opts Options) []Partition {
 	ts := Timestamps(g, id, opts)
+	inst := InstancesOf(g, id)
+	instTS := make([]int32, len(inst))
+	for k, n := range inst {
+		instTS[k] = ts[n]
+	}
 	// A fresh (non-pooled) scratch: the partitions escape to the caller.
 	sc := new(instrScratch)
-	return sc.partition(InstancesOf(g, id), ts)
+	return sc.partition(inst, instTS)
 }
 
 // ParallelismProfile is the per-instruction analogue of Kumar's parallelism
@@ -168,15 +184,12 @@ func CriticalPath(g *ddg.Graph, id int32, opts Options) int32 {
 }
 
 // InstancesOf returns the node indices of id's dynamic instances in trace
-// order.
+// order. It is a thin view over the graph's shared instance index (built
+// once per graph), so repeated calls — from Profile, CriticalPath,
+// Partitions, or the analysis sweep — cost O(1) instead of an O(nodes)
+// rescan each. Callers must not modify the returned slice.
 func InstancesOf(g *ddg.Graph, id int32) []int32 {
-	var out []int32
-	for i := range g.Nodes {
-		if g.Nodes[i].Instr == id {
-			out = append(out, int32(i))
-		}
-	}
-	return out
+	return g.Instances(id)
 }
 
 // tupleOf returns the memory-access tuple the stride analysis sorts by:

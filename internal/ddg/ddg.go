@@ -16,6 +16,7 @@ package ddg
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/example/vectrace/internal/ir"
 	"github.com/example/vectrace/internal/trace"
@@ -54,6 +55,12 @@ type Node struct {
 
 // Graph is a dynamic data-dependence graph over one trace (typically one
 // loop sub-trace).
+//
+// A graph is immutable once built; the analyses additionally derive shared
+// read-only views (the CSR overflow-predecessor layout and the
+// per-instruction instance index) lazily, behind a race-safe accessor, so a
+// Graph must not be copied by value and Nodes/Extra must not be mutated
+// after the first analysis touches it.
 type Graph struct {
 	Mod   *ir.Module
 	Nodes []Node
@@ -63,6 +70,111 @@ type Graph struct {
 	// IncludesInts records whether the graph was built with integer
 	// characterization, extending the candidate set.
 	IncludesInts bool
+
+	// auxOnce guards the lazy construction of aux: the first analysis to
+	// need a derived view builds every view in one pass, and all later
+	// callers (from any goroutine) share the result.
+	auxOnce sync.Once
+	aux     *graphAux
+}
+
+// graphAux holds the derived read-only views of one graph that the analysis
+// hot loops share. Everything here is rebuildable from Nodes/Extra; it is
+// split out so the views are built at most once per graph (see auxData) and
+// so the Graph zero value stays a usable literal in tests.
+type graphAux struct {
+	// csrOff/csrFlat are the Extra map re-laid-out in compressed-sparse-row
+	// form: node n's overflow predecessors are csrFlat[csrOff[n]:csrOff[n+1]],
+	// in Preds order. Both are nil when no node overflows (the common case),
+	// which the hot loops test with a single nil check instead of a map
+	// lookup per node.
+	csrOff  []int32
+	csrFlat []int32
+	// instOff/instFlat index dynamic instances by static instruction:
+	// instruction id's instances are instFlat[instOff[id]:instOff[id+1]],
+	// in trace order. instOff is dense over [0, maxInstrID+1].
+	instOff  []int32
+	instFlat []int32
+}
+
+// auxData returns the graph's derived views, building them on first use.
+// The build is a single O(nodes + edges) pass; concurrent callers are safe
+// and share one result.
+func (g *Graph) auxData() *graphAux {
+	g.auxOnce.Do(func() { g.aux = buildAux(g) })
+	return g.aux
+}
+
+// buildAux constructs every derived view in one pass over the graph.
+func buildAux(g *Graph) *graphAux {
+	a := &graphAux{}
+	n := len(g.Nodes)
+
+	// CSR overflow predecessors.
+	if len(g.Extra) > 0 {
+		a.csrOff = make([]int32, n+1)
+		var total int32
+		for i := 0; i < n; i++ {
+			a.csrOff[i] = total
+			total += int32(len(g.Extra[int32(i)]))
+		}
+		a.csrOff[n] = total
+		a.csrFlat = make([]int32, total)
+		for k, e := range g.Extra {
+			copy(a.csrFlat[a.csrOff[k]:], e)
+		}
+	}
+
+	// Per-instruction instance index: a counting sort of node indices by
+	// static instruction, which preserves trace order within each group.
+	maxInstr := int32(-1)
+	for i := range g.Nodes {
+		if g.Nodes[i].Instr > maxInstr {
+			maxInstr = g.Nodes[i].Instr
+		}
+	}
+	a.instOff = make([]int32, maxInstr+2)
+	for i := range g.Nodes {
+		a.instOff[g.Nodes[i].Instr+1]++
+	}
+	for k := 1; k < len(a.instOff); k++ {
+		a.instOff[k] += a.instOff[k-1]
+	}
+	a.instFlat = make([]int32, n)
+	next := append([]int32(nil), a.instOff[:len(a.instOff)-1]...)
+	for i := range g.Nodes {
+		id := g.Nodes[i].Instr
+		a.instFlat[next[id]] = int32(i)
+		next[id]++
+	}
+	return a
+}
+
+// OverflowCSR returns the graph's overflow predecessors (the Extra map) in
+// CSR form: node n's third-and-beyond predecessors are
+// flat[off[n]:off[n+1]], in the same order Preds reports them. Both slices
+// are nil when no node overflows, so hot loops pay one nil check instead of
+// a map lookup per node. Built once per graph on first use; safe for
+// concurrent readers; callers must not modify the returned slices.
+func (g *Graph) OverflowCSR() (off, flat []int32) {
+	a := g.auxData()
+	return a.csrOff, a.csrFlat
+}
+
+// Instances returns the node indices of static instruction id's dynamic
+// instances in trace order — a view into the per-graph instance index,
+// built once (one O(nodes) counting pass) and shared by every analysis.
+// Callers must not modify the returned slice.
+func (g *Graph) Instances(id int32) []int32 {
+	a := g.auxData()
+	if id < 0 || int(id)+1 >= len(a.instOff) {
+		return nil
+	}
+	lo, hi := a.instOff[id], a.instOff[id+1]
+	if lo == hi {
+		return nil
+	}
+	return a.instFlat[lo:hi:hi]
 }
 
 // isCandidate applies the graph's candidate policy to a static instruction.
@@ -327,13 +439,18 @@ func (b *builder) step(n int32, ev trace.Event) error {
 
 // CandidateInstances returns, for each candidate static instruction that
 // appears in the graph, the node indices of its dynamic instances in trace
-// order.
+// order. The slices are views into the shared instance index and must not
+// be modified.
 func (g *Graph) CandidateInstances() map[int32][]int32 {
+	a := g.auxData()
 	out := make(map[int32][]int32)
-	for i := range g.Nodes {
-		in := g.Mod.InstrAt(g.Nodes[i].Instr)
-		if g.isCandidate(in) {
-			out[g.Nodes[i].Instr] = append(out[g.Nodes[i].Instr], int32(i))
+	for id := 0; id+1 < len(a.instOff); id++ {
+		lo, hi := a.instOff[id], a.instOff[id+1]
+		if lo == hi {
+			continue
+		}
+		if g.isCandidate(g.Mod.InstrAt(int32(id))) {
+			out[int32(id)] = a.instFlat[lo:hi:hi]
 		}
 	}
 	return out
@@ -341,12 +458,18 @@ func (g *Graph) CandidateInstances() map[int32][]int32 {
 
 // NumCandidateOps returns the total number of dynamic candidate
 // floating-point operations in the graph — the denominator of the paper's
-// "Percent Vec. Ops" metrics.
+// "Percent Vec. Ops" metrics. It sums group sizes in the instance index, so
+// the cost is O(static instructions), not O(nodes).
 func (g *Graph) NumCandidateOps() int {
+	a := g.auxData()
 	n := 0
-	for i := range g.Nodes {
-		if g.isCandidate(g.Mod.InstrAt(g.Nodes[i].Instr)) {
-			n++
+	for id := 0; id+1 < len(a.instOff); id++ {
+		sz := int(a.instOff[id+1] - a.instOff[id])
+		if sz == 0 {
+			continue
+		}
+		if g.isCandidate(g.Mod.InstrAt(int32(id))) {
+			n += sz
 		}
 	}
 	return n

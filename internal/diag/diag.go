@@ -1,0 +1,114 @@
+// Package diag wires the standard runtime profilers into command-line
+// tools: CPU profiling, heap profiling, and the execution tracer, each
+// behind an opt-in flag. It exists so vectrace and vecbench expose the
+// same profiling surface the analysis benchmarks are tuned with — run the
+// tool with -cpuprofile and feed the output straight to `go tool pprof`.
+package diag
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+)
+
+// Flags holds the profiling destinations selected on the command line.
+// Zero values mean "off"; Start and Stop are no-ops for every profiler
+// whose flag was not set, so callers can wire the pair unconditionally.
+type Flags struct {
+	// CPUProfile is the -cpuprofile destination (pprof format).
+	CPUProfile string
+	// MemProfile is the -memprofile destination (pprof heap profile,
+	// written once at Stop, after a forced GC).
+	MemProfile string
+	// ExecTrace is the execution-trace destination (go tool trace
+	// format). The flag name varies by tool — see Register.
+	ExecTrace string
+
+	cpuFile   *os.File
+	traceFile *os.File
+}
+
+// Register installs the three profiling flags on fs. The execution-trace
+// flag is named traceFlagName because the conventional "-trace" collides
+// with vectrace analyze's input-trace flag (that tool registers it as
+// "-exectrace"; vecbench keeps the conventional name).
+func (d *Flags) Register(fs *flag.FlagSet, traceFlagName string) {
+	fs.StringVar(&d.CPUProfile, "cpuprofile", "", "write a CPU profile to `file` (view with go tool pprof)")
+	fs.StringVar(&d.MemProfile, "memprofile", "", "write a heap profile to `file` on exit")
+	fs.StringVar(&d.ExecTrace, traceFlagName, "", "write a runtime execution trace to `file` (view with go tool trace)")
+}
+
+// Start begins every profiler whose destination flag was set. On error the
+// profilers already started are stopped again, so a failed Start never
+// leaves background collection running.
+func (d *Flags) Start() error {
+	if d.CPUProfile != "" {
+		f, err := os.Create(d.CPUProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		d.cpuFile = f
+	}
+	if d.ExecTrace != "" {
+		f, err := os.Create(d.ExecTrace)
+		if err != nil {
+			d.stopCPU()
+			return fmt.Errorf("exec trace: %w", err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			d.stopCPU()
+			return fmt.Errorf("exec trace: %w", err)
+		}
+		d.traceFile = f
+	}
+	return nil
+}
+
+// stopCPU halts CPU profiling and closes its file, if running.
+func (d *Flags) stopCPU() error {
+	if d.cpuFile == nil {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	err := d.cpuFile.Close()
+	d.cpuFile = nil
+	return err
+}
+
+// Stop flushes and closes every profiler Start began, and writes the heap
+// profile if one was requested. It returns the first error encountered but
+// always attempts every shutdown step, so a full set of profiles survives a
+// partial failure. Safe to call when Start was never called or failed.
+func (d *Flags) Stop() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	keep(d.stopCPU())
+	if d.traceFile != nil {
+		rtrace.Stop()
+		keep(d.traceFile.Close())
+		d.traceFile = nil
+	}
+	if d.MemProfile != "" {
+		f, err := os.Create(d.MemProfile)
+		if err != nil {
+			keep(fmt.Errorf("memprofile: %w", err))
+		} else {
+			runtime.GC() // up-to-date allocation statistics
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+	}
+	return first
+}

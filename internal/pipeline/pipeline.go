@@ -88,9 +88,11 @@ type RegionReport struct {
 // are independent — each gets its own DDG — so their construction and
 // analysis fan out across copts.WorkerCount() workers. Region-level
 // parallelism outranks instruction-level parallelism (regions are the
-// coarser independent unit), so each region's Analyze runs with Workers=1.
-// Results land in index-addressed slots, making the output deterministic
-// and identical to a sequential region-by-region run.
+// coarser independent unit), so each region's Analyze runs with Workers=1;
+// the remaining copts — including TileSize, so each region's sweep runs
+// through the fused tiled kernel — pass through unchanged. Results land in
+// index-addressed slots, making the output deterministic and identical to
+// a sequential region-by-region run.
 func AnalyzeLoopRegions(tr *trace.Trace, line int, dopts ddg.Options, copts core.Options) ([]RegionReport, error) {
 	lm := tr.Module.LoopByLine(line)
 	if lm == nil {

@@ -60,8 +60,10 @@ func Record(mod *ir.Module, w io.Writer) (*interp.Result, error) {
 // queue), so peak memory scales with the largest region, never the trace.
 //
 // The per-region computation is byte-for-byte the one AnalyzeLoopRegions
-// performs, and results land in region-index order, so the output is
-// identical to the in-memory path for any worker count.
+// performs — each region's Analyze runs with Workers=1 but otherwise
+// inherits copts, so the fused tiled kernel (and any TileSize override)
+// applies here too — and results land in region-index order, so the output
+// is identical to the in-memory path for any worker count and tile width.
 func AnalyzeLoopRegionsStream(mod *ir.Module, src trace.EventSource, line int, dopts ddg.Options, copts core.Options) ([]RegionReport, error) {
 	lm := mod.LoopByLine(line)
 	if lm == nil {

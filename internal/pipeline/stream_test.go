@@ -3,7 +3,9 @@ package pipeline_test
 // Streaming-vs-in-memory equivalence: the bounded-memory path through
 // RegionScanner/AnalyzeLoopRegionsStream must produce byte-identical
 // reports to the resident-slice path, for arbitrary generated programs,
-// every loop, and every worker count.
+// every loop, and every worker count — and, since per-region analysis runs
+// through the fused tiled kernel, across tile widths (including the legacy
+// per-candidate oracle, TileSize < 0, which both paths must also match).
 
 import (
 	"bytes"
@@ -30,6 +32,10 @@ func encodeTrace(t *testing.T, tr *trace.Trace) []byte {
 func TestStreamingMatchesInMemoryRandomPrograms(t *testing.T) {
 	const programs = 12
 	workerCounts := []int{1, 3, 8}
+	// Tile widths cycle with (seed, workers) rather than multiplying the
+	// matrix: every width — auto, the test widths, and the per-candidate
+	// oracle — is exercised against several programs and worker counts.
+	tileSizes := []int{0, 1, 2, 7, 64, -1}
 	for seed := int64(0); seed < programs; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
@@ -41,9 +47,20 @@ func TestStreamingMatchesInMemoryRandomPrograms(t *testing.T) {
 			encoded := encodeTrace(t, tr)
 			dopts := ddg.Options{}
 			for _, lm := range mod.Loops {
-				for _, w := range workerCounts {
-					copts := core.Options{Workers: w}
+				// Region-level oracle: the sequential per-candidate kernel.
+				oracle, oracleErr := pipeline.AnalyzeLoopRegions(tr, lm.Line, dopts,
+					core.Options{Workers: 1, TileSize: -1})
+				for wi, w := range workerCounts {
+					copts := core.Options{Workers: w, TileSize: tileSizes[(int(seed)+wi)%len(tileSizes)]}
 					want, wantErr := pipeline.AnalyzeLoopRegions(tr, lm.Line, dopts, copts)
+					if (wantErr == nil) != (oracleErr == nil) {
+						t.Fatalf("loop line %d tile %d: oracle err %v, fused err %v",
+							lm.Line, copts.TileSize, oracleErr, wantErr)
+					}
+					if wantErr == nil && !reflect.DeepEqual(want, oracle) {
+						t.Fatalf("loop line %d tile %d workers %d: fused region reports differ from per-candidate oracle",
+							lm.Line, copts.TileSize, w)
+					}
 					dec := trace.NewDecoder(bytes.NewReader(encoded))
 					got, gotErr := pipeline.AnalyzeLoopRegionsStream(mod, dec, lm.Line, dopts, copts)
 					if (wantErr == nil) != (gotErr == nil) {
