@@ -10,9 +10,13 @@
 //
 // Profiling: -cpuprofile, -memprofile, and -trace write the standard
 // runtime profiles for the whole run (view with go tool pprof / trace).
+// A wall-clock budget for the whole regeneration comes from -timeout; on
+// expiry the analyses stop cooperatively and the tool exits nonzero with an
+// error wrapping context.DeadlineExceeded.
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -32,18 +36,22 @@ func main() {
 	workers := flag.Int("workers", 0, "analysis worker count (0 = GOMAXPROCS)")
 	var prof diag.Flags
 	prof.Register(flag.CommandLine, "trace")
+	var timeout diag.Timeout
+	timeout.Register(flag.CommandLine)
 	flag.Parse()
 
 	if err := prof.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "vecbench:", err)
 		os.Exit(1)
 	}
+	ctx, cancel := timeout.Context()
+	defer cancel()
 	opts := core.Options{Workers: *workers}
 	var err error
 	if *csvOut {
-		err = runCSV(*table, *figure, *n, opts)
+		err = runCSV(ctx, *table, *figure, *n, opts)
 	} else {
-		err = run(*table, *figure, *n, opts)
+		err = run(ctx, *table, *figure, *n, opts)
 	}
 	if serr := prof.Stop(); err == nil {
 		err = serr
@@ -56,7 +64,7 @@ func main() {
 
 // runCSV emits the requested artifacts as CSV on stdout, one artifact per
 // invocation (use -table/-figure to select; default regenerates Table 1).
-func runCSV(table, figure, n int, opts core.Options) error {
+func runCSV(ctx context.Context, table, figure, n int, opts core.Options) error {
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
 	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
@@ -78,7 +86,7 @@ func runCSV(table, figure, n int, opts core.Options) error {
 			w.Write([]string{r.Analysis, r.Statement, strconv.Itoa(r.Partitions), f(r.AvgSize), strconv.Itoa(r.MaxSize)})
 		}
 	case table == 2:
-		rows, err := report.Table2Opts(opts)
+		rows, err := report.Table2Ctx(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -87,7 +95,7 @@ func runCSV(table, figure, n int, opts core.Options) error {
 			w.Write([]string{r.Benchmark, f(r.PercentPacked), f(r.AvgConcurrency), f(r.UnitPct), f(r.UnitSize), f(r.NonUnitPct), f(r.NonUnitSize)})
 		}
 	case table == 3:
-		rows, err := report.Table3Opts(opts)
+		rows, err := report.Table3Ctx(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -96,7 +104,7 @@ func runCSV(table, figure, n int, opts core.Options) error {
 			w.Write([]string{r.Benchmark, r.Style, f(r.PercentPacked), f(r.AvgConcurrency), f(r.UnitPct), f(r.UnitSize), f(r.NonUnitPct), f(r.NonUnitSize)})
 		}
 	case table == 4:
-		rows, err := report.Table4()
+		rows, err := report.Table4Ctx(ctx)
 		if err != nil {
 			return err
 		}
@@ -105,7 +113,7 @@ func runCSV(table, figure, n int, opts core.Options) error {
 			w.Write([]string{r.Benchmark, r.Machine, f(r.OriginalTime), f(r.TransformedTime), f(r.Speedup)})
 		}
 	default:
-		rows, err := report.Table1Opts(opts)
+		rows, err := report.Table1Ctx(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -117,7 +125,7 @@ func runCSV(table, figure, n int, opts core.Options) error {
 	return nil
 }
 
-func run(table, figure, n int, opts core.Options) error {
+func run(ctx context.Context, table, figure, n int, opts core.Options) error {
 	all := table == 0 && figure == 0
 
 	if all || figure == 1 {
@@ -139,7 +147,7 @@ func run(table, figure, n int, opts core.Options) error {
 		fmt.Println()
 	}
 	if all || table == 1 {
-		rows, err := report.Table1Opts(opts)
+		rows, err := report.Table1Ctx(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -148,7 +156,7 @@ func run(table, figure, n int, opts core.Options) error {
 		fmt.Println()
 	}
 	if all || table == 2 {
-		rows, err := report.Table2Opts(opts)
+		rows, err := report.Table2Ctx(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -157,7 +165,7 @@ func run(table, figure, n int, opts core.Options) error {
 		fmt.Println()
 	}
 	if all || table == 3 {
-		rows, err := report.Table3Opts(opts)
+		rows, err := report.Table3Ctx(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -166,7 +174,7 @@ func run(table, figure, n int, opts core.Options) error {
 		fmt.Println()
 	}
 	if all || table == 4 {
-		rows, err := report.Table4()
+		rows, err := report.Table4Ctx(ctx)
 		if err != nil {
 			return err
 		}

@@ -27,9 +27,16 @@
 // -memprofile (pprof format) and -exectrace (go tool trace format); the
 // profile brackets compilation, tracing, and analysis. The execution-trace
 // flag is -exectrace here because -trace names the input trace file.
+//
+// Failure surface: analyze accepts -timeout, a wall-clock budget enforced
+// by cooperative cancellation through the interpreter, trace scanner, and
+// analysis pool; on expiry the error wraps context.DeadlineExceeded. The
+// process exits 1 on analysis errors (corrupt traces name the byte offset
+// and region index) and 2 on usage errors.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -53,12 +60,39 @@ import (
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "vectrace:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
+// usageError marks errors caused by the command line itself (unknown
+// subcommand, bad flags) rather than by the analysis; they exit with status
+// 2, following the convention the flag package's ExitOnError mode uses,
+// while analysis failures exit 1.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// exitCode maps an error to the process exit status: 2 for usage errors,
+// 1 for everything else.
+func exitCode(err error) int {
+	var ue usageError
+	if errors.As(err, &ue) {
+		return 2
+	}
+	return 1
+}
+
+// parseFlags runs fs.Parse and classifies a failure as a usage error.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
+	return nil
+}
+
 func usage() error {
-	return fmt.Errorf("usage: vectrace {run|ir|profile|vectorize|analyze|rank|annotate|tree|record|trace|speedup} file.c [flags]")
+	return usageError{fmt.Errorf("usage: vectrace {run|ir|profile|vectorize|analyze|rank|annotate|tree|record|trace|speedup} file.c [flags]")}
 }
 
 func run(args []string) error {
@@ -85,7 +119,7 @@ func run(args []string) error {
 	case "run":
 		fs := flag.NewFlagSet("run", flag.ContinueOnError)
 		optimize := fs.Bool("O", false, "run constant folding, branch simplification, and DCE first")
-		if err := fs.Parse(rest); err != nil {
+		if err := parseFlags(fs, rest); err != nil {
 			return err
 		}
 		if *optimize {
@@ -109,7 +143,7 @@ func run(args []string) error {
 	case "profile":
 		fs := flag.NewFlagSet("profile", flag.ContinueOnError)
 		threshold := fs.Float64("threshold", 10, "hot-loop cycle percentage threshold")
-		if err := fs.Parse(rest); err != nil {
+		if err := parseFlags(fs, rest); err != nil {
 			return err
 		}
 		res, err := pipeline.Run(mod, true)
@@ -149,7 +183,7 @@ func run(args []string) error {
 	case "annotate":
 		fs := flag.NewFlagSet("annotate", flag.ContinueOnError)
 		relax := fs.Bool("relax-reductions", false, "ignore reduction-carried dependences")
-		if err := fs.Parse(rest); err != nil {
+		if err := parseFlags(fs, rest); err != nil {
 			return err
 		}
 		_, tr, err := pipeline.Trace(mod)
@@ -175,7 +209,7 @@ func run(args []string) error {
 	case "rank":
 		fs := flag.NewFlagSet("rank", flag.ContinueOnError)
 		threshold := fs.Float64("threshold", 10, "hot-loop cycle percentage threshold")
-		if err := fs.Parse(rest); err != nil {
+		if err := parseFlags(fs, rest); err != nil {
 			return err
 		}
 		res, tr, err := pipeline.Trace(mod)
@@ -195,7 +229,7 @@ func run(args []string) error {
 		// name for the same operation.
 		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 		out := fs.String("o", "trace.vtr", "output trace file")
-		if err := fs.Parse(rest); err != nil {
+		if err := parseFlags(fs, rest); err != nil {
 			return err
 		}
 		f, err := os.Create(*out)
@@ -233,32 +267,47 @@ func analyzeCmd(mod *ir.Module, rest []string) error {
 	tile := fs.Int("tile", 0, "candidates per fused Algorithm-1 pass (0 = auto, <0 = per-candidate kernel)")
 	var prof diag.Flags
 	prof.Register(fs, "exectrace")
-	if err := fs.Parse(rest); err != nil {
+	var timeout diag.Timeout
+	timeout.Register(fs)
+	if err := parseFlags(fs, rest); err != nil {
 		return err
 	}
 	opts := ddg.Options{CharacterizeInts: *intOps}
 	copts := core.Options{RelaxReductions: *relax, Workers: *workers, TileSize: *tile}
+	ctx, cancel := timeout.Context()
+	defer cancel()
 
 	if err := prof.Start(); err != nil {
 		return err
 	}
 	err := func() error {
 		// printRegions and printGraph share the output layout between the
-		// streaming and in-memory paths, keeping them byte-identical.
+		// streaming and in-memory paths, keeping them byte-identical. A
+		// region that failed prints a one-line diagnostic in place of its
+		// report — the remaining regions still print in full, and the joined
+		// error (returned by the caller) makes the exit status nonzero.
 		printRegions := func(regs []pipeline.RegionReport) {
 			for _, rr := range regs {
 				fmt.Printf("== region %d/%d: %d events ==\n", rr.Index+1, len(regs), rr.Events)
+				if rr.Err != nil {
+					fmt.Printf("error: %v\n", rr.Err)
+					continue
+				}
 				fmt.Print(rr.Report.String())
 			}
 		}
-		printGraph := func(g *ddg.Graph) {
-			rep := core.Analyze(g, copts)
+		printGraph := func(g *ddg.Graph) error {
+			rep, err := core.AnalyzeCtx(ctx, g, copts)
+			if err != nil {
+				return err
+			}
 			fmt.Print(rep.String())
 			if *compare {
 				p := baseline.Kumar(g)
 				fmt.Printf("kumar: critical path %d, avg parallelism %.1f\n",
 					p.CriticalPath, p.AvgParallelism)
 			}
+			return nil
 		}
 
 		if *traceFile != "" && *line != 0 {
@@ -273,12 +322,9 @@ func analyzeCmd(mod *ir.Module, rest []string) error {
 			defer f.Close()
 			dec := trace.NewDecoder(f)
 			if *instance < 0 {
-				regs, err := pipeline.AnalyzeLoopRegionsStream(mod, dec, *line, opts, copts)
-				if err != nil {
-					return err
-				}
+				regs, err := pipeline.AnalyzeLoopRegionsStreamCtx(ctx, mod, dec, *line, opts, copts)
 				printRegions(regs)
-				return nil
+				return err
 			}
 			region, err := pipeline.LoopRegionStream(mod, dec, *line, *instance)
 			if err != nil {
@@ -288,8 +334,7 @@ func analyzeCmd(mod *ir.Module, rest []string) error {
 			if err != nil {
 				return err
 			}
-			printGraph(g)
-			return nil
+			return printGraph(g)
 		}
 
 		var tr *trace.Trace
@@ -308,7 +353,7 @@ func analyzeCmd(mod *ir.Module, rest []string) error {
 			tr = &trace.Trace{Module: mod, Events: events}
 		} else {
 			var err error
-			_, tr, err = pipeline.Trace(mod)
+			_, tr, err = pipeline.TraceCtx(ctx, mod, core.Budget{})
 			if err != nil {
 				return err
 			}
@@ -316,12 +361,9 @@ func analyzeCmd(mod *ir.Module, rest []string) error {
 		if *line != 0 && *instance < 0 {
 			// Analyze every dynamic execution of the loop, regions fanned
 			// out across the worker pool.
-			regs, err := pipeline.AnalyzeLoopRegions(tr, *line, opts, copts)
-			if err != nil {
-				return err
-			}
+			regs, err := pipeline.AnalyzeLoopRegionsCtx(ctx, tr, *line, opts, copts)
 			printRegions(regs)
-			return nil
+			return err
 		}
 		var g *ddg.Graph
 		var err error
@@ -338,8 +380,7 @@ func analyzeCmd(mod *ir.Module, rest []string) error {
 		if err != nil {
 			return err
 		}
-		printGraph(g)
-		return nil
+		return printGraph(g)
 	}()
 	if serr := prof.Stop(); err == nil {
 		err = serr

@@ -322,3 +322,63 @@ func TestCompileErrorSurfaces(t *testing.T) {
 		t.Errorf("compile error not surfaced: %v", err)
 	}
 }
+
+// TestExitCodes pins the scripting contract: usage errors exit 2, analysis
+// errors exit 1, success exits 0.
+func TestExitCodes(t *testing.T) {
+	path := writeSample(t)
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"success", []string{"profile", path}, 0},
+		{"no subcommand", nil, 2},
+		{"unknown subcommand", []string{"frobnicate"}, 2},
+		{"unknown flag", []string{"analyze", path, "-no-such-flag"}, 2},
+		{"missing file", []string{"profile", filepath.Join(t.TempDir(), "absent.c")}, 1},
+		{"no loop on line", []string{"analyze", path, "-line", "4"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := capture(t, tc.args...)
+			got := 0
+			if err != nil {
+				got = exitCode(err)
+			}
+			if got != tc.want {
+				t.Fatalf("args %v: exit code %d (err %v), want %d", tc.args, got, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCorruptTraceDiagnostics checks that analyzing a damaged trace file
+// exits with an analysis error naming the byte offset and region index.
+func TestCorruptTraceDiagnostics(t *testing.T) {
+	path := writeSample(t)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "s.vtr")
+	if _, err := capture(t, "record", path, "-o", tracePath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tracePath, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = capture(t, "analyze", path, "-trace", tracePath, "-line", "8", "-instance", "-1")
+	if err == nil {
+		t.Fatal("truncated trace analyzed without error")
+	}
+	if exitCode(err) != 1 {
+		t.Fatalf("exit code %d, want 1", exitCode(err))
+	}
+	for _, want := range []string{"byte offset", "scanning region"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not contain %q", err, want)
+		}
+	}
+}

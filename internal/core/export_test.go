@@ -1,0 +1,10 @@
+package core
+
+// SetAnalyzeUnitHook installs a fault-injection hook observing the start of
+// every per-candidate analysis stage and returns a restore function. Tests
+// use it to inject panics and delays into the sweep; see analyzeUnitHook.
+func SetAnalyzeUnitHook(h func(id int32)) (restore func()) {
+	old := analyzeUnitHook
+	analyzeUnitHook = h
+	return func() { analyzeUnitHook = old }
+}

@@ -18,10 +18,18 @@ package core
 // count and tile width.
 
 import (
+	"context"
+	"errors"
 	"sync"
 
 	"github.com/example/vectrace/internal/ddg"
 )
+
+// analyzeUnitHook, when non-nil, observes the start of every per-candidate
+// analysis stage in both kernels. It exists for fault-injection tests —
+// injecting panics and delays into the sweep — and is never set outside
+// tests (see SetAnalyzeUnitHook in export_test.go).
+var analyzeUnitHook func(id int32)
 
 const (
 	// maxTileWidth caps how many candidates share one fused pass. 64
@@ -43,13 +51,15 @@ const (
 
 // tileWidth resolves the TileSize option against a graph of nNodes nodes:
 // explicit positive sizes win, otherwise the width is the largest power-of-
-// anything ≤ maxTileWidth whose matrix fits tileBudgetBytes, and at least 1.
+// anything ≤ maxTileWidth whose matrix fits the per-tile byte budget —
+// tileBudgetBytes, shrunk further when Options.Budget.MaxAnalysisBytes
+// bounds the whole working set — and at least 1.
 func (o Options) tileWidth(nNodes int) int {
 	if o.TileSize > 0 {
 		return o.TileSize
 	}
-	t := tileBudgetBytes / 4 / max(nNodes, 1)
-	return min(max(t, 1), maxTileWidth)
+	t := o.Budget.tileBudget(o.WorkerCount()) / 4 / int64(max(nNodes, 1))
+	return min(max(int(t), 1), maxTileWidth)
 }
 
 // fusedScratch holds one tile's recycled working set: the nodes×T timestamp
@@ -216,45 +226,76 @@ func fillTimestampsFused(g *ddg.Graph, ids []int32, cuts []*reductionInfo, colOf
 // timestamps all members before the (cheap, instance-proportional)
 // partition and stride stages run per candidate. Results land in
 // index-addressed slots of results, keeping output deterministic.
-func analyzeFused(g *ddg.Graph, ids []int32, instances map[int32][]int32, opts Options, results []InstrReport) {
+//
+// Failure isolation runs at two granularities: the shared tile sweep is
+// guarded as a "tile" unit (a panic there poisons the whole tile — the
+// columns share one pass), while each candidate's finish stage is guarded
+// as a "candidate" unit, so one poisoned candidate leaves its tile
+// siblings' result slots intact. Failed slots keep the candidate's ID but
+// carry no metrics; the joined error names every failed unit.
+func analyzeFused(ctx context.Context, g *ddg.Graph, ids []int32, instances map[int32][]int32, opts Options, results []InstrReport) error {
 	n := len(g.Nodes)
 	T := opts.tileWidth(n)
 	numTiles := (len(ids) + T - 1) / T
-	ParallelFor(numTiles, opts.WorkerCount(), func(t int) {
+	return ParallelFor(ctx, numTiles, opts.WorkerCount(), func(t int) error {
 		lo := t * T
 		hi := min(lo+T, len(ids))
 		tileIDs := ids[lo:hi]
 		w := len(tileIDs)
 		fs := getFusedScratch(tileIDs, n, w)
+		defer fs.release()
 		// Reduction structure is always detected (it feeds the report's
 		// IsReduction flag); it is additionally fed to the kernel as cuts
 		// only under RelaxReductions — in one fused pass either way.
-		reds := detectReductionsFused(g, tileIDs)
-		cuts := reds
-		if !opts.RelaxReductions {
-			cuts = make([]*reductionInfo, w)
-		}
-		if w == 1 {
-			// A one-column tile degenerates to the scalar recurrence; the
-			// per-candidate kernel computes it without the row machinery
-			// (the 1-wide matrix IS a plain timestamp vector).
-			fillTimestampsRed(g, tileIDs[0], cuts[0], fs.tile)
-		} else {
-			fillTimestampsFused(g, tileIDs, cuts, fs.colOf, fs.tile)
+		var reds []*reductionInfo
+		sweepErr := Guard(t, "tile", int64(tileIDs[0]), func() error {
+			reds = detectReductionsFused(g, tileIDs)
+			cuts := reds
+			if !opts.RelaxReductions {
+				cuts = make([]*reductionInfo, w)
+			}
+			if w == 1 {
+				// A one-column tile degenerates to the scalar recurrence; the
+				// per-candidate kernel computes it without the row machinery
+				// (the 1-wide matrix IS a plain timestamp vector).
+				fillTimestampsRed(g, tileIDs[0], cuts[0], fs.tile)
+			} else {
+				fillTimestampsFused(g, tileIDs, cuts, fs.colOf, fs.tile)
+			}
+			return nil
+		})
+		if sweepErr != nil {
+			// The shared sweep failed: every column of this tile is
+			// unusable. Keep the IDs so the report still names them.
+			for j, id := range tileIDs {
+				results[lo+j] = InstrReport{ID: id}
+			}
+			return sweepErr
 		}
 		sc := getScratch(0)
+		defer sc.release()
+		var unitErrs []error
 		for j, id := range tileIDs {
-			inst := instances[id]
-			if cap(sc.instTS) < len(inst) {
-				sc.instTS = make([]int32, len(inst))
+			err := Guard(t, "candidate", int64(id), func() error {
+				if analyzeUnitHook != nil {
+					analyzeUnitHook(id)
+				}
+				inst := instances[id]
+				if cap(sc.instTS) < len(inst) {
+					sc.instTS = make([]int32, len(inst))
+				}
+				instTS := sc.instTS[:len(inst)]
+				for k, nd := range inst {
+					instTS[k] = fs.tile[int(nd)*w+j]
+				}
+				results[lo+j] = finishInstr(g, id, inst, instTS, reds[j], sc)
+				return nil
+			})
+			if err != nil {
+				results[lo+j] = InstrReport{ID: id}
+				unitErrs = append(unitErrs, err)
 			}
-			instTS := sc.instTS[:len(inst)]
-			for k, nd := range inst {
-				instTS[k] = fs.tile[int(nd)*w+j]
-			}
-			results[lo+j] = finishInstr(g, id, inst, instTS, reds[j], sc)
 		}
-		sc.release()
-		fs.release()
+		return errors.Join(unitErrs...)
 	})
 }

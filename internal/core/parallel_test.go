@@ -34,9 +34,12 @@ func TestParallelForCoversAllIndices(t *testing.T) {
 		{0, 4}, {1, 4}, {5, 1}, {5, 0}, {5, 8}, {100, 4}, {7, 7},
 	} {
 		hits := make([]atomic.Int32, max(tc.n, 1))
-		core.ParallelFor(tc.n, tc.workers, func(i int) {
+		if err := core.ParallelFor(nil, tc.n, tc.workers, func(i int) error {
 			hits[i].Add(1)
-		})
+			return nil
+		}); err != nil {
+			t.Fatalf("n=%d workers=%d: %v", tc.n, tc.workers, err)
+		}
 		for i := 0; i < tc.n; i++ {
 			if got := hits[i].Load(); got != 1 {
 				t.Errorf("n=%d workers=%d: index %d ran %d times", tc.n, tc.workers, i, got)

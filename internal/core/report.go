@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -94,6 +95,30 @@ type Report struct {
 // counters in candidate-id order, making the output byte-identical for
 // every worker count, tile width, and kernel choice.
 func Analyze(g *ddg.Graph, opts Options) *Report {
+	rep, err := AnalyzeCtx(context.Background(), g, opts)
+	if err != nil {
+		// Without a cancelable context or budget the pipeline has no
+		// failure mode of its own; an error here means a unit panicked on a
+		// poisoned graph, which this legacy convenience entry point cannot
+		// report. Production callers use AnalyzeCtx and receive the typed
+		// error instead of this panic.
+		panic(err)
+	}
+	return rep
+}
+
+// AnalyzeCtx is Analyze with the full failure model: cooperative
+// cancellation through ctx (checked at tile granularity), the
+// opts.Budget.MaxAnalysisBytes working-set bound (exceeded ⇒ an error
+// wrapping ErrResourceLimit, before any large allocation), and per-unit
+// panic isolation (a poisoned candidate or tile surfaces as a *UnitError
+// naming it, while every other candidate's row is computed normally).
+//
+// On error the returned report is still populated with the successful
+// candidates' rows — degraded, never silently partial: the error lists
+// every failed unit. The report is nil only when nothing was analyzed
+// (budget exceeded or canceled before the sweep).
+func AnalyzeCtx(ctx context.Context, g *ddg.Graph, opts Options) (*Report, error) {
 	rep := &Report{TotalNodes: g.NumNodes()}
 	instances := g.CandidateInstances()
 	ids := make([]int32, 0, len(instances))
@@ -102,18 +127,44 @@ func Analyze(g *ddg.Graph, opts Options) *Report {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	if len(ids) == 0 {
-		return rep
+		return rep, nil
+	}
+	if err := Canceled(ctx); err != nil {
+		return nil, err
+	}
+	if err := opts.Budget.checkAnalysisBudget(len(g.Nodes), len(ids)); err != nil {
+		return nil, err
 	}
 
+	var sweepErr error
 	results := make([]InstrReport, len(ids))
 	if opts.TileSize < 0 {
-		ParallelFor(len(ids), opts.WorkerCount(), func(i int) {
-			sc := getScratch(len(g.Nodes))
-			results[i] = analyzeInstr(g, ids[i], instances[ids[i]], opts, sc)
-			sc.release()
+		sweepErr = ParallelFor(ctx, len(ids), opts.WorkerCount(), func(i int) error {
+			return Guard(i, "candidate", int64(ids[i]), func() error {
+				if analyzeUnitHook != nil {
+					analyzeUnitHook(ids[i])
+				}
+				sc := getScratch(len(g.Nodes))
+				defer sc.release()
+				results[i] = analyzeInstr(g, ids[i], instances[ids[i]], opts, sc)
+				return nil
+			})
 		})
 	} else {
-		analyzeFused(g, ids, instances, opts, results)
+		sweepErr = analyzeFused(ctx, g, ids, instances, opts, results)
+	}
+	if sweepErr != nil {
+		// Reset slots the sweep never reached (cancellation) or left
+		// poisoned to identity-only rows, so the degraded report still names
+		// every candidate and sorts exactly like the no-fault report. A
+		// successful row always carries the instruction's printed form, so
+		// an empty Text identifies a degraded slot.
+		for i := range results {
+			if results[i].Text == "" {
+				in := g.Mod.InstrAt(ids[i])
+				results[i] = InstrReport{ID: ids[i], Line: in.Pos.Line, AssignID: in.AssignID}
+			}
+		}
 	}
 
 	totalOps := 0
@@ -154,7 +205,7 @@ func Analyze(g *ddg.Graph, opts Options) *Report {
 		}
 		return rep.PerInstr[i].ID < rep.PerInstr[j].ID
 	})
-	return rep
+	return rep, sweepErr
 }
 
 // AnalyzeInstr runs the pipeline for a single static instruction.

@@ -40,6 +40,11 @@ type Options struct {
 	// differential-testing oracle. Output is byte-identical for every
 	// setting.
 	TileSize int
+	// Budget bounds the resources the analysis may consume (see Budget).
+	// The zero value imposes no analysis bound. A tight MaxAnalysisBytes
+	// shrinks the automatic tile width; exceeding it fails with an
+	// ErrResourceLimit-wrapped error rather than allocating past it.
+	Budget Budget
 }
 
 // Timestamps runs Algorithm 1 for static instruction id over the graph and

@@ -6,13 +6,38 @@
 package diag
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
+	"time"
 )
+
+// Timeout is the -timeout flag shared by vectrace analyze and vecbench: a
+// wall-clock deadline for the whole analysis, enforced cooperatively via
+// context cancellation (the interpreter polls its step counter, the trace
+// scanner its event counter, and the analysis pool its tile dispatch).
+type Timeout struct {
+	// D is the selected deadline; zero means no deadline.
+	D time.Duration
+}
+
+// Register installs the -timeout flag on fs.
+func (t *Timeout) Register(fs *flag.FlagSet) {
+	fs.DurationVar(&t.D, "timeout", 0, "abort the analysis after this `duration` (0 = no deadline)")
+}
+
+// Context returns a context honoring the selected deadline (Background when
+// the flag was not set) and its cancel function, which the caller must defer.
+func (t *Timeout) Context() (context.Context, context.CancelFunc) {
+	if t.D <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), t.D)
+}
 
 // Flags holds the profiling destinations selected on the command line.
 // Zero values mean "off"; Start and Stop are no-ops for every profiler

@@ -1,0 +1,150 @@
+// Package faultio supplies fault-injecting io.Reader and io.Writer wrappers
+// for exercising the failure model: readers that error or truncate at a
+// chosen byte offset, writers that fail mid-stream, and short variants that
+// deliver one byte per call to stress partial-I/O handling. The trace and
+// pipeline test suites drive recorded traces through these wrappers —
+// sweeping truncation across every byte offset — to prove that every
+// injected fault surfaces as a typed error rather than a panic, hang, or
+// silently partial result.
+package faultio
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the sentinel the fault injectors return by default, so
+// assertions can pinpoint the injected failure with errors.Is.
+var ErrInjected = errors.New("faultio: injected fault")
+
+// ErrReader yields the underlying reader's bytes until FailAt bytes have
+// been delivered, then returns Err (ErrInjected when nil) — a genuine I/O
+// failure, as opposed to truncation, which ends the stream with io.EOF.
+type ErrReader struct {
+	R      io.Reader
+	FailAt int64 // bytes delivered before the fault
+	Err    error // error to inject; nil means ErrInjected
+
+	n int64
+}
+
+// Read implements io.Reader.
+func (r *ErrReader) Read(p []byte) (int, error) {
+	if r.n >= r.FailAt {
+		return 0, r.fault()
+	}
+	if rem := r.FailAt - r.n; int64(len(p)) > rem {
+		p = p[:rem]
+	}
+	n, err := r.R.Read(p)
+	r.n += int64(n)
+	if err == io.EOF {
+		// The fault position is past the real stream: pass the EOF through.
+		return n, io.EOF
+	}
+	return n, err
+}
+
+func (r *ErrReader) fault() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+// TruncatingReader delivers at most N bytes of the underlying reader and
+// then reports a clean io.EOF — modeling a truncated file, the commonest
+// corruption a long-running trace recorder leaves behind.
+type TruncatingReader struct {
+	R io.Reader
+	N int64 // bytes delivered before the premature EOF
+
+	n int64
+}
+
+// Read implements io.Reader.
+func (r *TruncatingReader) Read(p []byte) (int, error) {
+	if r.n >= r.N {
+		return 0, io.EOF
+	}
+	if rem := r.N - r.n; int64(len(p)) > rem {
+		p = p[:rem]
+	}
+	n, err := r.R.Read(p)
+	r.n += int64(n)
+	return n, err
+}
+
+// ShortReader delivers at most one byte per Read call, exercising every
+// partial-read path in a consumer without changing the stream's content.
+type ShortReader struct {
+	R io.Reader
+}
+
+// Read implements io.Reader.
+func (r *ShortReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return r.R.Read(p)
+}
+
+// ErrWriter accepts writes until FailAt bytes have been consumed, then
+// returns Err (ErrInjected when nil) — modeling a full disk or a closed
+// pipe partway through recording a trace.
+type ErrWriter struct {
+	W      io.Writer
+	FailAt int64 // bytes accepted before the fault
+	Err    error // error to inject; nil means ErrInjected
+
+	n int64
+}
+
+// Write implements io.Writer. A write straddling the fault position
+// reports the short count with the injected error, per io.Writer contract.
+func (w *ErrWriter) Write(p []byte) (int, error) {
+	if w.n >= w.FailAt {
+		return 0, w.fault()
+	}
+	if rem := w.FailAt - w.n; int64(len(p)) > rem {
+		n, err := w.W.Write(p[:rem])
+		w.n += int64(n)
+		if err != nil {
+			return n, err
+		}
+		return n, w.fault()
+	}
+	n, err := w.W.Write(p)
+	w.n += int64(n)
+	return n, err
+}
+
+func (w *ErrWriter) fault() error {
+	if w.Err != nil {
+		return w.Err
+	}
+	return ErrInjected
+}
+
+// ShortWriter accepts at most one byte per Write call, exercising every
+// partial-write path in a producer without changing the stream's content.
+type ShortWriter struct {
+	W io.Writer
+}
+
+// Write implements io.Writer. Accepting fewer bytes than offered is an
+// error per the io.Writer contract, so the short count is paired with
+// io.ErrShortWrite for well-behaved callers (bufio retries such writes).
+func (w *ShortWriter) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return w.W.Write(p)
+	}
+	n, err := w.W.Write(p[:1])
+	if err != nil {
+		return n, err
+	}
+	if len(p) > 1 {
+		return n, io.ErrShortWrite
+	}
+	return n, nil
+}

@@ -1,0 +1,97 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestErrReaderFailsAtOffset(t *testing.T) {
+	src := strings.NewReader("0123456789")
+	sentinel := errors.New("boom")
+	r := &ErrReader{R: src, FailAt: 4, Err: sentinel}
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error = %v, want sentinel", err)
+	}
+	if string(got) != "0123" {
+		t.Fatalf("delivered %q before the fault, want %q", got, "0123")
+	}
+}
+
+func TestErrReaderDefaultsToErrInjected(t *testing.T) {
+	r := &ErrReader{R: strings.NewReader("abc"), FailAt: 1}
+	if _, err := io.ReadAll(r); !errors.Is(err, ErrInjected) {
+		t.Fatalf("error = %v, want ErrInjected", err)
+	}
+}
+
+func TestErrReaderPassesEOFThrough(t *testing.T) {
+	r := &ErrReader{R: strings.NewReader("ab"), FailAt: 100}
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "ab" {
+		t.Fatalf("ReadAll = %q, %v; want full content and nil error", got, err)
+	}
+}
+
+func TestTruncatingReader(t *testing.T) {
+	for n := int64(0); n <= 5; n++ {
+		r := &TruncatingReader{R: strings.NewReader("01234"), N: n}
+		got, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if int64(len(got)) != n {
+			t.Fatalf("N=%d: delivered %d bytes", n, len(got))
+		}
+	}
+}
+
+func TestShortReaderPreservesContent(t *testing.T) {
+	r := &ShortReader{R: strings.NewReader("hello, world")}
+	buf := make([]byte, 64)
+	n, err := r.Read(buf)
+	if n != 1 || err != nil {
+		t.Fatalf("first Read = %d, %v; want 1 byte", n, err)
+	}
+	rest, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(buf[:1]) + string(rest); got != "hello, world" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestErrWriterFailsAtOffset(t *testing.T) {
+	var buf bytes.Buffer
+	w := &ErrWriter{W: &buf, FailAt: 3}
+	n, err := w.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("straddling write = %d, %v; want 3 bytes and ErrInjected", n, err)
+	}
+	if buf.String() != "abc" {
+		t.Fatalf("accepted %q, want %q", buf.String(), "abc")
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after fault = %v, want ErrInjected", err)
+	}
+}
+
+func TestShortWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := &ShortWriter{W: &buf}
+	n, err := w.Write([]byte("xy"))
+	if n != 1 || err != io.ErrShortWrite {
+		t.Fatalf("Write = %d, %v; want 1, io.ErrShortWrite", n, err)
+	}
+	n, err = w.Write([]byte("z"))
+	if n != 1 || err != nil {
+		t.Fatalf("single-byte Write = %d, %v", n, err)
+	}
+	if buf.String() != "xz" {
+		t.Fatalf("content = %q", buf.String())
+	}
+}

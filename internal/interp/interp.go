@@ -10,10 +10,12 @@
 package interp
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
 
+	"github.com/example/vectrace/internal/core"
 	"github.com/example/vectrace/internal/ir"
 )
 
@@ -244,6 +246,20 @@ func New(mod *ir.Module, cfg Config) *Machine {
 // Run executes the module's entry function (by name) and returns the
 // execution summary.
 func (m *Machine) Run(entry string) (*Result, error) {
+	return m.RunContext(context.Background(), entry)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is polled on the
+// step counter (every ctxCheckInterval executed instructions), so a
+// runaway or merely long execution returns shortly after ctx is done with
+// an error wrapping core.ErrCanceled and ctx's own error. Resource-limit
+// exhaustion — the step bound, the call-depth bound, and the stack arena —
+// returns an error wrapping core.ErrResourceLimit; none of these
+// conditions panic.
+func (m *Machine) RunContext(ctx context.Context, entry string) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	fn := m.Mod.FuncByName(entry)
 	if fn == nil {
 		return nil, fmt.Errorf("interp: no function %q", entry)
@@ -271,19 +287,27 @@ func (m *Machine) Run(entry string) (*Result, error) {
 	}
 	m.frames = m.frames[:0]
 	m.loopStack = m.loopStack[:0]
-	m.pushFrame(fn, ir.RegNone, 0, 0)
+	if err := m.pushFrame(fn, ir.RegNone, 0, 0); err != nil {
+		return nil, err
+	}
 
-	if err := m.loop(); err != nil {
+	if err := m.loop(ctx); err != nil {
 		return nil, err
 	}
 	return &m.res, nil
 }
 
-func (m *Machine) pushFrame(fn *ir.Function, retDst ir.Reg, retBlock, retIndex int32) {
+// pushFrame reserves a callee frame in the stack arena. Arena exhaustion is
+// a resource-limit error (Config.StackSize, default 8 MiB), not a panic:
+// recursion depth is workload-dependent, so running out must degrade the
+// one analysis that hit it.
+func (m *Machine) pushFrame(fn *ir.Function, retDst ir.Reg, retBlock, retIndex int32) error {
 	base := m.stackTop
 	m.stackTop += fn.FrameSize
 	if m.stackTop > int64(len(m.mem)) {
-		panic("interp: stack overflow (arena exhausted)")
+		m.stackTop = base
+		return fmt.Errorf("interp: stack overflow: frame for %s exhausts the %d-byte arena at call depth %d: %w",
+			fn.Name, m.Cfg.StackSize, len(m.frames), core.ErrResourceLimit)
 	}
 	m.frames = append(m.frames, frame{
 		fn:       fn,
@@ -293,6 +317,7 @@ func (m *Machine) pushFrame(fn *ir.Function, retDst ir.Reg, retBlock, retIndex i
 		retBlock: retBlock,
 		retIndex: retIndex,
 	})
+	return nil
 }
 
 func (m *Machine) top() *frame { return &m.frames[len(m.frames)-1] }
@@ -335,8 +360,14 @@ func (m *Machine) storeMem(addr int64, t ir.ScalarType, v uint64) error {
 	return nil
 }
 
+// ctxCheckInterval is the cancellation-poll granularity of the dispatch
+// loop: ctx.Err is consulted once per this many executed instructions, so
+// the amortized cost is negligible while cancellation latency stays in the
+// microsecond range for any real workload.
+const ctxCheckInterval = 16384
+
 // loop is the main dispatch loop.
-func (m *Machine) loop() error {
+func (m *Machine) loop(ctx context.Context) error {
 	var blockIdx, instrIdx int32
 	f := m.top()
 	tracer := m.Cfg.Tracer
@@ -348,7 +379,12 @@ func (m *Machine) loop() error {
 
 		m.res.Steps++
 		if m.res.Steps > m.Cfg.MaxSteps {
-			return fmt.Errorf("interp: exceeded %d steps (infinite loop?)", m.Cfg.MaxSteps)
+			return fmt.Errorf("interp: exceeded %d steps (infinite loop?): %w", m.Cfg.MaxSteps, core.ErrResourceLimit)
+		}
+		if m.res.Steps%ctxCheckInterval == 0 {
+			if err := core.Canceled(ctx); err != nil {
+				return fmt.Errorf("interp: after %d steps: %w", m.res.Steps, err)
+			}
 		}
 		// Frame-slot traffic models register pressure a real compiler would
 		// eliminate (mem2reg), so loads/stores of stack addresses are
@@ -451,7 +487,7 @@ func (m *Machine) loop() error {
 
 		case ir.OpCall:
 			if len(m.frames) >= m.Cfg.MaxDepth {
-				return fmt.Errorf("interp: call depth exceeds %d", m.Cfg.MaxDepth)
+				return fmt.Errorf("interp: call depth exceeds %d: %w", m.Cfg.MaxDepth, core.ErrResourceLimit)
 			}
 			callee := m.Mod.Funcs[in.Callee]
 			if tracer != nil {
@@ -461,7 +497,9 @@ func (m *Machine) loop() error {
 			for i, a := range in.Args {
 				args[i] = m.operand(f, a)
 			}
-			m.pushFrame(callee, in.Dst, blockIdx, instrIdx+1)
+			if err := m.pushFrame(callee, in.Dst, blockIdx, instrIdx+1); err != nil {
+				return fmt.Errorf("%w (at line %d)", err, in.Pos.Line)
+			}
 			f = m.top()
 			copy(f.regs, args)
 			blockIdx, instrIdx = 0, 0

@@ -233,9 +233,12 @@ void main() {
 // dependence analysis even though the run-time indices are all distinct.
 // The transformation strip-mines by 4 and distributes the loop into
 // gather / compute / scatter phases; the compute phase vectorizes.
-func Gromacs(k, m int) CaseStudy {
+// A k that is not a multiple of 4 (the strip-mine width) is a spec error,
+// returned rather than panicked so callers building case-study sets from
+// configuration degrade into a diagnostic.
+func Gromacs(k, m int) (CaseStudy, error) {
 	if k%4 != 0 {
-		panic("kernels: Gromacs k must be a multiple of 4")
+		return CaseStudy{}, fmt.Errorf("kernels: Gromacs k must be a multiple of 4, got %d", k)
 	}
 	body := `
 int jjnr[%d];
@@ -375,11 +378,14 @@ void main() {
 %s}
 `, fmt.Sprintf(body, k, 3*m, 3*m), k, m, initCode, forceBody, checkCode)}
 
-	return CaseStudy{Name: "435.gromacs", Original: orig, Transformed: trans, HotMarker: "@hot"}
+	return CaseStudy{Name: "435.gromacs", Original: orig, Transformed: trans, HotMarker: "@hot"}, nil
 }
 
 // CaseStudies returns all five Table 4 studies at analysis-friendly sizes.
 func CaseStudies() []CaseStudy {
+	// 128 is a multiple of the strip-mine width, so the constructor cannot
+	// fail here.
+	gromacs, _ := Gromacs(128, 512)
 	return []CaseStudy{
 		{
 			Name:        "Gauss-Seidel",
@@ -398,6 +404,6 @@ func CaseStudies() []CaseStudy {
 		},
 		Bwaves(16, 8, 8),
 		Milc(256),
-		Gromacs(128, 512),
+		gromacs,
 	}
 }

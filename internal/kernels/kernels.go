@@ -27,11 +27,12 @@ type Kernel struct {
 	Desc string
 }
 
-// LineOf returns the 1-based source line containing the first occurrence of
-// the given marker (by convention "@name" inside a comment), matched as a
-// whole word so "@S2" does not match "@S2-outer". It panics if the marker is
-// missing — a kernel-authoring bug, not a runtime condition.
-func (k Kernel) LineOf(marker string) int {
+// FindLine returns the 1-based source line containing the first occurrence
+// of the given marker (by convention "@name" inside a comment), matched as a
+// whole word so "@S2" does not match "@S2-outer". A missing marker is an
+// error, not a panic, so a malformed kernel spec degrades into a diagnostic
+// instead of crashing the caller.
+func (k Kernel) FindLine(marker string) (int, error) {
 	isWordChar := func(c byte) bool {
 		return c == '-' || c == '_' ||
 			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
@@ -44,12 +45,23 @@ func (k Kernel) LineOf(marker string) int {
 			}
 			end := at + j + len(marker)
 			if end >= len(line) || !isWordChar(line[end]) {
-				return i + 1
+				return i + 1, nil
 			}
 			at = end
 		}
 	}
-	panic(fmt.Sprintf("kernels: %s: no marker %q", k.Name, marker))
+	return 0, fmt.Errorf("kernels: %s: no marker %q", k.Name, marker)
+}
+
+// LineOf is the panicking convenience form of FindLine for tests and
+// examples, where a missing marker is an authoring bug worth a crash.
+// Production callers use FindLine and propagate the error.
+func (k Kernel) LineOf(marker string) int {
+	line, err := k.FindLine(marker)
+	if err != nil {
+		panic(err.Error())
+	}
+	return line
 }
 
 // Listing1 is the paper's first running example (§2.1): a serial

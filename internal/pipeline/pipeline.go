@@ -5,6 +5,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/example/vectrace/internal/core"
@@ -16,6 +17,18 @@ import (
 	"github.com/example/vectrace/internal/sema"
 	"github.com/example/vectrace/internal/trace"
 )
+
+// interpConfig maps a core.Budget onto the interpreter's execution limits,
+// leaving the interpreter defaults in place for unset fields.
+func interpConfig(b core.Budget, tracer interp.Tracer, countLoops bool) interp.Config {
+	return interp.Config{
+		Tracer:          tracer,
+		CountLoopCycles: countLoops,
+		MaxSteps:        b.MaxSteps,
+		MaxDepth:        b.MaxDepth,
+		StackSize:       b.MaxStackBytes,
+	}
+}
 
 // Compile parses, type-checks, and lowers a MiniC source file into a
 // finalized VIR module.
@@ -38,16 +51,29 @@ func Compile(filename, src string) (*ir.Module, error) {
 // Run executes the module's main function without tracing and returns the
 // execution summary (used for plain runs and cycle profiling).
 func Run(mod *ir.Module, countLoops bool) (*interp.Result, error) {
-	m := interp.New(mod, interp.Config{CountLoopCycles: countLoops})
-	return m.Run("main")
+	return RunCtx(context.Background(), mod, countLoops, core.Budget{})
+}
+
+// RunCtx is Run with cooperative cancellation and the budget's interpreter
+// limits applied; cancellation and exhaustion surface as errors wrapping
+// core.ErrCanceled and core.ErrResourceLimit respectively.
+func RunCtx(ctx context.Context, mod *ir.Module, countLoops bool, budget core.Budget) (*interp.Result, error) {
+	m := interp.New(mod, interpConfig(budget, nil, countLoops))
+	return m.RunContext(ctx, "main")
 }
 
 // Trace executes the module's main function under full instrumentation and
 // returns both the execution summary and the captured trace.
 func Trace(mod *ir.Module) (*interp.Result, *trace.Trace, error) {
+	return TraceCtx(context.Background(), mod, core.Budget{})
+}
+
+// TraceCtx is Trace with cooperative cancellation and the budget's
+// interpreter limits applied.
+func TraceCtx(ctx context.Context, mod *ir.Module, budget core.Budget) (*interp.Result, *trace.Trace, error) {
 	sink := &interp.TraceSink{}
-	m := interp.New(mod, interp.Config{Tracer: sink, CountLoopCycles: true})
-	res, err := m.Run("main")
+	m := interp.New(mod, interpConfig(budget, sink, true))
+	res, err := m.RunContext(ctx, "main")
 	if err != nil {
 		return nil, nil, err
 	}
@@ -79,8 +105,31 @@ type RegionReport struct {
 	Index int
 	// Events is the region's dynamic instruction count.
 	Events int
-	// Report is the §3 analysis of the region's DDG.
+	// Report is the §3 analysis of the region's DDG. On a per-region
+	// failure it may be nil (the region's graph never built) or a degraded
+	// report missing the failed candidates' rows; Err says which.
 	Report *core.Report
+	// Err is this region's failure, if any: one bad region records its
+	// error here while the remaining regions are still analyzed. The
+	// analysis entry points additionally join every per-region error into
+	// their returned error, so a non-nil summary error is never silent.
+	Err error
+}
+
+// labelRegionErrors attributes ParallelFor unit failures (recovered panics)
+// to their region slots: each recovered *UnitError gains the "region" label
+// and lands in its region's Err field unless a more specific error is
+// already recorded there.
+func labelRegionErrors(err error, out []RegionReport) {
+	for _, ue := range core.UnitErrors(err) {
+		if ue.Kind == "" {
+			ue.Kind = "region"
+			ue.ID = int64(ue.Unit)
+		}
+		if ue.Unit < len(out) && out[ue.Unit].Err == nil {
+			out[ue.Unit].Err = ue
+		}
+	}
 }
 
 // AnalyzeLoopRegions analyzes every dynamic execution (sub-trace region) of
@@ -94,6 +143,16 @@ type RegionReport struct {
 // index-addressed slots, making the output deterministic and identical to
 // a sequential region-by-region run.
 func AnalyzeLoopRegions(tr *trace.Trace, line int, dopts ddg.Options, copts core.Options) ([]RegionReport, error) {
+	return AnalyzeLoopRegionsCtx(context.Background(), tr, line, dopts, copts)
+}
+
+// AnalyzeLoopRegionsCtx is AnalyzeLoopRegions with cooperative cancellation
+// and degrade-gracefully error handling: a region whose DDG construction or
+// analysis fails records its error in its own RegionReport.Err slot while
+// every other region is still analyzed, and the joined per-region errors
+// come back as the summary error. Cancellation stops dispatching further
+// regions and the summary error wraps core.ErrCanceled.
+func AnalyzeLoopRegionsCtx(ctx context.Context, tr *trace.Trace, line int, dopts ddg.Options, copts core.Options) ([]RegionReport, error) {
 	lm := tr.Module.LoopByLine(line)
 	if lm == nil {
 		return nil, fmt.Errorf("pipeline: no loop on line %d", line)
@@ -103,24 +162,26 @@ func AnalyzeLoopRegions(tr *trace.Trace, line int, dopts ddg.Options, copts core
 		return nil, fmt.Errorf("pipeline: loop on line %d never executed", line)
 	}
 	out := make([]RegionReport, len(regions))
-	errs := make([]error, len(regions))
 	inner := copts
 	inner.Workers = 1
-	core.ParallelFor(len(regions), copts.WorkerCount(), func(i int) {
+	err := core.ParallelFor(ctx, len(regions), copts.WorkerCount(), func(i int) error {
 		sub := tr.Slice(regions[i])
+		out[i] = RegionReport{Index: i, Events: sub.Len()}
 		g, err := ddg.BuildOpts(sub, dopts)
 		if err != nil {
-			errs[i] = fmt.Errorf("pipeline: region %d: %w", i, err)
-			return
+			out[i].Err = fmt.Errorf("pipeline: region %d: %w", i, err)
+			return out[i].Err
 		}
-		out[i] = RegionReport{Index: i, Events: sub.Len(), Report: core.Analyze(g, inner)}
-	})
-	for _, err := range errs {
+		rep, err := core.AnalyzeCtx(ctx, g, inner)
+		out[i].Report = rep
 		if err != nil {
-			return nil, err
+			out[i].Err = fmt.Errorf("pipeline: region %d: %w", i, err)
+			return out[i].Err
 		}
-	}
-	return out, nil
+		return nil
+	})
+	labelRegionErrors(err, out)
+	return out, err
 }
 
 // LoopRegion returns the idx-th dynamic sub-trace of the source loop whose

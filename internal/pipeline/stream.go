@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -36,10 +38,17 @@ func (s *encoderSink) Exec(id int32, addr int64) {
 // the trace length — the streaming half of the paper's record-then-analyze
 // workflow.
 func Record(mod *ir.Module, w io.Writer) (*interp.Result, error) {
+	return RecordCtx(context.Background(), mod, w, core.Budget{})
+}
+
+// RecordCtx is Record with cooperative cancellation and the budget's
+// interpreter limits applied. A write failure on w aborts the run rather
+// than silently dropping tail events.
+func RecordCtx(ctx context.Context, mod *ir.Module, w io.Writer, budget core.Budget) (*interp.Result, error) {
 	enc := trace.NewEncoder(w)
 	sink := &encoderSink{enc: enc}
-	m := interp.New(mod, interp.Config{Tracer: sink, CountLoopCycles: true})
-	res, err := m.Run("main")
+	m := interp.New(mod, interpConfig(budget, sink, true))
+	res, err := m.RunContext(ctx, "main")
 	if err != nil {
 		return nil, err
 	}
@@ -65,11 +74,31 @@ func Record(mod *ir.Module, w io.Writer) (*interp.Result, error) {
 // applies here too — and results land in region-index order, so the output
 // is identical to the in-memory path for any worker count and tile width.
 func AnalyzeLoopRegionsStream(mod *ir.Module, src trace.EventSource, line int, dopts ddg.Options, copts core.Options) ([]RegionReport, error) {
+	return AnalyzeLoopRegionsStreamCtx(context.Background(), mod, src, line, dopts, copts)
+}
+
+// AnalyzeLoopRegionsStreamCtx is AnalyzeLoopRegionsStream with cooperative
+// cancellation and degrade-gracefully error handling. One poisoned region —
+// a DDG that fails to build, an analysis that exhausts its budget, even a
+// worker panic — records its error in its own RegionReport.Err slot while
+// every subsequent region is still scanned and analyzed. The returned
+// summary error joins the per-region errors in region-index order, followed
+// by the scan error (if the stream itself went bad) and the cancellation
+// error; callers inspect causes with errors.Is/errors.As as usual.
+//
+// A scan failure is not fatal to the analysis either: regions that closed
+// before the stream went bad are analyzed and returned alongside the
+// corruption diagnostic, so a truncated multi-gigabyte trace still yields
+// every intact region.
+func AnalyzeLoopRegionsStreamCtx(ctx context.Context, mod *ir.Module, src trace.EventSource, line int, dopts ddg.Options, copts core.Options) ([]RegionReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	lm := mod.LoopByLine(line)
 	if lm == nil {
 		return nil, fmt.Errorf("pipeline: no loop on line %d", line)
 	}
-	sc := trace.NewRegionScanner(mod, lm.ID, src)
+	sc := trace.NewRegionScannerCtx(ctx, mod, lm.ID, src)
 	workers := copts.WorkerCount()
 	inner := copts
 	inner.Workers = 1
@@ -80,24 +109,32 @@ func AnalyzeLoopRegionsStream(mod *ir.Module, src trace.EventSource, line int, d
 	}
 	jobs := make(chan job, workers)
 	var (
-		mu   sync.Mutex
-		out  []RegionReport
-		errs map[int]error
+		mu  sync.Mutex
+		out []RegionReport
 	)
-	place := func(idx int, rr RegionReport, err error) {
+	place := func(rr RegionReport) {
 		mu.Lock()
 		defer mu.Unlock()
-		if err != nil {
-			if errs == nil {
-				errs = make(map[int]error)
-			}
-			errs[idx] = err
-			return
-		}
-		for len(out) <= idx {
+		for len(out) <= rr.Index {
 			out = append(out, RegionReport{})
 		}
-		out[idx] = rr
+		out[rr.Index] = rr
+	}
+	analyzeOne := func(j job) {
+		rr := RegionReport{Index: j.idx, Events: j.sub.Len()}
+		err := core.Guard(j.idx, "region", int64(j.idx), func() error {
+			g, err := ddg.BuildOpts(j.sub, dopts)
+			if err != nil {
+				return err
+			}
+			rep, err := core.AnalyzeCtx(ctx, g, inner)
+			rr.Report = rep
+			return err
+		})
+		if err != nil {
+			rr.Err = fmt.Errorf("pipeline: region %d: %w", j.idx, err)
+		}
+		place(rr)
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -105,12 +142,7 @@ func AnalyzeLoopRegionsStream(mod *ir.Module, src trace.EventSource, line int, d
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				g, err := ddg.BuildOpts(j.sub, dopts)
-				if err != nil {
-					place(j.idx, RegionReport{}, fmt.Errorf("pipeline: region %d: %w", j.idx, err))
-					continue
-				}
-				place(j.idx, RegionReport{Index: j.idx, Events: j.sub.Len(), Report: core.Analyze(g, inner)}, nil)
+				analyzeOne(j)
 			}
 		}()
 	}
@@ -125,29 +157,33 @@ func AnalyzeLoopRegionsStream(mod *ir.Module, src trace.EventSource, line int, d
 			scanErr = err
 			break
 		}
-		jobs <- job{idx: n, sub: sub}
+		select {
+		case jobs <- job{idx: n, sub: sub}:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
 		n++
 	}
 	close(jobs)
 	wg.Wait()
-	if scanErr != nil {
-		return nil, scanErr
-	}
-	if n == 0 {
+	if n == 0 && scanErr == nil && ctx.Err() == nil {
 		return nil, fmt.Errorf("pipeline: loop on line %d never executed", line)
 	}
-	if len(errs) > 0 {
-		// Report the error of the earliest region, matching the in-memory
-		// path's region-order error selection.
-		first := -1
-		for i := range errs {
-			if first < 0 || i < first {
-				first = i
-			}
+	errs := make([]error, 0, 3)
+	for i := range out {
+		if out[i].Err != nil {
+			errs = append(errs, out[i].Err)
 		}
-		return nil, errs[first]
 	}
-	return out, nil
+	if scanErr != nil {
+		errs = append(errs, scanErr)
+	}
+	if err := core.Canceled(ctx); err != nil {
+		errs = append(errs, err)
+	}
+	return out, errors.Join(errs...)
 }
 
 // LoopRegionStream returns the idx-th dynamic sub-trace of the source loop

@@ -4,6 +4,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -41,6 +42,14 @@ type LoopAnalysis struct {
 // included in the measurements". Sampling is deterministic: the first,
 // middle, and last regions, covering warm-up and steady-state executions.
 func RepresentativeReport(tr *trace.Trace, loopID int, maxRegions int, opts core.Options) (*core.Report, error) {
+	return RepresentativeReportCtx(context.Background(), tr, loopID, maxRegions, opts)
+}
+
+// RepresentativeReportCtx is RepresentativeReport with cooperative
+// cancellation: ctx is threaded through the region fan-out and each
+// region's analysis, so a deadline cuts the sampling short with an error
+// wrapping core.ErrCanceled.
+func RepresentativeReportCtx(ctx context.Context, tr *trace.Trace, loopID int, maxRegions int, opts core.Options) (*core.Report, error) {
 	regions := tr.Regions(loopID)
 	if len(regions) == 0 {
 		return nil, fmt.Errorf("report: loop L%d never executed", loopID)
@@ -58,19 +67,16 @@ func RepresentativeReport(tr *trace.Trace, loopID int, maxRegions int, opts core
 	// The sampled regions are independent; build and analyze them across
 	// opts.WorkerCount() workers, merging by pick index for determinism.
 	reps := make([]*core.Report, len(picks))
-	errs := make([]error, len(picks))
-	core.ParallelFor(len(picks), opts.WorkerCount(), func(i int) {
+	err := core.ParallelFor(ctx, len(picks), opts.WorkerCount(), func(i int) error {
 		g, err := ddg.Build(tr.Slice(regions[picks[i]]))
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		reps[i] = core.Analyze(g, opts)
+		reps[i], err = core.AnalyzeCtx(ctx, g, opts)
+		return err
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(reps, func(i, j int) bool {
 		return reps[i].TotalCandidateOps < reps[j].TotalCandidateOps
@@ -80,20 +86,27 @@ func RepresentativeReport(tr *trace.Trace, loopID int, maxRegions int, opts core
 
 // analyzeKernelLoop compiles, traces, profiles, and analyzes one marked loop
 // of a kernel.
-func analyzeKernelLoop(k kernels.Kernel, marker string, opts core.Options) (*LoopAnalysis, error) {
-	mod, res, tr, err := pipeline.CompileAndTrace(k.Name+".c", k.Source)
+func analyzeKernelLoop(ctx context.Context, k kernels.Kernel, marker string, opts core.Options) (*LoopAnalysis, error) {
+	mod, err := pipeline.Compile(k.Name+".c", k.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", k.Name, err)
+	}
+	res, tr, err := pipeline.TraceCtx(ctx, mod, core.Budget{})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", k.Name, err)
 	}
 	verdicts := staticvec.AnalyzeModule(mod)
 	prof := profile.Build(mod, res, verdicts)
 
-	line := k.LineOf(marker)
+	line, err := k.FindLine(marker)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", k.Name, err)
+	}
 	lm := mod.LoopByLine(line)
 	if lm == nil {
 		return nil, fmt.Errorf("%s: no loop on line %d (marker %s)", k.Name, line, marker)
 	}
-	rep, err := RepresentativeReport(tr, lm.ID, 3, opts)
+	rep, err := RepresentativeReportCtx(ctx, tr, lm.ID, 3, opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", k.Name, err)
 	}
@@ -130,6 +143,12 @@ func Table1() ([]T1Row, error) { return Table1Opts(core.Options{}) }
 // out across opts.WorkerCount() workers; results are merged by row index,
 // keeping the table identical to a sequential regeneration.
 func Table1Opts(opts core.Options) ([]T1Row, error) {
+	return Table1Ctx(context.Background(), opts)
+}
+
+// Table1Ctx is Table1Opts with cooperative cancellation threaded through
+// every row's trace and analysis.
+func Table1Ctx(ctx context.Context, opts core.Options) ([]T1Row, error) {
 	type job struct {
 		bench, label, marker string
 		kernel               kernels.Kernel
@@ -141,21 +160,18 @@ func Table1Opts(opts core.Options) ([]T1Row, error) {
 		}
 	}
 	rows := make([]T1Row, len(jobs))
-	errs := make([]error, len(jobs))
 	inner := opts
 	inner.Workers = 1
-	core.ParallelFor(len(jobs), opts.WorkerCount(), func(i int) {
-		la, err := analyzeKernelLoop(jobs[i].kernel, jobs[i].marker, inner)
+	err := core.ParallelFor(ctx, len(jobs), opts.WorkerCount(), func(i int) error {
+		la, err := analyzeKernelLoop(ctx, jobs[i].kernel, jobs[i].marker, inner)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		rows[i] = T1Row{Benchmark: jobs[i].bench, Loop: jobs[i].label, LoopAnalysis: *la}
+		return nil
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -189,6 +205,11 @@ func Table2() ([]T2Row, error) { return Table2Opts(core.Options{}) }
 // Table2Opts regenerates Table 2 with explicit analysis options, fanning
 // the two kernels out across opts.WorkerCount() workers.
 func Table2Opts(opts core.Options) ([]T2Row, error) {
+	return Table2Ctx(context.Background(), opts)
+}
+
+// Table2Ctx is Table2Opts with cooperative cancellation.
+func Table2Ctx(ctx context.Context, opts core.Options) ([]T2Row, error) {
 	specs := []struct {
 		name   string
 		kernel kernels.Kernel
@@ -198,21 +219,18 @@ func Table2Opts(opts core.Options) ([]T2Row, error) {
 		{"2-D PDE Grid Solver", kernels.PDESolver(16, 4), "@grid-j"},
 	}
 	rows := make([]T2Row, len(specs))
-	errs := make([]error, len(specs))
 	inner := opts
 	inner.Workers = 1
-	core.ParallelFor(len(specs), opts.WorkerCount(), func(i int) {
-		la, err := analyzeKernelLoop(specs[i].kernel, specs[i].marker, inner)
+	err := core.ParallelFor(ctx, len(specs), opts.WorkerCount(), func(i int) error {
+		la, err := analyzeKernelLoop(ctx, specs[i].kernel, specs[i].marker, inner)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		rows[i] = T2Row{Benchmark: specs[i].name, LoopAnalysis: *la}
+		return nil
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -246,6 +264,11 @@ func Table3() ([]T3Row, error) { return Table3Opts(core.Options{}) }
 // Array/Pointer variants of every UTDSP pair are flattened into one job list
 // and fanned out across opts.WorkerCount() workers, merged by job index.
 func Table3Opts(opts core.Options) ([]T3Row, error) {
+	return Table3Ctx(context.Background(), opts)
+}
+
+// Table3Ctx is Table3Opts with cooperative cancellation.
+func Table3Ctx(ctx context.Context, opts core.Options) ([]T3Row, error) {
 	type job struct {
 		bench, style string
 		kernel       kernels.Kernel
@@ -256,21 +279,18 @@ func Table3Opts(opts core.Options) ([]T3Row, error) {
 		jobs = append(jobs, job{pair.Name, "Pointer", pair.Pointer})
 	}
 	rows := make([]T3Row, len(jobs))
-	errs := make([]error, len(jobs))
 	inner := opts
 	inner.Workers = 1
-	core.ParallelFor(len(jobs), opts.WorkerCount(), func(i int) {
-		la, err := analyzeKernelLoop(jobs[i].kernel, "@hot", inner)
+	err := core.ParallelFor(ctx, len(jobs), opts.WorkerCount(), func(i int) error {
+		la, err := analyzeKernelLoop(ctx, jobs[i].kernel, "@hot", inner)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		rows[i] = T3Row{Benchmark: jobs[i].bench, Style: jobs[i].style, LoopAnalysis: *la}
+		return nil
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -308,12 +328,12 @@ type caseRun struct {
 	verdicts map[int]staticvec.Verdict
 }
 
-func runCase(k kernels.Kernel) (*caseRun, error) {
+func runCase(ctx context.Context, k kernels.Kernel) (*caseRun, error) {
 	mod, err := pipeline.Compile(k.Name+".c", k.Source)
 	if err != nil {
 		return nil, err
 	}
-	res, err := pipeline.Run(mod, true)
+	res, err := pipeline.RunCtx(ctx, mod, true, core.Budget{})
 	if err != nil {
 		return nil, err
 	}
@@ -331,23 +351,35 @@ func (c *caseRun) loopTimeAt(line int, m simd.Machine) (float64, error) {
 
 // Table4 regenerates Table 4: for each §4.4 case study, the modeled time of
 // the original and manually transformed versions on the three machines.
-func Table4() ([]T4Row, error) {
+func Table4() ([]T4Row, error) { return Table4Ctx(context.Background()) }
+
+// Table4Ctx is Table4 with cooperative cancellation threaded through each
+// case study's instrumented runs.
+func Table4Ctx(ctx context.Context) ([]T4Row, error) {
 	var rows []T4Row
 	for _, cs := range kernels.CaseStudies() {
-		orig, err := runCase(cs.Original)
+		orig, err := runCase(ctx, cs.Original)
 		if err != nil {
 			return nil, fmt.Errorf("%s original: %w", cs.Name, err)
 		}
-		tran, err := runCase(cs.Transformed)
+		tran, err := runCase(ctx, cs.Transformed)
+		if err != nil {
+			return nil, fmt.Errorf("%s transformed: %w", cs.Name, err)
+		}
+		origLine, err := cs.Original.FindLine(cs.HotMarker)
+		if err != nil {
+			return nil, fmt.Errorf("%s original: %w", cs.Name, err)
+		}
+		tranLine, err := cs.Transformed.FindLine(cs.HotMarker)
 		if err != nil {
 			return nil, fmt.Errorf("%s transformed: %w", cs.Name, err)
 		}
 		for _, m := range simd.Machines() {
-			ot, err := orig.loopTimeAt(cs.Original.LineOf(cs.HotMarker), m)
+			ot, err := orig.loopTimeAt(origLine, m)
 			if err != nil {
 				return nil, fmt.Errorf("%s original: %w", cs.Name, err)
 			}
-			tt, err := tran.loopTimeAt(cs.Transformed.LineOf(cs.HotMarker), m)
+			tt, err := tran.loopTimeAt(tranLine, m)
 			if err != nil {
 				return nil, fmt.Errorf("%s transformed: %w", cs.Name, err)
 			}
@@ -419,7 +451,10 @@ func figureRows(k kernels.Kernel, stmts map[string]string, larusMarker string) (
 	// Resolve each labeled statement to its candidate instruction.
 	instrOf := make(map[string]int32)
 	for label, marker := range stmts {
-		line := k.LineOf(marker)
+		line, err := k.FindLine(marker)
+		if err != nil {
+			return nil, err
+		}
 		found := int32(-1)
 		for _, id := range mod.CandidateIDs(-1) {
 			if mod.InstrAt(id).Pos.Line == line {
@@ -468,7 +503,11 @@ func figureRows(k kernels.Kernel, stmts map[string]string, larusMarker string) (
 	}
 
 	if larusMarker != "" {
-		lm := mod.LoopByLine(k.LineOf(larusMarker))
+		larusLine, err := k.FindLine(larusMarker)
+		if err != nil {
+			return nil, err
+		}
+		lm := mod.LoopByLine(larusLine)
 		if lm == nil {
 			return nil, fmt.Errorf("%s: no loop at %s", k.Name, larusMarker)
 		}

@@ -39,10 +39,18 @@ const magic = "VTR1"
 // maxID is the largest encodable instruction ID: id+1 must fit in an int32.
 const maxID = math.MaxInt32 - 1
 
+// ErrCorruptTrace is wrapped by every decoding error caused by the input
+// bytes themselves — a bad magic, a non-minimal or overflowing varint, an
+// out-of-range instruction ID, a reserved address, trailing garbage, or a
+// truncated stream. Failures of the underlying reader (an I/O error, not
+// malformed bytes) do NOT wrap it, so callers can distinguish "this trace
+// file is damaged" from "reading it failed" with errors.Is.
+var ErrCorruptTrace = errors.New("corrupt trace")
+
 // ErrReservedAddr reports an address field holding the in-memory NoAddr
 // sentinel, which the format reserves (an event without an address simply
 // omits the field).
-var ErrReservedAddr = errors.New("trace: address -1 is reserved")
+var ErrReservedAddr = fmt.Errorf("trace: address -1 is reserved: %w", ErrCorruptTrace)
 
 // An Encoder writes events to an io.Writer in the VTR1 format as they
 // arrive, so a trace can be recorded to disk without ever materializing it.
@@ -153,6 +161,7 @@ func Encode(w io.Writer, events []Event) error {
 // decoded stream re-encodes byte-identically.
 type Decoder struct {
 	br       io.ByteReader
+	off      int64 // bytes consumed so far, for corruption diagnostics
 	prevAddr int64
 	started  bool
 	done     bool
@@ -169,12 +178,25 @@ func NewDecoder(r io.Reader) *Decoder {
 	return &Decoder{br: br}
 }
 
+// Offset returns the number of stream bytes consumed so far; after a
+// decoding error it names the corrupted position for diagnostics.
+func (d *Decoder) Offset() int64 { return d.off }
+
+// readByte reads one byte, keeping the consumed-byte count current.
+func (d *Decoder) readByte() (byte, error) {
+	b, err := d.br.ReadByte()
+	if err == nil {
+		d.off++
+	}
+	return b, err
+}
+
 // readUvarint reads a canonically (minimally) encoded uvarint.
 func (d *Decoder) readUvarint() (uint64, error) {
 	var x uint64
 	var s uint
 	for i := 0; ; i++ {
-		b, err := d.br.ReadByte()
+		b, err := d.readByte()
 		if err != nil {
 			if err == io.EOF && i > 0 {
 				err = io.ErrUnexpectedEOF
@@ -182,11 +204,11 @@ func (d *Decoder) readUvarint() (uint64, error) {
 			return 0, err
 		}
 		if i == binary.MaxVarintLen64-1 && b > 1 {
-			return 0, errors.New("varint overflows 64 bits")
+			return 0, fmt.Errorf("varint overflows 64 bits: %w", ErrCorruptTrace)
 		}
 		if b < 0x80 {
 			if i > 0 && b == 0 {
-				return 0, errors.New("non-minimal varint")
+				return 0, fmt.Errorf("non-minimal varint: %w", ErrCorruptTrace)
 			}
 			return x | uint64(b)<<s, nil
 		}
@@ -208,12 +230,18 @@ func (d *Decoder) readVarint() (int64, error) {
 	return x, nil
 }
 
-// fail records and returns a decoding error, wrapping it with context.
+// fail records and returns a decoding error, wrapping it with context and
+// the byte offset where decoding stopped. Truncation (an unexpected EOF) is
+// classified as corruption; genuine reader failures pass through without
+// the ErrCorruptTrace mark.
 func (d *Decoder) fail(context string, err error) (Event, error) {
 	if err == io.EOF {
 		err = io.ErrUnexpectedEOF
 	}
-	d.err = fmt.Errorf("trace: %s: %w", context, err)
+	if errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrCorruptTrace) {
+		err = fmt.Errorf("%w: %w", err, ErrCorruptTrace)
+	}
+	d.err = fmt.Errorf("trace: %s at byte offset %d: %w", context, d.off, err)
 	return Event{}, d.err
 }
 
@@ -231,14 +259,14 @@ func (d *Decoder) Next() (Event, error) {
 		d.started = true
 		var m [4]byte
 		for i := range m {
-			b, err := d.br.ReadByte()
+			b, err := d.readByte()
 			if err != nil {
 				return d.fail("reading magic", err)
 			}
 			m[i] = b
 		}
 		if string(m[:]) != magic {
-			return d.fail("reading magic", fmt.Errorf("bad magic %q", m[:]))
+			return d.fail("reading magic", fmt.Errorf("bad magic %q: %w", m[:], ErrCorruptTrace))
 		}
 	}
 	head, err := d.readUvarint()
@@ -251,7 +279,7 @@ func (d *Decoder) Next() (Event, error) {
 	}
 	id := head >> 1
 	if id == 0 || id > maxID+1 {
-		return d.fail("reading event header", fmt.Errorf("instruction ID %d out of range", int64(id)-1))
+		return d.fail("reading event header", fmt.Errorf("instruction ID %d out of range: %w", int64(id)-1, ErrCorruptTrace))
 	}
 	ev := Event{ID: int32(id) - 1, Addr: NoAddr}
 	if head&1 != 0 {
@@ -286,7 +314,7 @@ func Decode(r io.Reader) ([]Event, error) {
 		events = append(events, ev)
 	}
 	if _, err := d.br.ReadByte(); err != io.EOF {
-		return nil, errors.New("trace: trailing data after end-of-stream sentinel")
+		return nil, fmt.Errorf("trace: trailing data after end-of-stream sentinel at byte offset %d: %w", d.off, ErrCorruptTrace)
 	}
 	return events, nil
 }

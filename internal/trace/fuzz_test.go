@@ -2,9 +2,12 @@ package trace_test
 
 import (
 	"bytes"
+	"errors"
 	"io"
+	"strings"
 	"testing"
 
+	"github.com/example/vectrace/internal/pipeline"
 	"github.com/example/vectrace/internal/trace"
 )
 
@@ -70,6 +73,102 @@ func FuzzDecode(f *testing.F) {
 		}
 		if _, err := dec.Next(); err != io.EOF {
 			t.Fatalf("streaming decoder: want io.EOF after %d events, got %v", len(events), err)
+		}
+	})
+}
+
+// fuzzScannerSrc is the program behind FuzzRegionScanner's seed corpus: an
+// inner loop on line 7 that executes three dynamic regions.
+const fuzzScannerSrc = `
+double a[16];
+double s;
+void main() {
+  int t; int i;
+  for (t = 0; t < 3; t++) {
+    for (i = 1; i < 16; i++) {  /* inner loop: line 7 */
+      a[i] = a[i-1] * 0.5 + 0.25 * i;
+    }
+  }
+  for (i = 0; i < 16; i++) { s = s + a[i]; }
+  print(s);
+}
+`
+
+// FuzzRegionScanner drives arbitrary bytes through the streaming decoder and
+// the region scanner. The scanner must never panic or hang: every input
+// either scans to clean io.EOF — in which case it must agree with the
+// in-memory Trace.Regions path — or fails with a typed error wrapping
+// ErrCorruptTrace (a bytes.Reader cannot produce genuine I/O errors, so
+// corruption is the only legitimate failure here).
+func FuzzRegionScanner(f *testing.F) {
+	mod, err := pipeline.Compile("fuzz.c", fuzzScannerSrc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	loop := mod.LoopByLine(7)
+	if loop == nil {
+		f.Fatal("fuzz program has no loop on line 7")
+	}
+	var buf bytes.Buffer
+	if _, err := pipeline.Record(mod, &buf); err != nil {
+		f.Fatal(err)
+	}
+	recorded := buf.Bytes()
+
+	// Seed with the clean recording, truncations at structural boundaries,
+	// single-byte corruptions, and degenerate streams.
+	f.Add(append([]byte{}, recorded...))
+	for _, cut := range []int{0, 1, 4, 5, len(recorded) / 3, len(recorded) / 2, len(recorded) - 1} {
+		if cut >= 0 && cut <= len(recorded) {
+			f.Add(append([]byte{}, recorded[:cut]...))
+		}
+	}
+	for _, off := range []int{5, len(recorded) / 2, len(recorded) - 2} {
+		corrupt := append([]byte{}, recorded...)
+		corrupt[off] ^= 0x55
+		f.Add(corrupt)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("VTR1"))
+	f.Add(fuzzSeed(nil))
+	f.Add(fuzzSeed([]trace.Event{{ID: 1 << 29, Addr: trace.NoAddr}})) // out-of-module ID
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc := trace.NewRegionScanner(mod, loop.ID, trace.NewDecoder(bytes.NewReader(data)))
+		regions := 0
+		for {
+			sub, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, trace.ErrCorruptTrace) {
+					t.Fatalf("scanner error %v does not wrap ErrCorruptTrace", err)
+				}
+				return
+			}
+			if sub == nil || sub.Module != mod {
+				t.Fatal("scanner yielded a region without the source module")
+			}
+			regions++
+			if regions > 1<<16 {
+				t.Fatalf("runaway scan: %d regions from %d bytes", regions, len(data))
+			}
+		}
+		// Clean EOF means every event decoded and was module-valid, so the
+		// in-memory path must agree — with one allowed divergence: the
+		// streaming decoder stops at the end-of-stream sentinel, while the
+		// one-shot decoder additionally rejects trailing bytes after it.
+		events, err := trace.DecodeBytes(data)
+		if err != nil {
+			if strings.Contains(err.Error(), "trailing data") {
+				return
+			}
+			t.Fatalf("scanner accepted a stream the one-shot decoder rejects: %v", err)
+		}
+		tr := &trace.Trace{Module: mod, Events: events}
+		if want := len(tr.Regions(loop.ID)); want != regions {
+			t.Fatalf("scanner found %d regions, in-memory path %d", regions, want)
 		}
 	})
 }

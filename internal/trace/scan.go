@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -41,6 +42,7 @@ func (s *SliceSource) Next() (Event, error) {
 // analysis pipeline process traces far larger than memory.
 type RegionScanner struct {
 	mod    *ir.Module
+	ctx    context.Context
 	src    EventSource
 	tk     regionTracker
 	buf    []Event  // retained events; buf[0] is absolute index base
@@ -49,14 +51,32 @@ type RegionScanner struct {
 	peak   int      // high-water mark of len(buf)
 	active bool     // a target region is open, events are being retained
 	queue  []*Trace // regions closed but not yet returned
+	closed int      // regions closed so far: the index error contexts name
 	done   bool
 	err    error
 }
 
+// scanCtxCheckInterval is the scanner's cancellation-poll granularity:
+// ctx.Err is consulted once per this many consumed events (and on every
+// Next call), bounding cancellation latency without a per-event check.
+const scanCtxCheckInterval = 4096
+
 // NewRegionScanner returns a scanner yielding the dynamic regions of the
 // given source loop from src, validated against mod.
 func NewRegionScanner(mod *ir.Module, loopID int, src EventSource) *RegionScanner {
-	return &RegionScanner{mod: mod, src: src, tk: regionTracker{target: loopID}}
+	return NewRegionScannerCtx(context.Background(), mod, loopID, src)
+}
+
+// NewRegionScannerCtx is NewRegionScanner with cooperative cancellation:
+// ctx is polled at region boundaries and every scanCtxCheckInterval events,
+// so scanning a multi-gigabyte stream stops shortly after ctx is done. The
+// cancellation error wraps ctx.Err(), making it visible to errors.Is as
+// context.Canceled or context.DeadlineExceeded.
+func NewRegionScannerCtx(ctx context.Context, mod *ir.Module, loopID int, src EventSource) *RegionScanner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &RegionScanner{mod: mod, ctx: ctx, src: src, tk: regionTracker{target: loopID}}
 }
 
 // MaxRetained returns the high-water mark of retained events — the
@@ -71,7 +91,17 @@ func (s *RegionScanner) emit(closed []Region) {
 		events := make([]Event, r.End-r.Start)
 		copy(events, s.buf[r.Start-s.base:r.End-s.base])
 		s.queue = append(s.queue, &Trace{Module: s.mod, Events: events})
+		s.closed++
 	}
+}
+
+// failAt records a scan error, naming the event index and the index of the
+// region being formed when the stream went bad — so a corrupt-trace report
+// localizes the damage in both the byte stream (the decoder's offset
+// context) and the region sequence (ours).
+func (s *RegionScanner) failAt(err error) error {
+	s.err = fmt.Errorf("trace: scanning region %d (event %d): %w", s.closed, s.idx, err)
+	return s.err
 }
 
 // Next returns the next closed region as a materialized sub-trace sharing
@@ -79,6 +109,9 @@ func (s *RegionScanner) emit(closed []Region) {
 func (s *RegionScanner) Next() (*Trace, error) {
 	if s.err != nil {
 		return nil, s.err
+	}
+	if err := s.canceled(); err != nil {
+		return nil, err
 	}
 	for {
 		if len(s.queue) > 0 {
@@ -89,6 +122,11 @@ func (s *RegionScanner) Next() (*Trace, error) {
 		if s.done {
 			return nil, io.EOF
 		}
+		if s.idx%scanCtxCheckInterval == 0 {
+			if err := s.canceled(); err != nil {
+				return nil, err
+			}
+		}
 		ev, err := s.src.Next()
 		if err == io.EOF {
 			s.done = true
@@ -97,13 +135,11 @@ func (s *RegionScanner) Next() (*Trace, error) {
 			continue
 		}
 		if err != nil {
-			s.err = err
-			return nil, err
+			return nil, s.failAt(err)
 		}
 		if ev.ID < 0 || int(ev.ID) >= s.mod.NumInstrs {
-			s.err = fmt.Errorf("trace: event %d: instruction ID %d not in module (%d instructions)",
-				s.idx, ev.ID, s.mod.NumInstrs)
-			return nil, s.err
+			return nil, s.failAt(fmt.Errorf("instruction ID %d not in module (%d instructions): %w",
+				ev.ID, s.mod.NumInstrs, ErrCorruptTrace))
 		}
 		// Closed regions end at s.idx exclusive, so they are materialized
 		// before the current event (an end marker or a return) is retained.
@@ -130,4 +166,17 @@ func (s *RegionScanner) Next() (*Trace, error) {
 		}
 		s.idx++
 	}
+}
+
+// canceled reports (and latches) cooperative cancellation, wrapping the
+// context's error so errors.Is sees the precise cause.
+func (s *RegionScanner) canceled() error {
+	if s.ctx == nil {
+		return nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.err = fmt.Errorf("trace: scan canceled at event %d: %w", s.idx, err)
+		return s.err
+	}
+	return nil
 }
