@@ -14,6 +14,7 @@ package vectrace
 // record.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"github.com/example/vectrace/internal/interp"
 	"github.com/example/vectrace/internal/ir"
 	"github.com/example/vectrace/internal/kernels"
+	"github.com/example/vectrace/internal/obs"
 	"github.com/example/vectrace/internal/opt"
 	"github.com/example/vectrace/internal/pipeline"
 	"github.com/example/vectrace/internal/report"
@@ -238,6 +240,46 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 			b.ReportMetric(float64(candidates), "candidates")
 		})
 	}
+}
+
+// BenchmarkObservabilityOverhead bounds the cost of the obs hooks threaded
+// through the analysis (DESIGN.md §11). "off" runs with no recorder on the
+// context — every hook reduces to its nil-check branch, and the contract is
+// that this stays within 2% of BenchmarkAnalyzeParallel (the same sweep
+// from before the hooks existed). "on" attaches a live recorder and
+// measures the full counter/span cost of an observed run.
+func BenchmarkObservabilityOverhead(b *testing.B) {
+	k := kernels.GaussSeidel(32, 2)
+	mod, err := pipeline.Compile(k.Name+".c", k.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, tr, err := pipeline.Trace(mod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := ddg.Build(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Workers: 4}
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.AnalyzeCtx(context.Background(), g, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		ctx := obs.WithRecorder(context.Background(), obs.New())
+		for i := 0; i < b.N; i++ {
+			if _, err := core.AnalyzeCtx(ctx, g, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkTimestamps measures one Algorithm 1 sweep.

@@ -38,13 +38,20 @@ func main() {
 	prof.Register(flag.CommandLine, "trace")
 	var timeout diag.Timeout
 	timeout.Register(flag.CommandLine)
+	obsFlags := diag.Obs{Tool: "vecbench"}
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := prof.Start(); err != nil {
+	if err := obsFlags.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "vecbench:", err)
 		os.Exit(1)
 	}
-	ctx, cancel := timeout.Context()
+	if err := prof.Start(); err != nil {
+		obsFlags.Stop(nil)
+		fmt.Fprintln(os.Stderr, "vecbench:", err)
+		os.Exit(1)
+	}
+	ctx, cancel := timeout.Context(obsFlags.Context(context.Background()))
 	defer cancel()
 	opts := core.Options{Workers: *workers}
 	var err error
@@ -54,6 +61,13 @@ func main() {
 		err = run(ctx, *table, *figure, *n, opts)
 	}
 	if serr := prof.Stop(); err == nil {
+		err = serr
+	}
+	config := map[string]any{
+		"table": *table, "figure": *figure, "n": *n,
+		"workers": opts.WorkerCount(), "csv": *csvOut,
+	}
+	if serr := obsFlags.Stop(config); err == nil {
 		err = serr
 	}
 	if err != nil {

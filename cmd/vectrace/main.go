@@ -36,6 +36,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -48,6 +49,7 @@ import (
 	"github.com/example/vectrace/internal/diag"
 	"github.com/example/vectrace/internal/interp"
 	"github.com/example/vectrace/internal/ir"
+	"github.com/example/vectrace/internal/obs"
 	"github.com/example/vectrace/internal/opt"
 	"github.com/example/vectrace/internal/pipeline"
 	"github.com/example/vectrace/internal/profile"
@@ -109,6 +111,12 @@ func run(args []string) error {
 	src, err := os.ReadFile(file)
 	if err != nil {
 		return err
+	}
+	if cmd == "analyze" {
+		// analyze owns its compilation: the front end must run inside the
+		// observability context so -stats and -exectrace see the parse,
+		// check, and lower stages.
+		return analyzeCmd(file, string(src), rest)
 	}
 	mod, err := pipeline.Compile(file, string(src))
 	if err != nil {
@@ -176,9 +184,6 @@ func run(args []string) error {
 			fmt.Printf("%s:%d (%s): %s\n", file, lm.Line, lm.Func, status)
 		}
 		return nil
-
-	case "analyze":
-		return analyzeCmd(mod, rest)
 
 	case "annotate":
 		fs := flag.NewFlagSet("annotate", flag.ContinueOnError)
@@ -254,8 +259,11 @@ func run(args []string) error {
 // -memprofile, -exectrace) brackets the whole analysis, so the body runs in
 // a closure and the profilers are flushed on every exit path. The
 // execution-trace flag is -exectrace because -trace already names the
-// input-trace file here.
-func analyzeCmd(mod *ir.Module, rest []string) error {
+// input-trace file here. Observability (-stats, -progress, -debug-addr)
+// brackets the same scope: the recorder rides the context through
+// compilation, tracing, scanning, and analysis, and the RunStats document
+// is written after the profilers stop.
+func analyzeCmd(file, src string, rest []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	line := fs.Int("line", 0, "source line of the loop to analyze")
 	instance := fs.Int("instance", 0, "which dynamic execution of the loop to analyze (-1 = all)")
@@ -269,24 +277,40 @@ func analyzeCmd(mod *ir.Module, rest []string) error {
 	prof.Register(fs, "exectrace")
 	var timeout diag.Timeout
 	timeout.Register(fs)
+	obsFlags := diag.Obs{Tool: "vectrace analyze"}
+	obsFlags.Register(fs)
 	if err := parseFlags(fs, rest); err != nil {
 		return err
 	}
 	opts := ddg.Options{CharacterizeInts: *intOps}
 	copts := core.Options{RelaxReductions: *relax, Workers: *workers, TileSize: *tile}
-	ctx, cancel := timeout.Context()
+	if err := obsFlags.Start(); err != nil {
+		return err
+	}
+	rec := obsFlags.Recorder()
+	ctx, cancel := timeout.Context(obsFlags.Context(context.Background()))
 	defer cancel()
 
 	if err := prof.Start(); err != nil {
+		obsFlags.Stop(nil)
 		return err
 	}
 	err := func() error {
+		mod, err := pipeline.CompileCtx(ctx, file, src)
+		if err != nil {
+			return err
+		}
 		// printRegions and printGraph share the output layout between the
 		// streaming and in-memory paths, keeping them byte-identical. A
 		// region that failed prints a one-line diagnostic in place of its
 		// report — the remaining regions still print in full, and the joined
 		// error (returned by the caller) makes the exit status nonzero.
-		printRegions := func(regs []pipeline.RegionReport) {
+		// Region failures are additionally condensed into one stderr line
+		// (count, first error, corrupt byte offset when the trace itself was
+		// damaged), so a long report still ends with a usable diagnostic.
+		printRegions := func(regs []pipeline.RegionReport, err error) {
+			_, sp := obs.StartSpan(ctx, "report")
+			defer sp.End()
 			for _, rr := range regs {
 				fmt.Printf("== region %d/%d: %d events ==\n", rr.Index+1, len(regs), rr.Events)
 				if rr.Err != nil {
@@ -295,12 +319,36 @@ func analyzeCmd(mod *ir.Module, rest []string) error {
 				}
 				fmt.Print(rr.Report.String())
 			}
+			failed := 0
+			var first error
+			for _, rr := range regs {
+				if rr.Err != nil {
+					failed++
+					if first == nil {
+						first = rr.Err
+					}
+				}
+			}
+			off, corrupt := trace.CorruptOffset(err)
+			if failed == 0 && !corrupt {
+				return
+			}
+			summary := fmt.Sprintf("vectrace: analyze: %d/%d regions failed", failed, len(regs))
+			if first != nil {
+				summary += fmt.Sprintf("; first: %v", first)
+			}
+			if corrupt {
+				summary += fmt.Sprintf("; trace corrupt at byte offset %d", off)
+			}
+			fmt.Fprintln(os.Stderr, summary)
 		}
 		printGraph := func(g *ddg.Graph) error {
 			rep, err := core.AnalyzeCtx(ctx, g, copts)
 			if err != nil {
 				return err
 			}
+			_, sp := obs.StartSpan(ctx, "report")
+			defer sp.End()
 			fmt.Print(rep.String())
 			if *compare {
 				p := baseline.Kumar(g)
@@ -309,21 +357,33 @@ func analyzeCmd(mod *ir.Module, rest []string) error {
 			}
 			return nil
 		}
+		// openTrace opens the input trace with its bytes counted into the
+		// recorder (and its size recorded, for percent-done and ETA).
+		openTrace := func() (*os.File, *obs.CountingReader, error) {
+			f, err := os.Open(*traceFile)
+			if err != nil {
+				return nil, nil, err
+			}
+			if fi, err := f.Stat(); err == nil {
+				rec.Set(obs.TraceBytesTotal, fi.Size())
+			}
+			return f, &obs.CountingReader{R: f, Rec: rec, C: obs.TraceBytesRead}, nil
+		}
 
 		if *traceFile != "" && *line != 0 {
 			// Offline mode, the paper's workflow: the instrumented run wrote
 			// the trace to disk; analysis replays it against the same module,
 			// streaming one region at a time so memory stays bounded by the
 			// largest region rather than the trace.
-			f, err := os.Open(*traceFile)
+			f, cr, err := openTrace()
 			if err != nil {
 				return err
 			}
 			defer f.Close()
-			dec := trace.NewDecoder(f)
+			dec := trace.NewDecoder(cr)
 			if *instance < 0 {
 				regs, err := pipeline.AnalyzeLoopRegionsStreamCtx(ctx, mod, dec, *line, opts, copts)
-				printRegions(regs)
+				printRegions(regs, err)
 				return err
 			}
 			region, err := pipeline.LoopRegionStream(mod, dec, *line, *instance)
@@ -341,11 +401,11 @@ func analyzeCmd(mod *ir.Module, rest []string) error {
 		if *traceFile != "" {
 			// Whole-program analysis needs every event resident; only this
 			// mode decodes the file into memory.
-			f, err := os.Open(*traceFile)
+			f, cr, err := openTrace()
 			if err != nil {
 				return err
 			}
-			events, err := trace.Decode(f)
+			events, err := trace.Decode(cr)
 			f.Close()
 			if err != nil {
 				return err
@@ -362,11 +422,10 @@ func analyzeCmd(mod *ir.Module, rest []string) error {
 			// Analyze every dynamic execution of the loop, regions fanned
 			// out across the worker pool.
 			regs, err := pipeline.AnalyzeLoopRegionsCtx(ctx, tr, *line, opts, copts)
-			printRegions(regs)
+			printRegions(regs, err)
 			return err
 		}
 		var g *ddg.Graph
-		var err error
 		if *line == 0 {
 			g, err = ddg.BuildOpts(tr, opts)
 		} else {
@@ -383,6 +442,20 @@ func analyzeCmd(mod *ir.Module, rest []string) error {
 		return printGraph(g)
 	}()
 	if serr := prof.Stop(); err == nil {
+		err = serr
+	}
+	if off, ok := trace.CorruptOffset(err); ok {
+		rec.SetCorruptByte(off)
+	}
+	config := map[string]any{
+		"file": file, "line": *line, "instance": *instance,
+		"workers": copts.WorkerCount(), "tile": *tile,
+		"relax_reductions": *relax, "int_ops": *intOps,
+	}
+	if *traceFile != "" {
+		config["trace"] = *traceFile
+	}
+	if serr := obsFlags.Stop(config); err == nil {
 		err = serr
 	}
 	return err

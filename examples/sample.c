@@ -1,0 +1,17 @@
+double a[64];
+double b[64];
+double s;
+
+void main() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    a[i] = 0.5 * i;
+  }
+  for (i = 0; i < 64; i++) {
+    b[i] = 2.0 * a[i] + 1.0;
+  }
+  for (i = 0; i < 64; i++) {
+    s = s + b[i];
+  }
+  print(s);
+}

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"github.com/example/vectrace/internal/ddg"
+	"github.com/example/vectrace/internal/obs"
 )
 
 // analyzeUnitHook, when non-nil, observes the start of every per-candidate
@@ -72,6 +73,9 @@ type fusedScratch struct {
 	// over the instruction ids so the per-node lookup is one bounds check
 	// and one slice read.
 	colOf []int16
+	// used marks a scratch that has been through at least one checkout,
+	// for the pool-hit-rate counters.
+	used bool
 }
 
 // fusedPool recycles fusedScratch buffers across tiles, workers, and
@@ -81,9 +85,18 @@ var fusedPool = sync.Pool{New: func() any { return new(fusedScratch) }}
 // getFusedScratch checks a scratch out of the pool with its matrix sized
 // for nNodes×T timestamps and its column map covering the tile's candidate
 // ids (all other entries -1). The matrix is not zeroed: the fused sweep
-// writes every row.
-func getFusedScratch(ids []int32, nNodes, T int) *fusedScratch {
+// writes every row. A non-nil recorder tallies the checkout as a pool hit
+// or miss.
+func getFusedScratch(ids []int32, nNodes, T int, rec *obs.Recorder) *fusedScratch {
 	fs := fusedPool.Get().(*fusedScratch)
+	if rec != nil {
+		if fs.used {
+			rec.Add(obs.ScratchPoolHits, 1)
+		} else {
+			rec.Add(obs.ScratchPoolMisses, 1)
+		}
+	}
+	fs.used = true
 	need := nNodes * T
 	if cap(fs.tile) < need {
 		fs.tile = make([]int32, need)
@@ -233,7 +246,7 @@ func fillTimestampsFused(g *ddg.Graph, ids []int32, cuts []*reductionInfo, colOf
 // as a "candidate" unit, so one poisoned candidate leaves its tile
 // siblings' result slots intact. Failed slots keep the candidate's ID but
 // carry no metrics; the joined error names every failed unit.
-func analyzeFused(ctx context.Context, g *ddg.Graph, ids []int32, instances map[int32][]int32, opts Options, results []InstrReport) error {
+func analyzeFused(ctx context.Context, g *ddg.Graph, ids []int32, instances map[int32][]int32, opts Options, results []InstrReport, rec *obs.Recorder) error {
 	n := len(g.Nodes)
 	T := opts.tileWidth(n)
 	numTiles := (len(ids) + T - 1) / T
@@ -242,12 +255,14 @@ func analyzeFused(ctx context.Context, g *ddg.Graph, ids []int32, instances map[
 		hi := min(lo+T, len(ids))
 		tileIDs := ids[lo:hi]
 		w := len(tileIDs)
-		fs := getFusedScratch(tileIDs, n, w)
+		rec.Add(obs.TilesDispatched, 1)
+		fs := getFusedScratch(tileIDs, n, w, rec)
 		defer fs.release()
 		// Reduction structure is always detected (it feeds the report's
 		// IsReduction flag); it is additionally fed to the kernel as cuts
 		// only under RelaxReductions — in one fused pass either way.
 		var reds []*reductionInfo
+		sweep := rec.StartTimer("tile-sweep")
 		sweepErr := Guard(t, "tile", int64(tileIDs[0]), func() error {
 			reds = detectReductionsFused(g, tileIDs)
 			cuts := reds
@@ -264,6 +279,7 @@ func analyzeFused(ctx context.Context, g *ddg.Graph, ids []int32, instances map[
 			}
 			return nil
 		})
+		sweep.Stop()
 		if sweepErr != nil {
 			// The shared sweep failed: every column of this tile is
 			// unusable. Keep the IDs so the report still names them.
@@ -272,8 +288,10 @@ func analyzeFused(ctx context.Context, g *ddg.Graph, ids []int32, instances map[
 			}
 			return sweepErr
 		}
-		sc := getScratch(0)
+		sc := getScratch(0, rec)
 		defer sc.release()
+		stride := rec.StartTimer("stride")
+		defer stride.Stop()
 		var unitErrs []error
 		for j, id := range tileIDs {
 			err := Guard(t, "candidate", int64(id), func() error {

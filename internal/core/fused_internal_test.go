@@ -84,7 +84,7 @@ func TestFusedKernelMatchesOracleKernel(t *testing.T) {
 				hi := min(lo+T, len(ids))
 				tileIDs := ids[lo:hi]
 				w := hi - lo
-				fs := getFusedScratch(tileIDs, n, w)
+				fs := getFusedScratch(tileIDs, n, w, nil)
 				fillTimestampsFused(g, tileIDs, cuts[lo:hi], fs.colOf, fs.tile)
 				for j, id := range tileIDs {
 					want := make([]int32, n)

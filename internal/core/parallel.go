@@ -7,6 +7,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"github.com/example/vectrace/internal/obs"
 )
 
 // This file is the analysis scheduler: a bounded worker pool that fans
@@ -138,6 +140,9 @@ type instrScratch struct {
 	// singles collects one partition's unit-stride singleton leftovers for
 	// the §3.3 wait-list analysis.
 	singles []int32
+	// used marks a scratch that has been through at least one checkout, so
+	// the pool-hit-rate counters can tell reuse from a fresh allocation.
+	used bool
 }
 
 // scratchPool recycles instrScratch buffers across analysis units, workers,
@@ -146,9 +151,18 @@ var scratchPool = sync.Pool{New: func() any { return new(instrScratch) }}
 
 // getScratch checks a scratch out of the pool with its timestamp buffer
 // sized for a graph of nNodes nodes. The buffer is not zeroed: Algorithm 1
-// writes every slot.
-func getScratch(nNodes int) *instrScratch {
+// writes every slot. A non-nil recorder tallies the checkout as a pool hit
+// (recycled scratch) or miss (fresh allocation).
+func getScratch(nNodes int, rec *obs.Recorder) *instrScratch {
 	sc := scratchPool.Get().(*instrScratch)
+	if rec != nil {
+		if sc.used {
+			rec.Add(obs.ScratchPoolHits, 1)
+		} else {
+			rec.Add(obs.ScratchPoolMisses, 1)
+		}
+	}
+	sc.used = true
 	if cap(sc.ts) < nNodes {
 		sc.ts = make([]int32, nNodes)
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"github.com/example/vectrace/internal/ddg"
+	"github.com/example/vectrace/internal/obs"
 )
 
 // InstrReport is the analysis result for one candidate static instruction
@@ -136,6 +137,21 @@ func AnalyzeCtx(ctx context.Context, g *ddg.Graph, opts Options) (*Report, error
 		return nil, err
 	}
 
+	// The recorder is resolved once per analysis, never per node or per
+	// candidate; a nil recorder reduces every hook below to one branch.
+	rec := obs.FromContext(ctx)
+	if rec != nil {
+		rec.Add(obs.DDGNodes, int64(g.NumNodes()))
+		rec.Add(obs.DDGEdges, g.NumEdges())
+		rec.Add(obs.CandidatesAnalyzed, int64(len(ids)))
+		rec.Set(obs.BudgetMaxAnalysisBytes, opts.Budget.MaxAnalysisBytes)
+		tw := 1
+		if opts.TileSize >= 0 {
+			tw = opts.tileWidth(len(g.Nodes))
+		}
+		rec.Max(obs.AnalysisFootprintBytes, analysisFootprint(len(g.Nodes), len(ids), tw, opts.WorkerCount()))
+	}
+
 	var sweepErr error
 	results := make([]InstrReport, len(ids))
 	if opts.TileSize < 0 {
@@ -144,14 +160,14 @@ func AnalyzeCtx(ctx context.Context, g *ddg.Graph, opts Options) (*Report, error
 				if analyzeUnitHook != nil {
 					analyzeUnitHook(ids[i])
 				}
-				sc := getScratch(len(g.Nodes))
+				sc := getScratch(len(g.Nodes), rec)
 				defer sc.release()
 				results[i] = analyzeInstr(g, ids[i], instances[ids[i]], opts, sc)
 				return nil
 			})
 		})
 	} else {
-		sweepErr = analyzeFused(ctx, g, ids, instances, opts, results)
+		sweepErr = analyzeFused(ctx, g, ids, instances, opts, results, rec)
 	}
 	if sweepErr != nil {
 		// Reset slots the sweep never reached (cancellation) or left
@@ -183,6 +199,11 @@ func AnalyzeCtx(ctx context.Context, g *ddg.Graph, opts Options) (*Report, error
 		nonSum += r.NonUnit.SumSizes
 	}
 	rep.PerInstr = results
+	if rec != nil {
+		rec.Add(obs.PartitionsEmitted, int64(totalPartitions))
+		rec.Add(obs.UnitVecOps, int64(unitVecOps))
+		rec.Add(obs.NonUnitVecOps, int64(nonVecOps))
+	}
 
 	rep.TotalCandidateOps = totalOps
 	if totalPartitions > 0 {
@@ -210,7 +231,7 @@ func AnalyzeCtx(ctx context.Context, g *ddg.Graph, opts Options) (*Report, error
 
 // AnalyzeInstr runs the pipeline for a single static instruction.
 func AnalyzeInstr(g *ddg.Graph, id int32, opts Options) InstrReport {
-	sc := getScratch(len(g.Nodes))
+	sc := getScratch(len(g.Nodes), nil)
 	defer sc.release()
 	return analyzeInstr(g, id, InstancesOf(g, id), opts, sc)
 }

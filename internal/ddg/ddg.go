@@ -95,6 +95,9 @@ type graphAux struct {
 	// in trace order. instOff is dense over [0, maxInstrID+1].
 	instOff  []int32
 	instFlat []int32
+	// numEdges is the graph's dependence-edge count (inline predecessors
+	// plus overflow), tallied during the aux build for observability.
+	numEdges int64
 }
 
 // auxData returns the graph's derived views, building them on first use.
@@ -146,7 +149,14 @@ func buildAux(g *Graph) *graphAux {
 		id := g.Nodes[i].Instr
 		a.instFlat[next[id]] = int32(i)
 		next[id]++
+		if g.Nodes[i].P1 != NoPred {
+			a.numEdges++
+		}
+		if g.Nodes[i].P2 != NoPred {
+			a.numEdges++
+		}
 	}
+	a.numEdges += int64(len(a.csrFlat))
 	return a
 }
 
@@ -184,6 +194,10 @@ func (g *Graph) isCandidate(in *ir.Instr) bool {
 
 // NumNodes returns the number of dynamic instances in the graph.
 func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// NumEdges returns the graph's dependence-edge count (flow predecessors,
+// inline and overflow). Computed once with the other derived views.
+func (g *Graph) NumEdges() int64 { return g.auxData().numEdges }
 
 // Preds appends node n's flow predecessors to dst and returns it.
 func (g *Graph) Preds(n int32, dst []int32) []int32 {

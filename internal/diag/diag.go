@@ -9,11 +9,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"time"
+
+	"github.com/example/vectrace/internal/obs"
 )
 
 // Timeout is the -timeout flag shared by vectrace analyze and vecbench: a
@@ -30,13 +33,19 @@ func (t *Timeout) Register(fs *flag.FlagSet) {
 	fs.DurationVar(&t.D, "timeout", 0, "abort the analysis after this `duration` (0 = no deadline)")
 }
 
-// Context returns a context honoring the selected deadline (Background when
-// the flag was not set) and its cancel function, which the caller must defer.
-func (t *Timeout) Context() (context.Context, context.CancelFunc) {
-	if t.D <= 0 {
-		return context.Background(), func() {}
+// Context returns a context honoring the selected deadline and its cancel
+// function, which the caller must defer. The deadline composes with parent:
+// values on parent (an obs recorder, a span) flow through, and whichever of
+// the two cancellations fires first wins. A nil parent means Background;
+// with the flag unset the parent comes back unchanged (no timer allocated).
+func (t *Timeout) Context(parent context.Context) (context.Context, context.CancelFunc) {
+	if parent == nil {
+		parent = context.Background()
 	}
-	return context.WithTimeout(context.Background(), t.D)
+	if t.D <= 0 {
+		return parent, func() {}
+	}
+	return context.WithTimeout(parent, t.D)
 }
 
 // Flags holds the profiling destinations selected on the command line.
@@ -52,8 +61,21 @@ type Flags struct {
 	// format). The flag name varies by tool — see Register.
 	ExecTrace string
 
-	cpuFile   *os.File
-	traceFile *os.File
+	// Create opens a profile destination for writing. Nil means os.Create;
+	// tests inject failing writers (internal/faultio) here to exercise the
+	// partial-failure paths without touching the filesystem.
+	Create func(name string) (io.WriteCloser, error)
+
+	cpuFile   io.WriteCloser
+	traceFile io.WriteCloser
+}
+
+// create opens name through the injectable hook (os.Create by default).
+func (d *Flags) create(name string) (io.WriteCloser, error) {
+	if d.Create != nil {
+		return d.Create(name)
+	}
+	return os.Create(name)
 }
 
 // Register installs the three profiling flags on fs. The execution-trace
@@ -71,7 +93,7 @@ func (d *Flags) Register(fs *flag.FlagSet, traceFlagName string) {
 // leaves background collection running.
 func (d *Flags) Start() error {
 	if d.CPUProfile != "" {
-		f, err := os.Create(d.CPUProfile)
+		f, err := d.create(d.CPUProfile)
 		if err != nil {
 			return fmt.Errorf("cpuprofile: %w", err)
 		}
@@ -82,7 +104,7 @@ func (d *Flags) Start() error {
 		d.cpuFile = f
 	}
 	if d.ExecTrace != "" {
-		f, err := os.Create(d.ExecTrace)
+		f, err := d.create(d.ExecTrace)
 		if err != nil {
 			d.stopCPU()
 			return fmt.Errorf("exec trace: %w", err)
@@ -126,7 +148,7 @@ func (d *Flags) Stop() error {
 		d.traceFile = nil
 	}
 	if d.MemProfile != "" {
-		f, err := os.Create(d.MemProfile)
+		f, err := d.create(d.MemProfile)
 		if err != nil {
 			keep(fmt.Errorf("memprofile: %w", err))
 		} else {
@@ -134,6 +156,113 @@ func (d *Flags) Stop() error {
 			keep(pprof.WriteHeapProfile(f))
 			keep(f.Close())
 		}
+	}
+	return first
+}
+
+// Obs holds the observability destinations selected on the command line:
+// -stats (RunStats JSON on exit), -progress (throttled live stderr lines),
+// and -debug-addr (the /metrics, /progress, /debug/pprof listener). Like
+// Flags, zero values mean "off" and the Start/Stop pair is safe to wire
+// unconditionally; when no flag is set Recorder() stays nil and the whole
+// pipeline keeps its nil-recorder fast path.
+type Obs struct {
+	// Stats is the -stats destination; "auto" resolves to the conventional
+	// BENCH_<rev>.json trajectory filename (see obs.BenchStatsPath).
+	Stats string
+	// Progress enables the -progress live line printer on stderr.
+	Progress bool
+	// DebugAddr is the -debug-addr listen address ("" = no listener).
+	DebugAddr string
+	// Tool names the producing command in exported stats documents.
+	Tool string
+	// ProgressWriter overrides the progress destination (tests). Nil means
+	// os.Stderr.
+	ProgressWriter io.Writer
+
+	rec  *obs.Recorder
+	prog *obs.Progress
+	srv  *obs.Server
+}
+
+// Register installs the three observability flags on fs.
+func (o *Obs) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.Stats, "stats", "", "write run statistics (RunStats JSON) to `file` on exit (\"auto\" = BENCH_<rev>.json)")
+	fs.BoolVar(&o.Progress, "progress", false, "print throttled live progress lines to stderr")
+	fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve /metrics, /progress and /debug/pprof on `addr` (e.g. localhost:6060) while running")
+}
+
+// Enabled reports whether any observability flag was set.
+func (o *Obs) Enabled() bool {
+	return o.Stats != "" || o.Progress || o.DebugAddr != ""
+}
+
+// Start allocates the recorder and brings up the selected exporters. With
+// no observability flag set it does nothing and Recorder() stays nil. On
+// error (a debug listener that cannot bind) the exporters already started
+// are stopped again.
+func (o *Obs) Start() error {
+	if !o.Enabled() {
+		return nil
+	}
+	o.rec = obs.New()
+	if o.Progress {
+		w := o.ProgressWriter
+		if w == nil {
+			w = os.Stderr
+		}
+		o.prog = obs.StartProgress(o.rec, w, 0)
+	}
+	if o.DebugAddr != "" {
+		srv, err := obs.StartServer(o.DebugAddr, o.rec)
+		if err != nil {
+			o.prog.Stop()
+			o.prog = nil
+			o.rec = nil
+			return fmt.Errorf("debug-addr: %w", err)
+		}
+		o.srv = srv
+	}
+	return nil
+}
+
+// Recorder returns the live recorder, nil when observability is off.
+func (o *Obs) Recorder() *obs.Recorder { return o.rec }
+
+// DebugURL returns the bound debug listener address ("" when off) — with a
+// ":0" port this is how callers learn the real port.
+func (o *Obs) DebugURL() string { return o.srv.Addr() }
+
+// Context returns ctx carrying the live recorder (ctx unchanged when
+// observability is off).
+func (o *Obs) Context(ctx context.Context) context.Context {
+	return obs.WithRecorder(ctx, o.rec)
+}
+
+// Stop shuts the exporters down in order — final progress line, debug
+// listener, then the -stats document (so the exported stats see the
+// complete run) — attempting every step and returning the first error.
+// Safe when Start was never called or observability is off.
+func (o *Obs) Stop(config map[string]any) error {
+	if o.rec == nil {
+		return nil
+	}
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	o.prog.Stop()
+	o.prog = nil
+	keep(o.srv.Stop())
+	o.srv = nil
+	if o.Stats != "" {
+		path := o.Stats
+		if path == "auto" {
+			path = obs.BenchStatsPath()
+		}
+		keep(obs.WriteStats(path, o.rec.Stats(o.Tool, config)))
 	}
 	return first
 }

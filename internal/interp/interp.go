@@ -17,6 +17,7 @@ import (
 
 	"github.com/example/vectrace/internal/core"
 	"github.com/example/vectrace/internal/ir"
+	"github.com/example/vectrace/internal/obs"
 )
 
 // NoAddr is the address reported for instructions that access no memory.
@@ -371,6 +372,20 @@ func (m *Machine) loop(ctx context.Context) error {
 	var blockIdx, instrIdx int32
 	f := m.top()
 	tracer := m.Cfg.Tracer
+	// The recorder is resolved once per run; with observability off the
+	// only cost inside the loop is one nil check per ctxCheckInterval
+	// steps, amortized to nothing. With a recorder attached, the step and
+	// stack-arena gauges update at exactly the existing poll points.
+	rec := obs.FromContext(ctx)
+	if rec != nil {
+		rec.Set(obs.BudgetMaxSteps, m.Cfg.MaxSteps)
+	}
+	defer func() {
+		if rec != nil {
+			rec.Max(obs.InterpSteps, m.res.Steps)
+			rec.Max(obs.InterpStackBytes, m.stackTop-m.frameBase)
+		}
+	}()
 	for {
 		if instrIdx >= int32(len(f.fn.Blocks[blockIdx].Instrs)) {
 			return fmt.Errorf("interp: %s: fell off end of block b%d", f.fn.Name, blockIdx)
@@ -384,6 +399,10 @@ func (m *Machine) loop(ctx context.Context) error {
 		if m.res.Steps%ctxCheckInterval == 0 {
 			if err := core.Canceled(ctx); err != nil {
 				return fmt.Errorf("interp: after %d steps: %w", m.res.Steps, err)
+			}
+			if rec != nil {
+				rec.Max(obs.InterpSteps, m.res.Steps)
+				rec.Max(obs.InterpStackBytes, m.stackTop-m.frameBase)
 			}
 		}
 		// Frame-slot traffic models register pressure a real compiler would

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRunStatsFile validates an externally produced RunStats document — the
+// golden-style schema check the CI observability job runs against the stats
+// file a real `vectrace analyze -stats` invocation wrote. It is gated on
+// OBS_STATS_FILE so ordinary test runs skip it:
+//
+//	vectrace analyze prog.c -line 8 -instance -1 -stats out.json
+//	OBS_STATS_FILE=out.json go test ./internal/obs -run TestRunStatsFile
+func TestRunStatsFile(t *testing.T) {
+	path := os.Getenv("OBS_STATS_FILE")
+	if path == "" {
+		t.Skip("OBS_STATS_FILE not set; this check validates CI-produced stats documents")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading stats document: %v", err)
+	}
+	if err := ValidateRunStats(data); err != nil {
+		t.Fatalf("stats document %s failed schema validation: %v", path, err)
+	}
+}

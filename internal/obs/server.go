@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The debug listener: `-debug-addr host:port` serves live run state over
+// HTTP while an analysis is in flight.
+//
+//	/metrics        expvar dump (all published vars, including the live
+//	                "vectrace_run" snapshot of the current recorder)
+//	/progress       JSON snapshot: elapsed, counters, span totals
+//	/debug/pprof/*  the standard runtime profiler endpoints
+//
+// The listener binds whatever address the flag names (conventionally a
+// localhost port; an empty port picks a free one) and shuts down with the
+// run. The expvar integration publishes one process-global Func that
+// snapshots whichever recorder is currently serving, so repeated runs in
+// one process (tests, future daemon mode) never collide on Publish.
+
+// currentRecorder is the recorder the process-global expvar Func samples.
+var currentRecorder atomic.Pointer[Recorder]
+
+// publishOnce guards the single expvar.Publish of the run snapshot.
+var publishOnce sync.Once
+
+// publishExpvar registers the "vectrace_run" expvar exactly once.
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("vectrace_run", expvar.Func(func() any {
+			return currentRecorder.Load().snapshotMap()
+		}))
+	})
+}
+
+// snapshotMap renders the recorder's counters plus elapsed time as a plain
+// map for JSON export. Safe on nil (the expvar may be read between runs).
+func (r *Recorder) snapshotMap() map[string]any {
+	m := make(map[string]any, numCounters+1)
+	if r == nil {
+		return m
+	}
+	m["elapsed_ns"] = r.Elapsed().Nanoseconds()
+	for c := Counter(0); c < numCounters; c++ {
+		m[c.Name()] = r.Get(c)
+	}
+	return m
+}
+
+// A Server is a running debug listener.
+type Server struct {
+	rec  *Recorder
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// StartServer binds addr and begins serving the debug endpoints for rec.
+// It returns after the listener is bound (so Addr is immediately valid);
+// serving continues on a background goroutine until Stop.
+func StartServer(addr string, rec *Recorder) (*Server, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("obs: debug server needs a recorder")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	publishExpvar()
+	currentRecorder.Store(rec)
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", expvar.Handler())
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap := rec.snapshotMap()
+		rec.mu.Lock()
+		totals := make(map[string]SpanAgg, len(rec.aggs))
+		for name, agg := range rec.aggs {
+			totals[name] = *agg
+		}
+		rec.mu.Unlock()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"counters": snap, "span_totals": totals})
+	})
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+
+	s := &Server{
+		rec:  rec,
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln) // returns ErrServerClosed on Stop
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with a ":0" port).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Stop closes the listener and waits for the serve loop to exit. Safe on
+// nil; open requests are dropped (this is a debug port, not an API).
+func (s *Server) Stop() error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	<-s.done
+	currentRecorder.CompareAndSwap(s.rec, nil)
+	return err
+}

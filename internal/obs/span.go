@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"context"
+	rtrace "runtime/trace"
+	"time"
+)
+
+// Stage spans. The pipeline's logical stages — parse → check → lower →
+// interp/record → scan → region-analyze → tile-sweep → stride → report —
+// are recorded two ways at once:
+//
+//   - into the Recorder, as a named span with wall-clock duration and its
+//     parent stage (the innermost span open on the context when it
+//     started), aggregated per name so unbounded fan-out stays bounded;
+//   - into the Go execution tracer, as a runtime/trace Task plus Region,
+//     so `vectrace analyze -exectrace` output groups goroutine activity
+//     under the logical stage names in `go tool trace`.
+//
+// Context-free inner stages (per-tile sweeps, per-region analyses inside
+// worker goroutines) use the allocation-free Timer variant, which feeds
+// the same per-name aggregates without materializing a span per unit.
+
+// A Span is one open stage. The zero/nil Span is inert: End is a no-op,
+// so callers can thread the StartSpan result unconditionally.
+type Span struct {
+	rec    *Recorder
+	name   string
+	parent string
+	start  time.Time
+	task   *rtrace.Task
+	region *rtrace.Region
+	ended  bool
+}
+
+// StartSpan opens a named stage span as a child of the innermost span on
+// ctx, returning a derived context carrying the new span (and the
+// recorder's runtime/trace task). With no recorder on ctx it returns ctx
+// unchanged and a nil span — the whole call is two pointer lookups.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	r := FromContext(ctx)
+	if r == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey{}).(string)
+	tctx, task := rtrace.NewTask(ctx, name)
+	s := &Span{
+		rec:    r,
+		name:   name,
+		parent: parent,
+		start:  time.Now(),
+		task:   task,
+		region: rtrace.StartRegion(tctx, name),
+	}
+	return context.WithValue(tctx, spanKey{}, name), s
+}
+
+// End closes the span, recording its duration. Safe on nil and idempotent.
+// End must be called on the goroutine that called StartSpan (the
+// runtime/trace region contract); the cross-goroutine task is ended too.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	d := time.Since(s.start)
+	s.region.End()
+	s.task.End()
+	s.rec.recordSpan(s.name, s.parent, s.start, d)
+}
+
+// A Timer is the context-free, allocation-free span for per-unit inner
+// stages: a value type holding a start time. The zero Timer (from a nil
+// recorder) is inert.
+type Timer struct {
+	rec   *Recorder
+	name  string
+	start time.Time
+}
+
+// StartTimer begins timing a named inner stage. On a nil recorder the
+// returned zero Timer costs nothing to stop.
+func (r *Recorder) StartTimer(name string) Timer {
+	if r == nil {
+		return Timer{}
+	}
+	return Timer{rec: r, name: name, start: time.Now()}
+}
+
+// Stop records the elapsed time into the per-name aggregates (not the
+// individual span list — inner stages fan out per tile/region and only
+// their distribution matters). No-op on the zero Timer.
+func (t Timer) Stop() {
+	if t.rec == nil {
+		return
+	}
+	t.rec.recordAgg(t.name, time.Since(t.start))
+}
+
+// recordSpan files one finished span: always into the per-name aggregate,
+// and into the individual list while under the global and per-name caps.
+func (r *Recorder) recordSpan(name, parent string, start time.Time, d time.Duration) {
+	rel := start.Sub(r.start).Nanoseconds()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	agg := r.agg(name)
+	agg.Count++
+	agg.TotalNs += d.Nanoseconds()
+	if ns := d.Nanoseconds(); ns > agg.MaxNs {
+		agg.MaxNs = ns
+	}
+	if len(r.spans) >= maxRecordedSpans || agg.Count > maxSpansPerName {
+		r.spansDropped++
+		return
+	}
+	r.spans = append(r.spans, SpanStats{
+		Name:    name,
+		Parent:  parent,
+		StartNs: rel,
+		DurNs:   d.Nanoseconds(),
+	})
+}
+
+// recordAgg updates only the per-name aggregate (Timer path).
+func (r *Recorder) recordAgg(name string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	agg := r.agg(name)
+	agg.Count++
+	agg.TotalNs += d.Nanoseconds()
+	if ns := d.Nanoseconds(); ns > agg.MaxNs {
+		agg.MaxNs = ns
+	}
+}
+
+// agg returns the named aggregate, creating it on first use. Callers hold
+// r.mu.
+func (r *Recorder) agg(name string) *SpanAgg {
+	a := r.aggs[name]
+	if a == nil {
+		a = &SpanAgg{}
+		r.aggs[name] = a
+	}
+	return a
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sort"
+)
+
+// RunStats is the versioned machine-readable summary of one analysis run:
+// the document `-stats out.json` emits and the BENCH_<rev>.json perf
+// trajectory stores. Schema evolution rule: bump SchemaVersion on any
+// incompatible change (renamed/removed keys); adding keys is compatible.
+// ValidateRunStats is the golden-style key check CI runs against emitted
+// documents.
+type RunStats struct {
+	// SchemaVersion identifies the document layout; see RunStatsVersion.
+	SchemaVersion int `json:"schema_version"`
+	// Tool names the producing command ("vectrace analyze", "vecbench").
+	Tool string `json:"tool"`
+	// Config echoes the run's effective knobs (workers, tile, line, ...)
+	// so a stats document is self-describing.
+	Config map[string]any `json:"config,omitempty"`
+	// DurationNs is the run's wall time, recorder creation to export.
+	DurationNs int64 `json:"duration_ns"`
+	// Counters holds every counter by its snake_case name, zeros included
+	// (a missing key means a schema mismatch, not a zero).
+	Counters map[string]int64 `json:"counters"`
+	// Spans lists individually recorded stage spans in completion order
+	// (bounded; see SpansDropped).
+	Spans []SpanStats `json:"spans"`
+	// SpanTotals aggregates every span and timer by stage name, including
+	// ones past the individual-span caps.
+	SpanTotals map[string]SpanAgg `json:"span_totals"`
+	// SpansDropped counts spans elided from Spans by the caps.
+	SpansDropped int64 `json:"spans_dropped"`
+	// Failures summarizes what went wrong, if anything.
+	Failures FailureSummary `json:"failures"`
+}
+
+// RunStatsVersion is the current RunStats schema version.
+const RunStatsVersion = 1
+
+// SpanStats is one recorded stage span. StartNs is relative to the
+// recorder's start, so spans order and nest without absolute clocks.
+type SpanStats struct {
+	Name    string `json:"name"`
+	Parent  string `json:"parent,omitempty"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+}
+
+// SpanAgg aggregates the spans and timers of one stage name.
+type SpanAgg struct {
+	Count   int64 `json:"count"`
+	TotalNs int64 `json:"total_ns"`
+	MaxNs   int64 `json:"max_ns"`
+}
+
+// FailureSummary condenses a run's failures: the per-region failure count,
+// the first failure message, and the corrupt byte offset when the input
+// trace itself was damaged (-1 otherwise).
+type FailureSummary struct {
+	RegionsFailed int64  `json:"regions_failed"`
+	First         string `json:"first,omitempty"`
+	CorruptAtByte int64  `json:"corrupt_at_byte"`
+}
+
+// Stats exports the recorder's current state as a RunStats document.
+// Safe on a nil recorder (returns a valid empty document), so the export
+// path needs no separate "was observability on" branch.
+func (r *Recorder) Stats(tool string, config map[string]any) *RunStats {
+	rs := &RunStats{
+		SchemaVersion: RunStatsVersion,
+		Tool:          tool,
+		Config:        config,
+		Counters:      make(map[string]int64, numCounters),
+		SpanTotals:    map[string]SpanAgg{},
+		Spans:         []SpanStats{},
+		Failures:      FailureSummary{CorruptAtByte: -1},
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		rs.Counters[c.Name()] = r.Get(c)
+	}
+	if r == nil {
+		return rs
+	}
+	rs.DurationNs = r.Elapsed().Nanoseconds()
+	r.mu.Lock()
+	rs.Spans = append(rs.Spans, r.spans...)
+	for name, agg := range r.aggs {
+		rs.SpanTotals[name] = *agg
+	}
+	rs.SpansDropped = r.spansDropped
+	rs.Failures.First = r.firstFailure
+	rs.Failures.CorruptAtByte = r.corruptByte
+	r.mu.Unlock()
+	rs.Failures.RegionsFailed = r.Get(RegionsFailed)
+	return rs
+}
+
+// WriteStats marshals rs (indented, trailing newline) to path.
+func WriteStats(path string, rs *RunStats) error {
+	data, err := json.MarshalIndent(rs, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal stats: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("obs: write stats: %w", err)
+	}
+	return nil
+}
+
+// requiredCounters are the keys every valid RunStats document must carry —
+// the golden subset CI pins (new counters may be added freely; these may
+// not disappear without a schema version bump).
+var requiredCounters = []string{
+	"events_scanned",
+	"regions_started",
+	"regions_completed",
+	"regions_failed",
+	"ddg_nodes",
+	"ddg_edges",
+	"candidates_analyzed",
+	"tiles_dispatched",
+	"partitions_emitted",
+}
+
+// ValidateRunStats performs the golden-style schema check on a marshaled
+// RunStats document: version match, required top-level keys, required
+// counter keys, and well-formed span entries. It returns the first
+// violation found.
+func ValidateRunStats(data []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("obs: stats document is not JSON: %w", err)
+	}
+	for _, key := range []string{"schema_version", "tool", "duration_ns", "counters", "spans", "span_totals", "failures"} {
+		if _, ok := raw[key]; !ok {
+			return fmt.Errorf("obs: stats document missing required key %q", key)
+		}
+	}
+	var version int
+	if err := json.Unmarshal(raw["schema_version"], &version); err != nil || version != RunStatsVersion {
+		return fmt.Errorf("obs: schema_version %s, want %d", raw["schema_version"], RunStatsVersion)
+	}
+	var counters map[string]int64
+	if err := json.Unmarshal(raw["counters"], &counters); err != nil {
+		return fmt.Errorf("obs: counters malformed: %w", err)
+	}
+	missing := []string{}
+	for _, name := range requiredCounters {
+		if _, ok := counters[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("obs: counters missing required keys %v", missing)
+	}
+	var spans []SpanStats
+	if err := json.Unmarshal(raw["spans"], &spans); err != nil {
+		return fmt.Errorf("obs: spans malformed: %w", err)
+	}
+	for i, s := range spans {
+		if s.Name == "" {
+			return fmt.Errorf("obs: span %d has no name", i)
+		}
+		if s.DurNs < 0 || s.StartNs < 0 {
+			return fmt.Errorf("obs: span %d (%s) has negative timing", i, s.Name)
+		}
+	}
+	var failures FailureSummary
+	if err := json.Unmarshal(raw["failures"], &failures); err != nil {
+		return fmt.Errorf("obs: failures malformed: %w", err)
+	}
+	return nil
+}
+
+// BenchStatsPath returns the conventional perf-trajectory filename for the
+// current build, BENCH_<rev>.json, where <rev> is the VCS revision baked
+// into the binary (12 hex digits) or "dev" for non-VCS builds. vecbench
+// resolves `-stats auto` through this, so CI runs land one stats document
+// per revision without shelling out to git.
+func BenchStatsPath() string {
+	rev := "dev"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				rev = s.Value[:12]
+				break
+			}
+		}
+	}
+	return fmt.Sprintf("BENCH_%s.json", rev)
+}

@@ -7,12 +7,14 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/example/vectrace/internal/core"
 	"github.com/example/vectrace/internal/ddg"
 	"github.com/example/vectrace/internal/interp"
 	"github.com/example/vectrace/internal/ir"
 	"github.com/example/vectrace/internal/lower"
+	"github.com/example/vectrace/internal/obs"
 	"github.com/example/vectrace/internal/parser"
 	"github.com/example/vectrace/internal/sema"
 	"github.com/example/vectrace/internal/trace"
@@ -33,15 +35,29 @@ func interpConfig(b core.Budget, tracer interp.Tracer, countLoops bool) interp.C
 // Compile parses, type-checks, and lowers a MiniC source file into a
 // finalized VIR module.
 func Compile(filename, src string) (*ir.Module, error) {
+	return CompileCtx(context.Background(), filename, src)
+}
+
+// CompileCtx is Compile with the front-end stages recorded as observability
+// spans (parse, check, lower) when ctx carries an obs.Recorder — the stages
+// show up as logical regions under -exectrace and as timed spans in -stats.
+// With no recorder on ctx it is byte-for-byte Compile.
+func CompileCtx(ctx context.Context, filename, src string) (*ir.Module, error) {
+	_, sp := obs.StartSpan(ctx, "parse")
 	prog, err := parser.Parse(filename, src)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
+	_, sp = obs.StartSpan(ctx, "check")
 	info, err := sema.Check(prog)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("check: %w", err)
 	}
+	_, sp = obs.StartSpan(ctx, "lower")
 	mod, err := lower.Lower(prog, info)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("lower: %w", err)
 	}
@@ -58,6 +74,8 @@ func Run(mod *ir.Module, countLoops bool) (*interp.Result, error) {
 // limits applied; cancellation and exhaustion surface as errors wrapping
 // core.ErrCanceled and core.ErrResourceLimit respectively.
 func RunCtx(ctx context.Context, mod *ir.Module, countLoops bool, budget core.Budget) (*interp.Result, error) {
+	ctx, sp := obs.StartSpan(ctx, "interp")
+	defer sp.End()
 	m := interp.New(mod, interpConfig(budget, nil, countLoops))
 	return m.RunContext(ctx, "main")
 }
@@ -71,6 +89,8 @@ func Trace(mod *ir.Module) (*interp.Result, *trace.Trace, error) {
 // TraceCtx is Trace with cooperative cancellation and the budget's
 // interpreter limits applied.
 func TraceCtx(ctx context.Context, mod *ir.Module, budget core.Budget) (*interp.Result, *trace.Trace, error) {
+	ctx, sp := obs.StartSpan(ctx, "interp")
+	defer sp.End()
 	sink := &interp.TraceSink{}
 	m := interp.New(mod, interpConfig(budget, sink, true))
 	res, err := m.RunContext(ctx, "main")
@@ -114,6 +134,12 @@ type RegionReport struct {
 	// analysis entry points additionally join every per-region error into
 	// their returned error, so a non-nil summary error is never silent.
 	Err error
+	// Elapsed is the wall time this region's DDG construction and analysis
+	// took (set even when the region failed part-way). It is observability
+	// metadata, populated only when the run carries an obs.Recorder — with
+	// observability off it stays zero, so region reports from observed and
+	// unobserved runs differ only in this field and no renderer prints it.
+	Elapsed time.Duration
 }
 
 // labelRegionErrors attributes ParallelFor unit failures (recovered panics)
@@ -164,19 +190,38 @@ func AnalyzeLoopRegionsCtx(ctx context.Context, tr *trace.Trace, line int, dopts
 	out := make([]RegionReport, len(regions))
 	inner := copts
 	inner.Workers = 1
+	ctx, span := obs.StartSpan(ctx, "region-analyze")
+	defer span.End()
+	rec := obs.FromContext(ctx)
 	err := core.ParallelFor(ctx, len(regions), copts.WorkerCount(), func(i int) error {
+		if rec != nil {
+			start := time.Now()
+			defer func() { out[i].Elapsed = time.Since(start) }()
+			rec.Add(obs.RegionsStarted, 1)
+		}
+		rt := rec.StartTimer("region")
+		defer rt.Stop()
 		sub := tr.Slice(regions[i])
 		out[i] = RegionReport{Index: i, Events: sub.Len()}
+		fail := func(err error) error {
+			out[i].Err = fmt.Errorf("pipeline: region %d: %w", i, err)
+			if rec != nil {
+				rec.Add(obs.RegionsFailed, 1)
+				rec.RecordRegionFailure(out[i].Err.Error())
+			}
+			return out[i].Err
+		}
 		g, err := ddg.BuildOpts(sub, dopts)
 		if err != nil {
-			out[i].Err = fmt.Errorf("pipeline: region %d: %w", i, err)
-			return out[i].Err
+			return fail(err)
 		}
 		rep, err := core.AnalyzeCtx(ctx, g, inner)
 		out[i].Report = rep
 		if err != nil {
-			out[i].Err = fmt.Errorf("pipeline: region %d: %w", i, err)
-			return out[i].Err
+			return fail(err)
+		}
+		if rec != nil {
+			rec.Add(obs.RegionsCompleted, 1)
 		}
 		return nil
 	})

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"github.com/example/vectrace/internal/core"
 	"github.com/example/vectrace/internal/ddg"
 	"github.com/example/vectrace/internal/interp"
 	"github.com/example/vectrace/internal/ir"
+	"github.com/example/vectrace/internal/obs"
 	"github.com/example/vectrace/internal/trace"
 )
 
@@ -45,6 +47,8 @@ func Record(mod *ir.Module, w io.Writer) (*interp.Result, error) {
 // interpreter limits applied. A write failure on w aborts the run rather
 // than silently dropping tail events.
 func RecordCtx(ctx context.Context, mod *ir.Module, w io.Writer, budget core.Budget) (*interp.Result, error) {
+	ctx, sp := obs.StartSpan(ctx, "record")
+	defer sp.End()
 	enc := trace.NewEncoder(w)
 	sink := &encoderSink{enc: enc}
 	m := interp.New(mod, interpConfig(budget, sink, true))
@@ -98,6 +102,9 @@ func AnalyzeLoopRegionsStreamCtx(ctx context.Context, mod *ir.Module, src trace.
 	if lm == nil {
 		return nil, fmt.Errorf("pipeline: no loop on line %d", line)
 	}
+	ctx, span := obs.StartSpan(ctx, "region-analyze")
+	defer span.End()
+	rec := obs.FromContext(ctx)
 	sc := trace.NewRegionScannerCtx(ctx, mod, lm.ID, src)
 	workers := copts.WorkerCount()
 	inner := copts
@@ -121,6 +128,12 @@ func AnalyzeLoopRegionsStreamCtx(ctx context.Context, mod *ir.Module, src trace.
 		out[rr.Index] = rr
 	}
 	analyzeOne := func(j job) {
+		var start time.Time
+		if rec != nil {
+			start = time.Now()
+			rec.Add(obs.RegionsStarted, 1)
+		}
+		rt := rec.StartTimer("region")
 		rr := RegionReport{Index: j.idx, Events: j.sub.Len()}
 		err := core.Guard(j.idx, "region", int64(j.idx), func() error {
 			g, err := ddg.BuildOpts(j.sub, dopts)
@@ -133,6 +146,17 @@ func AnalyzeLoopRegionsStreamCtx(ctx context.Context, mod *ir.Module, src trace.
 		})
 		if err != nil {
 			rr.Err = fmt.Errorf("pipeline: region %d: %w", j.idx, err)
+			if rec != nil {
+				rec.Add(obs.RegionsFailed, 1)
+				rec.RecordRegionFailure(rr.Err.Error())
+			}
+		} else if rec != nil {
+			rec.Add(obs.RegionsCompleted, 1)
+		}
+		rt.Stop()
+		if rec != nil {
+			rr.Elapsed = time.Since(start)
+			rec.GaugeDec(obs.ResidentRegions)
 		}
 		place(rr)
 	}
@@ -155,10 +179,14 @@ func AnalyzeLoopRegionsStreamCtx(ctx context.Context, mod *ir.Module, src trace.
 		}
 		if err != nil {
 			scanErr = err
+			if off, ok := trace.CorruptOffset(err); ok {
+				rec.SetCorruptByte(off)
+			}
 			break
 		}
 		select {
 		case jobs <- job{idx: n, sub: sub}:
+			rec.GaugeInc(obs.ResidentRegions, obs.PeakResidentRegions)
 		case <-ctx.Done():
 		}
 		if ctx.Err() != nil {

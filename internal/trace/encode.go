@@ -230,6 +230,34 @@ func (d *Decoder) readVarint() (int64, error) {
 	return x, nil
 }
 
+// An OffsetError is the typed form of every Decoder failure: it carries the
+// byte offset where decoding stopped so reporting layers can localize the
+// damage programmatically (errors.As) instead of parsing message text. Its
+// rendered message is byte-for-byte the historical format, so diagnostics
+// that grep for "byte offset" keep working.
+type OffsetError struct {
+	Context string // what the decoder was reading ("reading magic", ...)
+	Offset  int64  // bytes consumed when decoding stopped
+	Err     error  // underlying cause; wraps ErrCorruptTrace for bad bytes
+}
+
+func (e *OffsetError) Error() string {
+	return fmt.Sprintf("trace: %s at byte offset %d: %v", e.Context, e.Offset, e.Err)
+}
+
+func (e *OffsetError) Unwrap() error { return e.Err }
+
+// CorruptOffset extracts the decoder byte offset from an error chain. It
+// reports ok=false when no OffsetError is present (e.g. a scan-level failure
+// not caused by the byte stream).
+func CorruptOffset(err error) (int64, bool) {
+	var oe *OffsetError
+	if errors.As(err, &oe) {
+		return oe.Offset, true
+	}
+	return 0, false
+}
+
 // fail records and returns a decoding error, wrapping it with context and
 // the byte offset where decoding stopped. Truncation (an unexpected EOF) is
 // classified as corruption; genuine reader failures pass through without
@@ -241,7 +269,7 @@ func (d *Decoder) fail(context string, err error) (Event, error) {
 	if errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrCorruptTrace) {
 		err = fmt.Errorf("%w: %w", err, ErrCorruptTrace)
 	}
-	d.err = fmt.Errorf("trace: %s at byte offset %d: %w", context, d.off, err)
+	d.err = &OffsetError{Context: context, Offset: d.off, Err: err}
 	return Event{}, d.err
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"github.com/example/vectrace/internal/ir"
+	"github.com/example/vectrace/internal/obs"
 )
 
 // An EventSource yields trace events one at a time. Next returns io.EOF
@@ -54,6 +55,12 @@ type RegionScanner struct {
 	closed int      // regions closed so far: the index error contexts name
 	done   bool
 	err    error
+
+	// rec, when non-nil, receives scan counters. Per-event costs stay off
+	// the hot path: consumed events accumulate in flushed and are published
+	// only at the existing scanCtxCheckInterval poll and at EOF.
+	rec     *obs.Recorder
+	flushed int // absolute event index already published to rec
 }
 
 // scanCtxCheckInterval is the scanner's cancellation-poll granularity:
@@ -76,7 +83,7 @@ func NewRegionScannerCtx(ctx context.Context, mod *ir.Module, loopID int, src Ev
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &RegionScanner{mod: mod, ctx: ctx, src: src, tk: regionTracker{target: loopID}}
+	return &RegionScanner{mod: mod, ctx: ctx, src: src, tk: regionTracker{target: loopID}, rec: obs.FromContext(ctx)}
 }
 
 // MaxRetained returns the high-water mark of retained events — the
@@ -93,6 +100,23 @@ func (s *RegionScanner) emit(closed []Region) {
 		s.queue = append(s.queue, &Trace{Module: s.mod, Events: events})
 		s.closed++
 	}
+	if s.rec != nil && len(closed) > 0 {
+		s.rec.Add(obs.RegionsScanned, int64(len(closed)))
+	}
+}
+
+// flushStats publishes the scan counters accumulated since the last flush.
+// Called at the cancellation-poll granularity and at EOF, so a nil recorder
+// costs one predictable branch per poll, never per event.
+func (s *RegionScanner) flushStats() {
+	if s.rec == nil {
+		return
+	}
+	if s.idx > s.flushed {
+		s.rec.Add(obs.EventsScanned, int64(s.idx-s.flushed))
+		s.flushed = s.idx
+	}
+	s.rec.Max(obs.ScanPeakRetainedEvents, int64(s.peak))
 }
 
 // failAt records a scan error, naming the event index and the index of the
@@ -126,12 +150,14 @@ func (s *RegionScanner) Next() (*Trace, error) {
 			if err := s.canceled(); err != nil {
 				return nil, err
 			}
+			s.flushStats()
 		}
 		ev, err := s.src.Next()
 		if err == io.EOF {
 			s.done = true
 			s.emit(s.tk.finish(s.idx))
 			s.buf = nil
+			s.flushStats()
 			continue
 		}
 		if err != nil {
