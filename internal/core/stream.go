@@ -1,0 +1,860 @@
+package core
+
+// The one-pass stream kernel: Algorithm 1 evaluated directly over the
+// region's event stream, without materializing a ddg.Graph first.
+//
+// The paper's timestamp recurrence needs only, at each dynamic event, the
+// timestamps of that event's flow predecessors. The materialized builder
+// resolves those predecessors through last-writer state it carries anyway
+// (a register→producer table per frame and a last-store map per address);
+// this kernel carries the same tables but stores, per producer, a
+// *timestamp row* — one int32 per active candidate column — instead of a
+// node index into an O(events) graph. Peak memory is therefore
+// O(live values × active candidates + candidate instances), independent of
+// the region's event count:
+//
+//   - register file: one row per live register per open frame;
+//   - shadow memory: one row per address with a live last store (plus, under
+//     IncludeAntiOutput, one running-max row over the readers since it);
+//   - per candidate column: the per-instance timestamp/tuple arrays the
+//     partitioning and stride stages consume (the same arrays the fused
+//     kernel would gather from its tile matrix).
+//
+// Columns are assigned lazily, in order of first dynamic appearance, and
+// rows are extended lazily: a row written when the width was w' < w
+// zero-extends to width w, which is exact — a value produced before a
+// candidate's first instance has timestamp 0 for that candidate.
+//
+// Equivalence with ddg.BuildOpts + AnalyzeCtx is enforced by differential
+// tests (stream_test.go and the pipeline suites); the materialized path
+// remains available behind Options.Materialize as the oracle, and is still
+// required for the whole-graph analyses (critical-path profiles, the
+// Kumar/Larus baselines, RelaxReductions).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/example/vectrace/internal/ddg"
+	"github.com/example/vectrace/internal/ir"
+	"github.com/example/vectrace/internal/obs"
+)
+
+// Nominal live-byte costs of the kernel's unit allocations, used for the
+// Budget.MaxAnalysisBytes accounting. Charges follow logical events
+// (checkout, instance, frame push), never physical allocation, so whether a
+// buffer came from a freelist cannot move the failure point: a budgeted run
+// fails at the same event every time.
+const (
+	streamValBytes      = 56 // one register-file slot descriptor
+	streamCellBytes     = 96 // one shadow-memory cell + map entry
+	streamInstanceBytes = 48 // one candidate instance (timestamp + tuple + pends)
+)
+
+// streamVal describes the producer of a live value: its timestamp row, the
+// producing static instruction, and the provenance the downstream stages
+// need (candidate column/instance for store patching, load address and the
+// load's producing store for operand tuples and reduction round trips).
+// Copies of the descriptor travel through call arguments and return values
+// exactly as the materialized builder propagates producer node indices.
+type streamVal struct {
+	row         []int32
+	instr       int32 // producing static instruction, -1 when unwritten
+	cand        int32 // candidate column of the producer, -1
+	inst        int32 // instance index within the column (when cand >= 0)
+	storedInstr int32 // for loads: the producing store's value instr, -1
+	loadAddr    int64 // for loads: the accessed address
+	isLoad      bool
+}
+
+// streamFrame is one call-stack entry of the replay: the register file of
+// producer descriptors, mirroring ddg's frame of producer node indices.
+type streamFrame struct {
+	fn        *ir.Function
+	callerDst ir.Reg
+	regs      []streamVal
+}
+
+// candCol is one active candidate column: the per-instance parallel arrays
+// Algorithm 1's downstream stages consume, built online.
+type candCol struct {
+	id   int32
+	elig bool // reductionEligible: FP add/sub/mul
+	// accum counts instances with an accumulator-carried predecessor
+	// (register chain or store/load round trip), detected online.
+	accum  int
+	instTS []int32
+	// tup holds each instance's memory tuple; tup[k][0] stays ddg.NoAddr
+	// until the instance's first store patches it (mapped to the paper's
+	// artificial address 0 only when the stride stage reads it).
+	tup [][3]int64
+	// pendA/pendB (eligible columns only) carry the candidate round-trip
+	// load address of each instance's operands: if the instance's first
+	// store hits that address, the instance accumulates through memory.
+	pendA, pendB []int64
+}
+
+// shadowCell is the last-writer state of one memory address: the last
+// store's timestamp row and value provenance, plus (under IncludeAntiOutput)
+// a running elementwise max over the rows of readers since that store and
+// their count — enough to reproduce the oracle's anti/output edges without
+// keeping the reader nodes.
+type shadowCell struct {
+	row      []int32
+	readers  []int32
+	valInstr int32
+	nReaders int32
+	hasStore bool
+}
+
+// StreamKernel runs the fused one-pass analysis of a single region: feed
+// the region's events in trace order, then Finish. Kernels are checked out
+// of a pool (AcquireStreamKernel / Release) so successive regions reuse the
+// last-writer tables, shadow maps, instance arrays, and stride scratch.
+//
+// A kernel is single-goroutine; concurrency comes from analyzing different
+// regions on different kernels.
+type StreamKernel struct {
+	mod   *ir.Module
+	dopts ddg.Options
+	opts  Options
+	rec   *obs.Recorder
+
+	// Candidate policy cache, rebuilt when the module or the candidate set
+	// changes: colOf maps static instruction → active column (-1 when the
+	// instruction has no instances yet this region), kmax bounds the width.
+	pmod     *ir.Module
+	pints    bool
+	colOf    []int32
+	kmax     int
+	rowBytes int64
+
+	cands     []candCol
+	frames    []streamFrame
+	shadow    map[int64]*shadowCell
+	cells     []*shadowCell
+	cellFree  []*shadowCell
+	rowFree   [][]int32
+	preds     [][]int32
+	args      []streamVal
+	pair      [2][]int32
+	branch    []int32
+	branchSet bool
+	iota      []int32
+	order     []int32
+	fin       instrScratch
+
+	n         int64 // events fed
+	edges     int64 // dependence edges the materialized graph would hold
+	live      int64 // current nominal working set, for Budget accounting
+	peak      int64
+	peakAddrs int
+	err       error
+	used      bool
+}
+
+// streamKernelPool recycles kernels across regions, workers, and runs.
+var streamKernelPool = sync.Pool{New: func() any { return new(StreamKernel) }}
+
+// AcquireStreamKernel checks a one-pass kernel out of the pool, configured
+// for one region of a trace of mod under the given graph and analysis
+// options. A non-nil recorder tallies the checkout as a pool hit (recycled
+// tables) or miss (fresh allocation). Callers must Release the kernel.
+func AcquireStreamKernel(mod *ir.Module, dopts ddg.Options, opts Options, rec *obs.Recorder) *StreamKernel {
+	k := streamKernelPool.Get().(*StreamKernel)
+	if rec != nil {
+		if k.used {
+			rec.Add(obs.StreamPoolHits, 1)
+		} else {
+			rec.Add(obs.StreamPoolMisses, 1)
+		}
+	}
+	k.used = true
+	k.mod = mod
+	k.dopts = dopts
+	k.opts = opts
+	k.rec = rec
+	if k.pmod != mod || k.pints != dopts.CharacterizeInts {
+		k.pmod = mod
+		k.pints = dopts.CharacterizeInts
+		if cap(k.colOf) < mod.NumInstrs {
+			k.colOf = make([]int32, mod.NumInstrs)
+		}
+		k.colOf = k.colOf[:mod.NumInstrs]
+		kmax := 0
+		for id := 0; id < mod.NumInstrs; id++ {
+			k.colOf[id] = -1
+			in := mod.InstrAt(int32(id))
+			if in.IsCandidate() || (dopts.CharacterizeInts && in.IsIntCandidate()) {
+				kmax++
+			}
+		}
+		k.kmax = kmax
+	}
+	k.rowBytes = int64(4*k.kmax + 24)
+	if k.shadow == nil {
+		k.shadow = make(map[int64]*shadowCell, 64)
+	}
+	return k
+}
+
+// Release resets the kernel's per-region state into its freelists and
+// returns it to the pool. Safe after an error or a partial feed.
+func (k *StreamKernel) Release() {
+	for len(k.frames) > 0 {
+		k.popFrame()
+	}
+	for i := range k.cands {
+		k.colOf[k.cands[i].id] = -1
+	}
+	k.cands = k.cands[:0]
+	for _, c := range k.cells {
+		if c.row != nil {
+			k.rowFree = append(k.rowFree, c.row)
+			c.row = nil
+		}
+		if c.readers != nil {
+			k.rowFree = append(k.rowFree, c.readers)
+			c.readers = nil
+		}
+	}
+	k.cellFree = append(k.cellFree, k.cells...)
+	k.cells = k.cells[:0]
+	clear(k.shadow)
+	if k.branch != nil {
+		k.rowFree = append(k.rowFree, k.branch)
+		k.branch = nil
+	}
+	k.branchSet = false
+	k.preds = k.preds[:0]
+	k.args = k.args[:0]
+	k.pair[0], k.pair[1] = nil, nil
+	k.n, k.edges = 0, 0
+	k.live, k.peak = 0, 0
+	k.peakAddrs = 0
+	k.err = nil
+	k.rec = nil
+	streamKernelPool.Put(k)
+}
+
+// PeakLiveBytes returns the high-water mark of the kernel's nominal working
+// set so far — the quantity Budget.MaxAnalysisBytes bounds.
+func (k *StreamKernel) PeakLiveBytes() int64 { return k.peak }
+
+// PeakLiveAddresses returns the high-water mark of distinct addresses live
+// in the shadow-memory table so far.
+func (k *StreamKernel) PeakLiveAddresses() int { return k.peakAddrs }
+
+// charge adds b nominal bytes to the live working set, latching an
+// ErrResourceLimit-wrapped error when a configured budget is exceeded. The
+// region degrades; the kernel stops consuming events.
+func (k *StreamKernel) charge(b int64) {
+	k.live += b
+	if k.live > k.peak {
+		k.peak = k.live
+	}
+	if m := k.opts.Budget.MaxAnalysisBytes; m > 0 && k.live > m && k.err == nil {
+		k.err = fmt.Errorf("core: one-pass analysis working set %d bytes exceeds budget %d at event %d: %w",
+			k.live, m, k.n, ErrResourceLimit)
+	}
+}
+
+func (k *StreamKernel) credit(b int64) { k.live -= b }
+
+// newRow checks a timestamp row (capacity kmax, logical length 0) out of
+// the freelist. Rows are never zeroed: rowMaxInto overwrites every column
+// it exposes.
+func (k *StreamKernel) newRow() []int32 {
+	k.charge(k.rowBytes)
+	for n := len(k.rowFree); n > 0; n = len(k.rowFree) {
+		r := k.rowFree[n-1]
+		k.rowFree[n-1] = nil
+		k.rowFree = k.rowFree[:n-1]
+		if cap(r) >= k.kmax {
+			return r[:0]
+		}
+	}
+	return make([]int32, 0, k.kmax)
+}
+
+func (k *StreamKernel) freeRow(r []int32) {
+	if r == nil {
+		return
+	}
+	k.rowFree = append(k.rowFree, r)
+	k.credit(k.rowBytes)
+}
+
+// rowMaxInto fills dst with the elementwise maximum of rows at width w and
+// returns dst[:w]. Rows shorter than w contribute zero in the missing
+// columns (the lazy-width invariant). dst may alias any source row: every
+// column is read from all sources before it is written.
+func rowMaxInto(dst []int32, w int, rows [][]int32) []int32 {
+	dst = dst[:w]
+	switch len(rows) {
+	case 0:
+		for c := range dst {
+			dst[c] = 0
+		}
+	case 1:
+		r := rows[0]
+		n := min(len(r), w)
+		copy(dst, r[:n])
+		for c := n; c < w; c++ {
+			dst[c] = 0
+		}
+	case 2:
+		a, b := rows[0], rows[1]
+		for c := 0; c < w; c++ {
+			var m int32
+			if c < len(a) {
+				m = a[c]
+			}
+			if c < len(b) && b[c] > m {
+				m = b[c]
+			}
+			dst[c] = m
+		}
+	default:
+		for c := 0; c < w; c++ {
+			var m int32
+			for _, r := range rows {
+				if c < len(r) && r[c] > m {
+					m = r[c]
+				}
+			}
+			dst[c] = m
+		}
+	}
+	return dst
+}
+
+// val resolves an operand to its live producer descriptor, mirroring the
+// materialized builder's producer(): nil for constants, out-of-range
+// registers, and unwritten registers.
+func (k *StreamKernel) val(f *streamFrame, o ir.Operand) *streamVal {
+	if o.Kind != ir.KindReg || int(o.Reg) >= len(f.regs) {
+		return nil
+	}
+	v := &f.regs[o.Reg]
+	if v.instr < 0 {
+		return nil
+	}
+	return v
+}
+
+// provAddr returns the operand's provenance address for the stride tuple:
+// the defining load's address, or the artificial 0.
+func provAddr(v *streamVal, o ir.Operand) int64 {
+	if o.IsConst() {
+		return 0
+	}
+	if v != nil && v.isLoad {
+		return v.loadAddr
+	}
+	return 0
+}
+
+// stageControl stages the control edge from the most recent conditional
+// branch, exactly where the materialized builder's flush would append it.
+func (k *StreamKernel) stageControl() {
+	if k.dopts.IncludeControl && k.branchSet {
+		k.preds = append(k.preds, k.branch)
+		k.edges++
+	}
+}
+
+func (k *StreamKernel) pushFrame(fn *ir.Function, callerDst ir.Reg) *streamFrame {
+	if len(k.frames) < cap(k.frames) {
+		k.frames = k.frames[:len(k.frames)+1]
+	} else {
+		k.frames = append(k.frames, streamFrame{})
+	}
+	nf := &k.frames[len(k.frames)-1]
+	nf.fn = fn
+	nf.callerDst = callerDst
+	if cap(nf.regs) < fn.NumRegs {
+		nf.regs = make([]streamVal, fn.NumRegs)
+	}
+	nf.regs = nf.regs[:fn.NumRegs]
+	for i := range nf.regs {
+		r := nf.regs[i].row
+		nf.regs[i] = streamVal{row: r, instr: -1, cand: -1, storedInstr: -1}
+	}
+	k.charge(streamValBytes * int64(fn.NumRegs))
+	return nf
+}
+
+func (k *StreamKernel) popFrame() {
+	f := &k.frames[len(k.frames)-1]
+	for i := range f.regs {
+		if r := f.regs[i].row; r != nil {
+			k.freeRow(r)
+			f.regs[i].row = nil
+		}
+	}
+	k.credit(streamValBytes * int64(len(f.regs)))
+	k.frames = k.frames[:len(k.frames)-1]
+}
+
+func (k *StreamKernel) newCell(addr int64) *shadowCell {
+	var c *shadowCell
+	if n := len(k.cellFree); n > 0 {
+		c = k.cellFree[n-1]
+		k.cellFree[n-1] = nil
+		k.cellFree = k.cellFree[:n-1]
+		c.valInstr = -1
+		c.nReaders = 0
+		c.hasStore = false
+	} else {
+		c = &shadowCell{valInstr: -1}
+	}
+	k.shadow[addr] = c
+	k.cells = append(k.cells, c)
+	k.charge(streamCellBytes)
+	if n := len(k.shadow); n > k.peakAddrs {
+		k.peakAddrs = n
+	}
+	return c
+}
+
+// colFor returns the active column of candidate id, assigning the next
+// column on first appearance. Assigning before the instance's row is
+// computed means the new column is inside the current width, where every
+// predecessor zero-extends — exactly timestamp 0, the pre-first-instance
+// value.
+func (k *StreamKernel) colFor(id int32, in *ir.Instr) int32 {
+	if c := k.colOf[id]; c >= 0 {
+		return c
+	}
+	c := int32(len(k.cands))
+	k.colOf[id] = c
+	if len(k.cands) < cap(k.cands) {
+		k.cands = k.cands[:c+1]
+		ca := &k.cands[c]
+		ca.id = id
+		ca.elig = reductionEligible(in)
+		ca.accum = 0
+		ca.instTS = ca.instTS[:0]
+		ca.tup = ca.tup[:0]
+		ca.pendA = ca.pendA[:0]
+		ca.pendB = ca.pendB[:0]
+	} else {
+		k.cands = append(k.cands, candCol{id: id, elig: reductionEligible(in)})
+	}
+	return c
+}
+
+// Feed consumes one trace event in trace order. It mirrors the
+// materialized builder's replay case by case; errors (frame mismatch,
+// budget exceeded) latch — subsequent calls return the same error and the
+// kernel stops consuming.
+func (k *StreamKernel) Feed(id int32, addr int64) error {
+	if k.err != nil {
+		return k.err
+	}
+	in := k.mod.InstrAt(id)
+	if len(k.frames) == 0 {
+		k.pushFrame(k.mod.FuncOfInstr(id), ir.RegNone)
+	}
+	f := &k.frames[len(k.frames)-1]
+	if f.fn != k.mod.FuncOfInstr(id) {
+		// A region sliced mid-call or a malformed trace.
+		k.err = fmt.Errorf("core: event %d (instr %d in %s) does not match current frame %s",
+			k.n, id, k.mod.FuncOfInstr(id).Name, f.fn.Name)
+		return k.err
+	}
+	k.preds = k.preds[:0]
+
+	switch in.Op {
+	case ir.OpLoad:
+		px := k.val(f, in.X)
+		if px != nil {
+			k.preds = append(k.preds, px.row)
+			k.edges++
+		}
+		cell := k.shadow[addr]
+		var storedInstr int32 = -1
+		if cell != nil && cell.hasStore {
+			k.preds = append(k.preds, cell.row)
+			k.edges++
+			storedInstr = cell.valInstr
+		}
+		k.stageControl()
+		w := len(k.cands)
+		dst := &f.regs[in.Dst]
+		buf := dst.row
+		if buf == nil {
+			buf = k.newRow()
+		}
+		row := rowMaxInto(buf, w, k.preds)
+		*dst = streamVal{row: row, instr: id, cand: -1, storedInstr: storedInstr, loadAddr: addr, isLoad: true}
+		if k.dopts.IncludeAntiOutput {
+			if cell == nil {
+				cell = k.newCell(addr)
+			}
+			if cell.readers == nil {
+				cell.readers = k.newRow()
+			}
+			k.pair[0], k.pair[1] = cell.readers, row
+			cell.readers = rowMaxInto(cell.readers, w, k.pair[:])
+			cell.nReaders++
+		}
+
+	case ir.OpStore:
+		px := k.val(f, in.X)
+		pv := k.val(f, in.Y)
+		if px != nil {
+			k.preds = append(k.preds, px.row)
+			k.edges++
+		}
+		if pv != nil {
+			k.preds = append(k.preds, pv.row)
+			k.edges++
+		}
+		cell := k.shadow[addr]
+		if k.dopts.IncludeAntiOutput && cell != nil {
+			if cell.hasStore {
+				k.preds = append(k.preds, cell.row) // output dependence
+				k.edges++
+			}
+			if cell.nReaders > 0 {
+				k.preds = append(k.preds, cell.readers) // anti dependences
+				k.edges += int64(cell.nReaders)
+			}
+		}
+		k.stageControl()
+		// First store of a candidate instance's value defines its memory
+		// tuple slot and resolves any pending reduction round trip.
+		if pv != nil && pv.cand >= 0 {
+			ca := &k.cands[pv.cand]
+			if ca.tup[pv.inst][0] == ddg.NoAddr {
+				ca.tup[pv.inst][0] = addr
+				if ca.elig && addr != 0 && (ca.pendA[pv.inst] == addr || ca.pendB[pv.inst] == addr) {
+					ca.accum++
+				}
+			}
+		}
+		w := len(k.cands)
+		if cell == nil {
+			cell = k.newCell(addr)
+		}
+		buf := cell.row
+		if buf == nil {
+			buf = k.newRow()
+		}
+		cell.row = rowMaxInto(buf, w, k.preds)
+		cell.hasStore = true
+		cell.valInstr = -1
+		if pv != nil {
+			cell.valInstr = pv.instr
+		}
+		if cell.nReaders > 0 {
+			cell.readers = cell.readers[:0]
+			cell.nReaders = 0
+		}
+
+	case ir.OpCall:
+		callee := k.mod.Funcs[in.Callee]
+		// Descriptor copies are collected before pushFrame: the append may
+		// move the frame structs, invalidating f and any operand pointers
+		// (the row buffers they reference are heap objects and stay valid).
+		k.args = k.args[:0]
+		for _, a := range in.Args {
+			if v := k.val(f, a); v != nil {
+				k.args = append(k.args, *v)
+				k.edges++
+			} else {
+				k.args = append(k.args, streamVal{instr: -1, cand: -1, storedInstr: -1})
+			}
+		}
+		if k.dopts.IncludeControl && k.branchSet {
+			k.edges++ // the call node's control edge
+		}
+		// The call node's own row is never consumed (the callee receives
+		// the argument producers, the caller the return producer), so it is
+		// not computed; its edges are still counted above.
+		nf := k.pushFrame(callee, in.Dst)
+		m := min(len(k.args), len(nf.regs))
+		for i := 0; i < m; i++ {
+			av := &k.args[i]
+			if av.instr < 0 {
+				continue
+			}
+			dst := &nf.regs[i]
+			buf := dst.row
+			if buf == nil {
+				buf = k.newRow()
+			}
+			buf = buf[:len(av.row)]
+			copy(buf, av.row)
+			*dst = streamVal{row: buf, instr: av.instr, cand: av.cand, inst: av.inst,
+				storedInstr: av.storedInstr, loadAddr: av.loadAddr, isLoad: av.isLoad}
+		}
+
+	case ir.OpRet:
+		rp := streamVal{instr: -1, cand: -1, storedInstr: -1}
+		if in.X.Kind == ir.KindReg {
+			if v := k.val(f, in.X); v != nil {
+				rp = *v
+				k.edges++
+			}
+		}
+		if k.dopts.IncludeControl && k.branchSet {
+			k.edges++ // the ret node's control edge
+		}
+		callerDst := f.callerDst
+		// The return value's row is copied into the caller's slot before
+		// popFrame releases the dying frame's buffers.
+		if len(k.frames) > 1 && callerDst != ir.RegNone {
+			cf := &k.frames[len(k.frames)-2]
+			dst := &cf.regs[callerDst]
+			if rp.instr >= 0 {
+				buf := dst.row
+				if buf == nil {
+					buf = k.newRow()
+				}
+				buf = buf[:len(rp.row)]
+				copy(buf, rp.row)
+				*dst = streamVal{row: buf, instr: rp.instr, cand: rp.cand, inst: rp.inst,
+					storedInstr: rp.storedInstr, loadAddr: rp.loadAddr, isLoad: rp.isLoad}
+			} else {
+				// The oracle clears the caller's register on a
+				// producer-less return.
+				r := dst.row
+				*dst = streamVal{row: r, instr: -1, cand: -1, storedInstr: -1}
+			}
+		}
+		k.popFrame()
+
+	default:
+		px := k.val(f, in.X)
+		py := k.val(f, in.Y)
+		if px != nil {
+			k.preds = append(k.preds, px.row)
+			k.edges++
+		}
+		if py != nil {
+			k.preds = append(k.preds, py.row)
+			k.edges++
+		}
+		k.stageControl()
+		isCand := in.IsCandidate() || (k.dopts.CharacterizeInts && in.IsIntCandidate())
+		isBranch := k.dopts.IncludeControl && in.Op == ir.OpCondBr
+		var col int32 = -1
+		if isCand {
+			col = k.colFor(id, in)
+		}
+		w := len(k.cands)
+		var row []int32
+		transient := false
+		if in.Dst != ir.RegNone || isBranch || col >= 0 {
+			var buf []int32
+			switch {
+			case in.Dst != ir.RegNone:
+				buf = f.regs[in.Dst].row
+			case isBranch:
+				buf = k.branch
+			default:
+				transient = true
+			}
+			if buf == nil {
+				buf = k.newRow()
+			}
+			row = rowMaxInto(buf, w, k.preds)
+		}
+		var kidx int32
+		if col >= 0 {
+			ca := &k.cands[col]
+			row[col]++
+			kidx = int32(len(ca.instTS))
+			ca.instTS = append(ca.instTS, row[col])
+			ca.tup = append(ca.tup, [3]int64{ddg.NoAddr, provAddr(px, in.X), provAddr(py, in.Y)})
+			if ca.elig {
+				pa, pb := int64(ddg.NoAddr), int64(ddg.NoAddr)
+				accumNow := false
+				if px != nil {
+					if px.instr == ca.id {
+						accumNow = true
+					} else if px.isLoad && px.storedInstr == ca.id {
+						pa = px.loadAddr
+					}
+				}
+				if py != nil {
+					if py.instr == ca.id {
+						accumNow = true
+					} else if py.isLoad && py.storedInstr == ca.id {
+						pb = py.loadAddr
+					}
+				}
+				if accumNow {
+					ca.accum++
+					pa, pb = ddg.NoAddr, ddg.NoAddr
+				}
+				ca.pendA = append(ca.pendA, pa)
+				ca.pendB = append(ca.pendB, pb)
+			}
+			k.charge(streamInstanceBytes)
+		}
+		if isBranch {
+			// Set after this node's own row was computed: a conditional
+			// branch's control predecessor is the previous branch.
+			k.branch = row
+			k.branchSet = true
+		}
+		if in.Dst != ir.RegNone {
+			dst := &f.regs[in.Dst]
+			*dst = streamVal{row: row, instr: id, cand: col, inst: kidx, storedInstr: -1}
+		}
+		if transient {
+			k.freeRow(row)
+		}
+	}
+	k.n++
+	return k.err
+}
+
+// Finish completes the region: partitions every candidate column, runs the
+// §3.2/§3.3 stride stages over the online tuples, and assembles the Report
+// exactly as AnalyzeCtx does over a materialized graph — same obs counters,
+// same per-candidate Guard isolation, same degraded-slot and aggregation
+// rules, same sort. The kernel stays feedable-after-error semantics aside;
+// callers Release it afterwards either way.
+func (k *StreamKernel) Finish(ctx context.Context) (*Report, error) {
+	if k.err != nil {
+		return nil, k.err
+	}
+	rep := &Report{TotalNodes: int(k.n)}
+	if len(k.cands) == 0 {
+		return rep, nil
+	}
+	if err := Canceled(ctx); err != nil {
+		return nil, err
+	}
+	rec := k.rec
+	if rec != nil {
+		rec.Add(obs.DDGNodes, k.n)
+		rec.Add(obs.DDGEdges, k.edges)
+		rec.Add(obs.CandidatesAnalyzed, int64(len(k.cands)))
+		rec.Set(obs.BudgetMaxAnalysisBytes, k.opts.Budget.MaxAnalysisBytes)
+		rec.Max(obs.AnalysisFootprintBytes, k.peak)
+		rec.Max(obs.ShadowPeakLiveAddresses, int64(k.peakAddrs))
+		rec.Add(obs.TilesDispatched, 1) // the whole region is one fused sweep
+	}
+
+	k.order = k.order[:0]
+	for c := range k.cands {
+		k.order = append(k.order, int32(c))
+	}
+	sort.Slice(k.order, func(i, j int) bool { return k.cands[k.order[i]].id < k.cands[k.order[j]].id })
+
+	var unitErrs []error
+	results := make([]InstrReport, len(k.order))
+	stride := rec.StartTimer("stride")
+	for i, c := range k.order {
+		ca := &k.cands[c]
+		err := Guard(i, "candidate", int64(ca.id), func() error {
+			if analyzeUnitHook != nil {
+				analyzeUnitHook(ca.id)
+			}
+			results[i] = k.finishCand(ca)
+			return nil
+		})
+		if err != nil {
+			in := k.mod.InstrAt(ca.id)
+			results[i] = InstrReport{ID: ca.id, Line: in.Pos.Line, AssignID: in.AssignID}
+			unitErrs = append(unitErrs, err)
+		}
+	}
+	stride.Stop()
+	sweepErr := errors.Join(unitErrs...)
+
+	totalOps := 0
+	totalPartitions := 0
+	unitVecOps, unitSubparts, unitSum := 0, 0, 0
+	nonVecOps, nonSubparts, nonSum := 0, 0, 0
+	for i := range results {
+		r := &results[i]
+		totalOps += r.Instances
+		totalPartitions += r.Partitions
+		unitVecOps += r.Unit.VecOps
+		unitSubparts += r.Unit.Subpartitions
+		unitSum += r.Unit.SumSizes
+		nonVecOps += r.NonUnit.VecOps
+		nonSubparts += r.NonUnit.Subpartitions
+		nonSum += r.NonUnit.SumSizes
+	}
+	rep.PerInstr = results
+	if rec != nil {
+		rec.Add(obs.PartitionsEmitted, int64(totalPartitions))
+		rec.Add(obs.UnitVecOps, int64(unitVecOps))
+		rec.Add(obs.NonUnitVecOps, int64(nonVecOps))
+	}
+
+	rep.TotalCandidateOps = totalOps
+	if totalPartitions > 0 {
+		rep.AvgConcurrency = float64(totalOps) / float64(totalPartitions)
+	}
+	if totalOps > 0 {
+		rep.UnitVecOpsPct = 100 * float64(unitVecOps) / float64(totalOps)
+		rep.NonUnitVecOpsPct = 100 * float64(nonVecOps) / float64(totalOps)
+	}
+	if unitSubparts > 0 {
+		rep.UnitAvgVecSize = float64(unitSum) / float64(unitSubparts)
+	}
+	if nonSubparts > 0 {
+		rep.NonUnitAvgVecSize = float64(nonSum) / float64(nonSubparts)
+	}
+
+	sort.SliceStable(rep.PerInstr, func(i, j int) bool {
+		if rep.PerInstr[i].Line != rep.PerInstr[j].Line {
+			return rep.PerInstr[i].Line < rep.PerInstr[j].Line
+		}
+		return rep.PerInstr[i].ID < rep.PerInstr[j].ID
+	})
+	return rep, sweepErr
+}
+
+// finishCand runs the post-timestamp stages for one candidate column. The
+// instance handles handed to partition/stride are iota positions into the
+// column's parallel arrays; the mapping to the oracle's node indices is
+// order-preserving, so every grouping and every group size is identical.
+func (k *StreamKernel) finishCand(ca *candCol) InstrReport {
+	nInst := len(ca.instTS)
+	for len(k.iota) < nInst {
+		k.iota = append(k.iota, int32(len(k.iota)))
+	}
+	inst := k.iota[:nInst]
+	sc := &k.fin
+	parts := sc.partition(inst, ca.instTS)
+	in := k.mod.InstrAt(ca.id)
+	tup := func(p int32) [3]int64 {
+		t := ca.tup[p]
+		if t[0] == ddg.NoAddr {
+			t[0] = 0 // never stored: the paper's artificial address
+		}
+		return t
+	}
+	unit, non := strideStatsFn(tup, parts, in.Type.Size(), sc)
+	var cp int32
+	for _, t := range ca.instTS {
+		if t > cp {
+			cp = t
+		}
+	}
+	isRed := ca.elig && nInst >= 3 && float64(ca.accum)/float64(nInst-1) >= 0.5
+	rep := InstrReport{
+		ID: ca.id, Line: in.Pos.Line, AssignID: in.AssignID, Text: in.String(),
+		Instances: nInst, Partitions: len(parts), CriticalPath: cp,
+		Unit:        StrideSummary{VecOps: unit.VecOps, Subpartitions: unit.Subpartitions, SumSizes: unit.SumSizes},
+		NonUnit:     StrideSummary{VecOps: non.VecOps, Subpartitions: non.Subpartitions, SumSizes: non.SumSizes},
+		IsReduction: isRed,
+	}
+	if len(parts) > 0 {
+		rep.AvgPartitionSize = float64(nInst) / float64(len(parts))
+	}
+	return rep
+}

@@ -1,0 +1,235 @@
+package core_test
+
+// Kernel-level differential testing of the one-pass stream kernel: for
+// random programs and every graph-option variant, feeding a region's events
+// through AcquireStreamKernel/Feed/Finish must produce a Report
+// byte-identical (reflect.DeepEqual) to materializing the region with
+// ddg.BuildOpts and analyzing it with core.AnalyzeCtx. The Analyze-level and
+// streaming-region-level differentials live in internal/pipeline.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/example/vectrace/internal/core"
+	"github.com/example/vectrace/internal/ddg"
+	"github.com/example/vectrace/internal/pipeline"
+	"github.com/example/vectrace/internal/trace"
+)
+
+// streamTrace compiles and traces one generated program (the same random
+// shapes the fused differential uses, which cover streaming statements,
+// recurrences, reductions, and conditional stores).
+func streamTrace(t *testing.T, seed int64) (*trace.Trace, string) {
+	t.Helper()
+	src := genFusedProgram(seed)
+	_, _, tr, err := pipeline.CompileAndTrace(fmt.Sprintf("stream%d.c", seed), src)
+	if err != nil {
+		t.Fatalf("pipeline failed:\n%s\nerror: %v", src, err)
+	}
+	return tr, src
+}
+
+// oneShot runs the whole trace through a pooled stream kernel.
+func oneShot(t *testing.T, tr *trace.Trace, dopts ddg.Options, opts core.Options) (*core.Report, error) {
+	t.Helper()
+	k := core.AcquireStreamKernel(tr.Module, dopts, opts, nil)
+	defer k.Release()
+	for _, ev := range tr.Events {
+		if err := k.Feed(ev.ID, ev.Addr); err != nil {
+			return nil, err
+		}
+	}
+	return k.Finish(context.Background())
+}
+
+// materialized is the oracle: build the full graph, analyze it.
+func materialized(t *testing.T, tr *trace.Trace, dopts ddg.Options, opts core.Options) (*core.Report, error) {
+	t.Helper()
+	g, err := ddg.BuildOpts(tr, dopts)
+	if err != nil {
+		t.Fatalf("ddg.BuildOpts: %v", err)
+	}
+	return core.AnalyzeCtx(context.Background(), g, opts)
+}
+
+var streamDoptsVariants = []struct {
+	name  string
+	dopts ddg.Options
+}{
+	{"flow", ddg.Options{}},
+	{"anti-output", ddg.Options{IncludeAntiOutput: true}},
+	{"control", ddg.Options{IncludeControl: true}},
+	{"ints", ddg.Options{CharacterizeInts: true}},
+	{"all", ddg.Options{IncludeAntiOutput: true, IncludeControl: true, CharacterizeInts: true}},
+}
+
+// TestStreamKernelMatchesMaterialized is the core differential: whole-trace
+// reports from the one-pass kernel equal the materialized oracle across
+// random programs and every graph-option variant. Kernels are reused from
+// the pool across cases, so the test also exercises recycled tables.
+func TestStreamKernelMatchesMaterialized(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		tr, src := streamTrace(t, seed)
+		for _, v := range streamDoptsVariants {
+			want, wantErr := materialized(t, tr, v.dopts, core.Options{})
+			got, gotErr := oneShot(t, tr, v.dopts, core.Options{})
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("seed %d %s: error mismatch: oracle %v, one-pass %v\n%s", seed, v.name, wantErr, gotErr, src)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d %s: one-pass report differs from materialized oracle\ngot:  %+v\nwant: %+v\nprogram:\n%s",
+					seed, v.name, got, want, src)
+			}
+		}
+	}
+}
+
+// TestStreamKernelMatchesPerRegion feeds each dynamic region of the target
+// loop separately — the shape the pipeline uses — and compares against
+// building each region slice.
+func TestStreamKernelMatchesPerRegion(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		tr, src := streamTrace(t, seed)
+		for _, loop := range tr.Module.Loops {
+			regions := tr.Regions(loop.ID)
+			for ri, r := range regions {
+				sub := tr.Slice(r)
+				for _, v := range streamDoptsVariants {
+					want, wantErr := materialized(t, sub, v.dopts, core.Options{})
+					got, gotErr := oneShot(t, sub, v.dopts, core.Options{})
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("seed %d loop %d region %d %s: error mismatch: %v vs %v", seed, loop.ID, ri, v.name, wantErr, gotErr)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("seed %d loop %d region %d %s: report differs\ngot:  %+v\nwant: %+v\nprogram:\n%s",
+							seed, loop.ID, ri, v.name, got, want, src)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamKernelReductionFlag pins the online reduction detector against
+// the graph-based detector on the canonical reduction kernel shapes that
+// genFusedProgram emits, plus a loop with no reduction at all. (The flag is
+// part of the DeepEqual above; this is the focused failure message.)
+func TestStreamKernelReductionFlag(t *testing.T) {
+	src := `double A[32];
+double s;
+
+void main() {
+  int i;
+  s = 0.0;
+  for (i = 0; i < 32; i++) { A[i] = 0.5 + 0.25 * i; }
+  for (i = 0; i < 32; i++) { s = s + A[i] * 0.5; }
+  print(s);
+}
+`
+	_, _, tr, err := pipeline.CompileAndTrace("red.c", src)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	want, _ := materialized(t, tr, ddg.Options{}, core.Options{})
+	got, err := oneShot(t, tr, ddg.Options{}, core.Options{})
+	if err != nil {
+		t.Fatalf("one-pass: %v", err)
+	}
+	var wantRed, gotRed int
+	for _, r := range want.PerInstr {
+		if r.IsReduction {
+			wantRed++
+		}
+	}
+	for _, r := range got.PerInstr {
+		if r.IsReduction {
+			gotRed++
+		}
+	}
+	if wantRed == 0 {
+		t.Fatalf("oracle found no reduction in the reduction kernel:\n%+v", want.PerInstr)
+	}
+	if gotRed != wantRed {
+		t.Fatalf("one-pass reductions = %d, oracle = %d", gotRed, wantRed)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reduction kernel report differs\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestStreamKernelBudget: a budget tight enough to trip mid-feed degrades
+// the region with an ErrResourceLimit-wrapped error, latched across
+// subsequent Feed and Finish calls; the failure point is deterministic
+// (pool warmth cannot move it).
+func TestStreamKernelBudget(t *testing.T) {
+	tr, _ := streamTrace(t, 1)
+	opts := core.Options{Budget: core.Budget{MaxAnalysisBytes: 512}}
+
+	feedAll := func() (int, error) {
+		k := core.AcquireStreamKernel(tr.Module, ddg.Options{}, opts, nil)
+		defer k.Release()
+		for i, ev := range tr.Events {
+			if err := k.Feed(ev.ID, ev.Addr); err != nil {
+				if _, ferr := k.Finish(context.Background()); ferr == nil || ferr.Error() != err.Error() {
+					t.Fatalf("Finish after failed Feed: got %v, want latched %v", ferr, err)
+				}
+				return i, err
+			}
+		}
+		_, err := k.Finish(context.Background())
+		return len(tr.Events), err
+	}
+
+	at1, err1 := feedAll()
+	if err1 == nil {
+		t.Fatalf("512-byte budget not exceeded over %d events", len(tr.Events))
+	}
+	if !errors.Is(err1, core.ErrResourceLimit) {
+		t.Fatalf("budget error %v does not wrap ErrResourceLimit", err1)
+	}
+	// A second, pool-warmed run must fail at the same event with the same text.
+	at2, err2 := feedAll()
+	if at1 != at2 || err1.Error() != err2.Error() {
+		t.Fatalf("budget failure moved: event %d (%v) vs event %d (%v)", at1, err1, at2, err2)
+	}
+}
+
+// TestStreamKernelCancel mirrors AnalyzeCtx's contract: a canceled context
+// surfaces from Finish wrapping both core.ErrCanceled and the context cause
+// — except for candidate-free regions, which succeed before the check, on
+// both paths.
+func TestStreamKernelCancel(t *testing.T) {
+	tr, _ := streamTrace(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	g, err := ddg.Build(tr)
+	if err != nil {
+		t.Fatalf("ddg.Build: %v", err)
+	}
+	_, wantErr := core.AnalyzeCtx(ctx, g, core.Options{})
+
+	k := core.AcquireStreamKernel(tr.Module, ddg.Options{}, core.Options{}, nil)
+	defer k.Release()
+	for _, ev := range tr.Events {
+		if err := k.Feed(ev.ID, ev.Addr); err != nil {
+			t.Fatalf("Feed: %v", err)
+		}
+	}
+	_, gotErr := k.Finish(ctx)
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("cancel parity: oracle %v, one-pass %v", wantErr, gotErr)
+	}
+	if gotErr != nil {
+		if !errors.Is(gotErr, core.ErrCanceled) || !errors.Is(gotErr, context.Canceled) {
+			t.Fatalf("cancel error %v should wrap ErrCanceled and context.Canceled", gotErr)
+		}
+		if gotErr.Error() != wantErr.Error() {
+			t.Fatalf("cancel error text differs: %q vs %q", gotErr, wantErr)
+		}
+	}
+}

@@ -23,14 +23,27 @@ type Subpartition struct {
 // length for this group.
 func (s *Subpartition) Size() int { return len(s.Nodes) }
 
-// sortByTuple orders instance nodes by their memory-access tuples
+// tupleFn resolves an instance handle to its memory-access tuple. The
+// graph-backed analyses resolve node indices through tupleOf; the one-pass
+// stream kernel resolves per-candidate instance positions into its online
+// tuple array. The stride machinery below is agnostic: it only compares and
+// subtracts tuples, so any order-preserving handle space yields identical
+// groupings.
+type tupleFn func(n int32) [3]int64
+
+// graphTuple adapts a materialized graph to the tupleFn interface.
+func graphTuple(g *ddg.Graph) tupleFn {
+	return func(n int32) [3]int64 { return tupleOf(&g.Nodes[n]) }
+}
+
+// sortByTupleFn orders instance handles by their memory-access tuples
 // (lexicographically), the order in which uniform strides become adjacent.
-func sortByTuple(g *ddg.Graph, nodes []int32) []int32 {
+func sortByTupleFn(tup tupleFn, nodes []int32) []int32 {
 	sorted := make([]int32, len(nodes))
 	copy(sorted, nodes)
 	sort.SliceStable(sorted, func(i, j int) bool {
-		a := tupleOf(&g.Nodes[sorted[i]])
-		b := tupleOf(&g.Nodes[sorted[j]])
+		a := tup(sorted[i])
+		b := tup(sorted[j])
 		for k := 0; k < 3; k++ {
 			if a[k] != b[k] {
 				return a[k] < b[k]
@@ -46,7 +59,11 @@ func sortByTuple(g *ddg.Graph, nodes []int32) []int32 {
 // subpartition ends when a component stride is non-zero and non-unit, or
 // differs from the previously observed stride for that component.
 func UnitStrideSubpartitions(g *ddg.Graph, p *Partition, elemSize int64) []Subpartition {
-	sorted := sortByTuple(g, p.Nodes)
+	return unitStrideSubpartitionsFn(graphTuple(g), p.Nodes, elemSize)
+}
+
+func unitStrideSubpartitionsFn(tup tupleFn, nodes []int32, elemSize int64) []Subpartition {
+	sorted := sortByTupleFn(tup, nodes)
 	var out []Subpartition
 	var cur Subpartition
 	flush := func() {
@@ -60,8 +77,8 @@ func UnitStrideSubpartitions(g *ddg.Graph, p *Partition, elemSize int64) []Subpa
 			cur.Nodes = append(cur.Nodes, n)
 			continue
 		}
-		prev := tupleOf(&g.Nodes[cur.Nodes[len(cur.Nodes)-1]])
-		t := tupleOf(&g.Nodes[n])
+		prev := tup(cur.Nodes[len(cur.Nodes)-1])
+		t := tup(n)
 		ok := true
 		var strides [3]int64
 		for k := 0; k < 3; k++ {
@@ -99,7 +116,11 @@ func UnitStrideSubpartitions(g *ddg.Graph, p *Partition, elemSize int64) []Subpa
 // Any constant per-component stride is accepted — including the non-unit
 // strides whose presence signals a profitable data-layout transformation.
 func NonUnitStrideSubpartitions(g *ddg.Graph, nodes []int32) []Subpartition {
-	pending := sortByTuple(g, nodes)
+	return nonUnitStrideSubpartitionsFn(graphTuple(g), nodes)
+}
+
+func nonUnitStrideSubpartitionsFn(tup tupleFn, nodes []int32) []Subpartition {
+	pending := sortByTupleFn(tup, nodes)
 	var out []Subpartition
 	for len(pending) > 0 {
 		var cur Subpartition
@@ -110,8 +131,8 @@ func NonUnitStrideSubpartitions(g *ddg.Graph, nodes []int32) []Subpartition {
 				cur.Nodes = append(cur.Nodes, n)
 				continue
 			}
-			prev := tupleOf(&g.Nodes[cur.Nodes[len(cur.Nodes)-1]])
-			t := tupleOf(&g.Nodes[n])
+			prev := tup(cur.Nodes[len(cur.Nodes)-1])
+			t := tup(n)
 			var strides [3]int64
 			for k := 0; k < 3; k++ {
 				strides[k] = t[k] - prev[k]
@@ -159,7 +180,14 @@ func (s *StrideStats) AvgVecSize() float64 {
 	return float64(s.SumSizes) / float64(s.Subpartitions)
 }
 
-// strideStats runs §3.2 and §3.3 over all partitions of one instruction.
+// strideStats runs §3.2 and §3.3 over all partitions of one instruction on
+// a materialized graph.
+func strideStats(g *ddg.Graph, parts []Partition, elemSize int64, sc *instrScratch) (unit, non StrideStats) {
+	return strideStatsFn(graphTuple(g), parts, elemSize, sc)
+}
+
+// strideStatsFn is strideStats over an arbitrary tuple resolver — the form
+// both the materialized path and the one-pass stream kernel share.
 //
 // Instances in singleton *parallel* partitions are serial and excluded
 // from both analyses (only "instructions within a non-singleton parallel
@@ -173,14 +201,14 @@ func (s *StrideStats) AvgVecSize() float64 {
 // reproduces the former timestamp-keyed map grouping byte for byte while
 // needing no per-node timestamp array — which is what lets the fused
 // kernel avoid materializing one.
-func strideStats(g *ddg.Graph, parts []Partition, elemSize int64, sc *instrScratch) (unit, non StrideStats) {
+func strideStatsFn(tup tupleFn, parts []Partition, elemSize int64, sc *instrScratch) (unit, non StrideStats) {
 	for i := range parts {
 		p := &parts[i]
 		if len(p.Nodes) == 1 {
 			continue // singleton parallel partition: not vectorizable, not waitlisted
 		}
 		sc.singles = sc.singles[:0]
-		for _, sp := range UnitStrideSubpartitions(g, p, elemSize) {
+		for _, sp := range unitStrideSubpartitionsFn(tup, p.Nodes, elemSize) {
 			if sp.Size() > 1 {
 				unit.VecOps += sp.Size()
 				unit.Subpartitions++
@@ -192,7 +220,7 @@ func strideStats(g *ddg.Graph, parts []Partition, elemSize int64, sc *instrScrat
 		if len(sc.singles) < 2 {
 			continue
 		}
-		for _, sp := range NonUnitStrideSubpartitions(g, sc.singles) {
+		for _, sp := range nonUnitStrideSubpartitionsFn(tup, sc.singles) {
 			if sp.Size() > 1 {
 				non.VecOps += sp.Size()
 				non.Subpartitions++

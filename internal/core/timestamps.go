@@ -43,8 +43,19 @@ type Options struct {
 	// Budget bounds the resources the analysis may consume (see Budget).
 	// The zero value imposes no analysis bound. A tight MaxAnalysisBytes
 	// shrinks the automatic tile width; exceeding it fails with an
-	// ErrResourceLimit-wrapped error rather than allocating past it.
+	// ErrResourceLimit-wrapped error rather than allocating past it. On the
+	// one-pass stream path the budget bounds the kernel's live working set
+	// (last-writer tables, shadow memory, instance arrays) instead of the
+	// tile matrix; exceeding it mid-region degrades that region only.
 	Budget Budget
+	// Materialize forces the region-analysis pipeline to build the full
+	// per-region ddg.Graph and analyze it with AnalyzeCtx instead of the
+	// default one-pass stream kernel. The materialized path is the
+	// differential-testing oracle and remains mandatory for the analyses
+	// that genuinely need the whole graph: RelaxReductions re-timestamping,
+	// the critical-path/parallelism profiles, and the Kumar/Larus-style
+	// whole-graph baselines. Output is byte-identical either way.
+	Materialize bool
 }
 
 // Timestamps runs Algorithm 1 for static instruction id over the graph and

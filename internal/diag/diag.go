@@ -180,9 +180,25 @@ type Obs struct {
 	// os.Stderr.
 	ProgressWriter io.Writer
 
-	rec  *obs.Recorder
-	prog *obs.Progress
-	srv  *obs.Server
+	rec      *obs.Recorder
+	prog     *obs.Progress
+	srv      *obs.Server
+	heapStop chan struct{}
+	heapDone chan struct{}
+}
+
+// heapSampleInterval is the cadence of the background heap sampler. Coarse
+// on purpose: ReadMemStats stops the world briefly, and the peaks it feeds
+// (heap_alloc_peak_bytes, heap_sys_peak_bytes) only need to resolve
+// region-scale allocation spikes, which last far longer than this.
+const heapSampleInterval = 50 * time.Millisecond
+
+// sampleHeap records the current heap readings into the max gauges.
+func (o *Obs) sampleHeap() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	o.rec.Max(obs.HeapAllocPeakBytes, int64(ms.HeapAlloc))
+	o.rec.Max(obs.HeapSysPeakBytes, int64(ms.HeapSys))
 }
 
 // Register installs the three observability flags on fs.
@@ -223,6 +239,21 @@ func (o *Obs) Start() error {
 		}
 		o.srv = srv
 	}
+	o.heapStop = make(chan struct{})
+	o.heapDone = make(chan struct{})
+	go func() {
+		defer close(o.heapDone)
+		tick := time.NewTicker(heapSampleInterval)
+		defer tick.Stop()
+		for {
+			o.sampleHeap()
+			select {
+			case <-o.heapStop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
 	return nil
 }
 
@@ -252,6 +283,14 @@ func (o *Obs) Stop(config map[string]any) error {
 		if err != nil && first == nil {
 			first = err
 		}
+	}
+	if o.heapStop != nil {
+		close(o.heapStop)
+		<-o.heapDone
+		o.heapStop, o.heapDone = nil, nil
+		// One final reading so a run shorter than the sample interval still
+		// exports a non-zero peak.
+		o.sampleHeap()
 	}
 	o.prog.Stop()
 	o.prog = nil

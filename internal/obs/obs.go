@@ -94,6 +94,24 @@ const (
 	// AnalysisFootprintBytes is a max gauge of the estimated analysis
 	// working set (timestamp matrices + result rows) per region.
 	AnalysisFootprintBytes
+	// ShadowPeakLiveAddresses is a max gauge of the one-pass stream
+	// kernel's shadow-memory table: the largest number of distinct live
+	// addresses any single region held at once. Together with the tile
+	// width it is the kernel's memory model — O(live addresses × tile
+	// width) — observed.
+	ShadowPeakLiveAddresses
+	// StreamPoolHits / StreamPoolMisses track reuse of the pooled one-pass
+	// stream kernels (last-writer tables, shadow maps, per-candidate
+	// instance arrays and stride scratch). A miss is a fresh allocation; a
+	// hit means a region was analyzed entirely in recycled memory.
+	StreamPoolHits
+	StreamPoolMisses
+	// HeapAllocPeakBytes / HeapSysPeakBytes are max gauges of the Go
+	// runtime's HeapAlloc / HeapSys, sampled by the diag layer while a run
+	// is observed — the whole-process memory high-water marks that land in
+	// the perf trajectory next to the analytical footprint gauges.
+	HeapAllocPeakBytes
+	HeapSysPeakBytes
 
 	numCounters
 )
@@ -126,6 +144,11 @@ var counterNames = [numCounters]string{
 	"budget_max_steps",
 	"budget_max_analysis_bytes",
 	"analysis_footprint_bytes",
+	"shadow_peak_live_addresses",
+	"stream_pool_hits",
+	"stream_pool_misses",
+	"heap_alloc_peak_bytes",
+	"heap_sys_peak_bytes",
 }
 
 // Name returns the counter's stable snake_case export key.

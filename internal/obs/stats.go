@@ -39,8 +39,12 @@ type RunStats struct {
 	Failures FailureSummary `json:"failures"`
 }
 
-// RunStatsVersion is the current RunStats schema version.
-const RunStatsVersion = 1
+// RunStatsVersion is the current RunStats schema version. Version 2 added
+// the one-pass memory telemetry to the required counter set: process heap
+// peaks (heap_alloc_peak_bytes, heap_sys_peak_bytes, sampled by the CLI
+// while the run is live) and the stream kernels' live-address high-water
+// mark (shadow_peak_live_addresses).
+const RunStatsVersion = 2
 
 // SpanStats is one recorded stage span. StartNs is relative to the
 // recorder's start, so spans order and nest without absolute clocks.
@@ -125,6 +129,9 @@ var requiredCounters = []string{
 	"candidates_analyzed",
 	"tiles_dispatched",
 	"partitions_emitted",
+	"shadow_peak_live_addresses",
+	"heap_alloc_peak_bytes",
+	"heap_sys_peak_bytes",
 }
 
 // ValidateRunStats performs the golden-style schema check on a marshaled

@@ -142,6 +142,60 @@ type RegionReport struct {
 	Elapsed time.Duration
 }
 
+// useOnePass reports whether the region-analysis paths run the default
+// one-pass stream kernel (ingest→analyze fused, no materialized graph) or
+// fall back to building the full per-region ddg.Graph. The fallback covers
+// the cases that genuinely need the whole graph — RelaxReductions
+// re-timestamps with graph-wide reduction cuts, and the negative-TileSize
+// legacy oracle — plus an explicit opts.Materialize request (the
+// differential-testing oracle). Output is byte-identical on both routes.
+func useOnePass(copts core.Options) bool {
+	return !copts.Materialize && !copts.RelaxReductions && copts.TileSize >= 0
+}
+
+// analyzeRegionOnePass runs one region's events through a pooled stream
+// kernel: the fused ingest→analyze pass. Cancellation is polled at the
+// scanner's granularity, but only from the second poll window on — regions
+// shorter than the poll interval behave exactly like the materialized
+// AnalyzeCtx, which for a candidate-free region succeeds even on a canceled
+// context.
+func analyzeRegionOnePass(ctx context.Context, mod *ir.Module, events []trace.Event, dopts ddg.Options, copts core.Options, rec *obs.Recorder) (*core.Report, error) {
+	k := core.AcquireStreamKernel(mod, dopts, copts, rec)
+	defer k.Release()
+	sw := rec.StartTimer("tile-sweep")
+	for i, ev := range events {
+		if i%4096 == 4095 {
+			if err := core.Canceled(ctx); err != nil {
+				sw.Stop()
+				return nil, err
+			}
+		}
+		if err := k.Feed(ev.ID, ev.Addr); err != nil {
+			sw.Stop()
+			return nil, err
+		}
+	}
+	sw.Stop()
+	return k.Finish(ctx)
+}
+
+// AnalyzeRegion analyzes one region sub-trace through the default route:
+// the one-pass stream kernel when copts allows it (see useOnePass), the
+// materialized ddg.Graph otherwise. It is the single-region building block
+// behind the region fan-outs here and the report package's
+// representative-region sampling; both routes produce byte-identical
+// reports.
+func AnalyzeRegion(ctx context.Context, sub *trace.Trace, dopts ddg.Options, copts core.Options) (*core.Report, error) {
+	if useOnePass(copts) {
+		return analyzeRegionOnePass(ctx, sub.Module, sub.Events, dopts, copts, obs.FromContext(ctx))
+	}
+	g, err := ddg.BuildOpts(sub, dopts)
+	if err != nil {
+		return nil, err
+	}
+	return core.AnalyzeCtx(ctx, g, copts)
+}
+
 // labelRegionErrors attributes ParallelFor unit failures (recovered panics)
 // to their region slots: each recovered *UnitError gains the "region" label
 // and lands in its region's Err field unless a more specific error is
@@ -159,9 +213,12 @@ func labelRegionErrors(err error, out []RegionReport) {
 }
 
 // AnalyzeLoopRegions analyzes every dynamic execution (sub-trace region) of
-// the loop whose "for"/"while" keyword is on the given source line. Regions
-// are independent — each gets its own DDG — so their construction and
-// analysis fan out across copts.WorkerCount() workers. Region-level
+// the loop whose "for"/"while" keyword is on the given source line. By
+// default each region's events run straight through the one-pass stream
+// kernel (no per-region graph is materialized); the materialized-graph
+// route remains selectable via copts (see useOnePass) and produces
+// byte-identical output. Regions are independent, so their analysis fans
+// out across copts.WorkerCount() workers. Region-level
 // parallelism outranks instruction-level parallelism (regions are the
 // coarser independent unit), so each region's Analyze runs with Workers=1;
 // the remaining copts — including TileSize, so each region's sweep runs
@@ -211,11 +268,18 @@ func AnalyzeLoopRegionsCtx(ctx context.Context, tr *trace.Trace, line int, dopts
 			}
 			return out[i].Err
 		}
-		g, err := ddg.BuildOpts(sub, dopts)
-		if err != nil {
-			return fail(err)
+		var rep *core.Report
+		var err error
+		if useOnePass(inner) {
+			rep, err = analyzeRegionOnePass(ctx, tr.Module, sub.Events, dopts, inner, rec)
+		} else {
+			var g *ddg.Graph
+			g, err = ddg.BuildOpts(sub, dopts)
+			if err != nil {
+				return fail(err)
+			}
+			rep, err = core.AnalyzeCtx(ctx, g, inner)
 		}
-		rep, err := core.AnalyzeCtx(ctx, g, inner)
 		out[i].Report = rep
 		if err != nil {
 			return fail(err)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/example/vectrace/internal/core"
@@ -68,14 +69,16 @@ func RecordCtx(ctx context.Context, mod *ir.Module, w io.Writer, budget core.Bud
 // AnalyzeLoopRegionsStream is the bounded-memory counterpart of
 // AnalyzeLoopRegions: it scans src for the dynamic regions of the loop
 // whose "for"/"while" keyword is on the given source line and runs the full
-// per-region analysis as regions arrive. At most 2×copts.WorkerCount()
-// regions are materialized at any moment (the worker pool plus its feed
-// queue), so peak memory scales with the largest region, never the trace.
+// per-region analysis as regions arrive. On the default one-pass route,
+// region events flow straight from the scan into pooled stream kernels in
+// bounded chunks — no region is ever materialized — so peak memory scales
+// with the kernels' live working set (O(live addresses × candidates)), not
+// with region length. On the materialized fallback (see useOnePass), at
+// most 2×copts.WorkerCount() regions are materialized at any moment.
 //
 // The per-region computation is byte-for-byte the one AnalyzeLoopRegions
-// performs — each region's Analyze runs with Workers=1 but otherwise
-// inherits copts, so the fused tiled kernel (and any TileSize override)
-// applies here too — and results land in region-index order, so the output
+// performs — each region's analysis runs with Workers=1 but otherwise
+// inherits copts — and results land in region-index order, so the output
 // is identical to the in-memory path for any worker count and tile width.
 func AnalyzeLoopRegionsStream(mod *ir.Module, src trace.EventSource, line int, dopts ddg.Options, copts core.Options) ([]RegionReport, error) {
 	return AnalyzeLoopRegionsStreamCtx(context.Background(), mod, src, line, dopts, copts)
@@ -105,6 +108,12 @@ func AnalyzeLoopRegionsStreamCtx(ctx context.Context, mod *ir.Module, src trace.
 	ctx, span := obs.StartSpan(ctx, "region-analyze")
 	defer span.End()
 	rec := obs.FromContext(ctx)
+	if useOnePass(copts) {
+		return analyzeRegionsOnePassStream(ctx, rec, mod, lm.ID, line, dopts, copts,
+			func(factory trace.SinkFactory) (int, error) {
+				return trace.FeedRegions(ctx, mod, lm.ID, src, factory)
+			})
+	}
 	sc := trace.NewRegionScannerCtx(ctx, mod, lm.ID, src)
 	workers := copts.WorkerCount()
 	inner := copts
@@ -212,6 +221,356 @@ func AnalyzeLoopRegionsStreamCtx(ctx context.Context, mod *ir.Module, src trace.
 		errs = append(errs, err)
 	}
 	return out, errors.Join(errs...)
+}
+
+// streamChunkEvents is the event granularity at which the feed goroutine
+// hands region events to a kernel worker; streamChunkQueue bounds the
+// chunks buffered per in-flight region. Together they are the one-pass
+// path's only event retention — a few thousand events per resident region,
+// independent of region length — and the backpressure that stops the scan
+// from outrunning the kernels.
+const (
+	streamChunkEvents = 1024
+	streamChunkQueue  = 4
+)
+
+// onePassDispatch is the shared state of one streaming one-pass run: the
+// chunk freelist and the retained-event accounting behind the
+// ScanPeakRetainedEvents gauge.
+type onePassDispatch struct {
+	rec         *obs.Recorder
+	outstanding atomic.Int64
+	chunkMu     sync.Mutex
+	chunkFree   [][]trace.Event
+	open        int // open sinks; touched only by the feed goroutine
+}
+
+func (d *onePassDispatch) getChunk() []trace.Event {
+	d.chunkMu.Lock()
+	defer d.chunkMu.Unlock()
+	if n := len(d.chunkFree); n > 0 {
+		c := d.chunkFree[n-1]
+		d.chunkFree[n-1] = nil
+		d.chunkFree = d.chunkFree[:n-1]
+		return c[:0]
+	}
+	return make([]trace.Event, 0, streamChunkEvents)
+}
+
+func (d *onePassDispatch) putChunk(c []trace.Event) {
+	d.chunkMu.Lock()
+	d.chunkFree = append(d.chunkFree, c)
+	d.chunkMu.Unlock()
+}
+
+// onePassSink routes one region's events from the feed goroutine to its
+// kernel worker in chunks. Event/Close/Abort run on the feed goroutine; the
+// worker reads idx/aborted only after the channel closes, so the close is
+// the synchronization point. An inert sink (cancellation hit while waiting
+// for a worker slot) discards everything.
+type onePassSink struct {
+	d       *onePassDispatch
+	ch      chan []trace.Event
+	cur     []trace.Event
+	idx     int
+	aborted bool
+	inert   bool
+	hasSem  bool
+}
+
+func (s *onePassSink) Event(ev trace.Event) {
+	if s.inert {
+		return
+	}
+	if s.cur == nil {
+		s.cur = s.d.getChunk()
+	}
+	s.cur = append(s.cur, ev)
+	if len(s.cur) == cap(s.cur) {
+		s.flush()
+	}
+}
+
+func (s *onePassSink) flush() {
+	if len(s.cur) == 0 {
+		return
+	}
+	n := s.d.outstanding.Add(int64(len(s.cur)))
+	s.d.rec.Max(obs.ScanPeakRetainedEvents, n)
+	s.ch <- s.cur
+	s.cur = nil
+}
+
+func (s *onePassSink) Close(index int) {
+	if s.inert {
+		return
+	}
+	s.idx = index
+	s.flush()
+	close(s.ch)
+	s.d.open--
+}
+
+func (s *onePassSink) Abort() {
+	if s.inert {
+		return
+	}
+	s.aborted = true
+	if s.cur != nil {
+		s.d.putChunk(s.cur)
+		s.cur = nil
+	}
+	close(s.ch)
+	s.d.open--
+}
+
+// analyzeRegionsOnePassStream is the streaming dispatcher of the one-pass
+// path: drive pushes the trace through a RegionFeed whose sinks hand each
+// open region's events to a dedicated kernel worker. Workers are bounded by
+// copts.WorkerCount(); nested target regions (recursion into the analyzed
+// loop) oversubscribe the pool rather than block the feed, since an open
+// outer region can only drain while the feed advances.
+func analyzeRegionsOnePassStream(ctx context.Context, rec *obs.Recorder, mod *ir.Module, loopID, line int, dopts ddg.Options, copts core.Options, drive func(trace.SinkFactory) (int, error)) ([]RegionReport, error) {
+	workers := copts.WorkerCount()
+	inner := copts
+	inner.Workers = 1
+
+	var (
+		mu  sync.Mutex
+		out []RegionReport
+	)
+	place := func(rr RegionReport) {
+		mu.Lock()
+		defer mu.Unlock()
+		for len(out) <= rr.Index {
+			out = append(out, RegionReport{})
+		}
+		out[rr.Index] = rr
+	}
+
+	d := &onePassDispatch{rec: rec}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+
+	run := func(s *onePassSink) {
+		defer wg.Done()
+		var start time.Time
+		if rec != nil {
+			start = time.Now()
+			rec.Add(obs.RegionsStarted, 1)
+		}
+		rt := rec.StartTimer("region")
+		k := core.AcquireStreamKernel(mod, dopts, inner, rec)
+		events := 0
+		var feedErr error
+		for chunk := range s.ch {
+			// Chunks keep draining after a feed error (the region is
+			// degraded, not the stream): stopping would deadlock the feed.
+			if feedErr == nil {
+				sw := rec.StartTimer("tile-sweep")
+				feedErr = core.Guard(0, "region", -1, func() error {
+					for _, ev := range chunk {
+						if err := k.Feed(ev.ID, ev.Addr); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				sw.Stop()
+			}
+			events += len(chunk)
+			d.outstanding.Add(-int64(len(chunk)))
+			d.putChunk(chunk)
+		}
+		if s.aborted {
+			// The stream failed or was canceled while this region was open:
+			// it has no close index and no report slot. Counting it failed
+			// keeps the lifecycle balance started == completed + failed.
+			k.Release()
+			rt.Stop()
+			if rec != nil {
+				rec.Add(obs.RegionsFailed, 1)
+				rec.GaugeDec(obs.ResidentRegions)
+			}
+			if s.hasSem {
+				<-sem
+			}
+			return
+		}
+		idx := s.idx
+		rr := RegionReport{Index: idx, Events: events}
+		err := feedErr
+		if err == nil {
+			err = core.Guard(idx, "region", int64(idx), func() error {
+				rep, ferr := k.Finish(ctx)
+				rr.Report = rep
+				return ferr
+			})
+		} else {
+			// The feed ran before the close index existed; patch the
+			// placeholder labels of any recovered panic.
+			for _, ue := range core.UnitErrors(err) {
+				if ue.Kind == "region" && ue.ID == -1 {
+					ue.Unit = idx
+					ue.ID = int64(idx)
+				}
+			}
+		}
+		k.Release()
+		if err != nil {
+			rr.Err = fmt.Errorf("pipeline: region %d: %w", idx, err)
+			if rec != nil {
+				rec.Add(obs.RegionsFailed, 1)
+				rec.RecordRegionFailure(rr.Err.Error())
+			}
+		} else if rec != nil {
+			rec.Add(obs.RegionsCompleted, 1)
+		}
+		rt.Stop()
+		if rec != nil {
+			rr.Elapsed = time.Since(start)
+			rec.GaugeDec(obs.ResidentRegions)
+		}
+		place(rr)
+		if s.hasSem {
+			<-sem
+		}
+	}
+
+	factory := func() trace.RegionSink {
+		s := &onePassSink{d: d, idx: -1}
+		acquired := false
+		select {
+		case sem <- struct{}{}:
+			acquired = true
+		default:
+			if d.open == 0 {
+				select {
+				case sem <- struct{}{}:
+					acquired = true
+				case <-ctx.Done():
+					s.inert = true
+					return s
+				}
+			}
+			// d.open > 0 means the new region nests inside an open one
+			// (recursion into the target loop). Blocking for a slot here
+			// would deadlock: the outer region's worker can only finish
+			// once the feed advances. Oversubscribe by the nesting depth.
+		}
+		s.hasSem = acquired
+		s.ch = make(chan []trace.Event, streamChunkQueue)
+		d.open++
+		rec.GaugeInc(obs.ResidentRegions, obs.PeakResidentRegions)
+		wg.Add(1)
+		go run(s)
+		return s
+	}
+
+	closed, scanErr := drive(factory)
+	wg.Wait()
+	if scanErr != nil {
+		if off, ok := trace.CorruptOffset(scanErr); ok {
+			rec.SetCorruptByte(off)
+		}
+	}
+	if closed == 0 && scanErr == nil && ctx.Err() == nil {
+		return nil, fmt.Errorf("pipeline: loop on line %d never executed", line)
+	}
+	if ctx.Err() != nil {
+		// Inert sinks (cancellation during worker-slot wait) consume a close
+		// index without placing a report; truncate at the first hole so the
+		// returned prefix is dense.
+		for i := range out {
+			if out[i].Report == nil && out[i].Err == nil {
+				out = out[:i]
+				break
+			}
+		}
+	}
+	errs := make([]error, 0, 3)
+	for i := range out {
+		if out[i].Err != nil {
+			errs = append(errs, out[i].Err)
+		}
+	}
+	if scanErr != nil {
+		errs = append(errs, scanErr)
+	}
+	if err := core.Canceled(ctx); err != nil {
+		errs = append(errs, err)
+	}
+	return out, errors.Join(errs...)
+}
+
+// feedTracer adapts a RegionFeed to the interpreter's Tracer interface, so
+// a live execution feeds the one-pass kernels directly — trace events flow
+// interpreter → region feed → kernel without ever being buffered, encoded,
+// or written anywhere.
+type feedTracer struct {
+	feed *trace.RegionFeed
+	err  error
+}
+
+// Exec implements interp.Tracer. The first feed error latches; subsequent
+// events are dropped (the interpreter finishes or is canceled on its own).
+func (s *feedTracer) Exec(id int32, addr int64) {
+	if s.err == nil {
+		s.err = s.feed.Push(trace.Event{ID: id, Addr: addr})
+	}
+}
+
+// AnalyzeLoopRegionsLive executes the module's main function and analyzes
+// the dynamic regions of the loop on the given source line as the program
+// runs: the fully fused record→scan→analyze pipeline with no trace
+// materialized at any layer.
+func AnalyzeLoopRegionsLive(mod *ir.Module, line int, dopts ddg.Options, copts core.Options, budget core.Budget) (*interp.Result, []RegionReport, error) {
+	return AnalyzeLoopRegionsLiveCtx(context.Background(), mod, line, dopts, copts, budget)
+}
+
+// AnalyzeLoopRegionsLiveCtx is AnalyzeLoopRegionsLive with cooperative
+// cancellation. Region reports are byte-identical to tracing first and
+// running AnalyzeLoopRegionsCtx over the captured trace. When copts selects
+// the materialized fallback (see useOnePass), the trace is captured
+// in-memory first — the graph-based analyses need it anyway.
+func AnalyzeLoopRegionsLiveCtx(ctx context.Context, mod *ir.Module, line int, dopts ddg.Options, copts core.Options, budget core.Budget) (*interp.Result, []RegionReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !useOnePass(copts) {
+		res, tr, err := TraceCtx(ctx, mod, budget)
+		if err != nil {
+			return nil, nil, err
+		}
+		regs, err := AnalyzeLoopRegionsCtx(ctx, tr, line, dopts, copts)
+		return res, regs, err
+	}
+	lm := mod.LoopByLine(line)
+	if lm == nil {
+		return nil, nil, fmt.Errorf("pipeline: no loop on line %d", line)
+	}
+	ctx, span := obs.StartSpan(ctx, "region-analyze")
+	defer span.End()
+	rec := obs.FromContext(ctx)
+	var res *interp.Result
+	regs, err := analyzeRegionsOnePassStream(ctx, rec, mod, lm.ID, line, dopts, copts,
+		func(factory trace.SinkFactory) (int, error) {
+			feed := trace.NewRegionFeed(ctx, mod, lm.ID, factory)
+			sink := &feedTracer{feed: feed}
+			ictx, sp := obs.StartSpan(ctx, "interp")
+			m := interp.New(mod, interpConfig(budget, sink, true))
+			r, rerr := m.RunContext(ictx, "main")
+			sp.End()
+			res = r
+			if sink.err != nil {
+				return feed.Closed(), sink.err
+			}
+			if rerr != nil {
+				return feed.Closed(), feed.Fail(rerr)
+			}
+			return feed.Finish()
+		})
+	return res, regs, err
 }
 
 // LoopRegionStream returns the idx-th dynamic sub-trace of the source loop

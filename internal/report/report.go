@@ -64,15 +64,13 @@ func RepresentativeReportCtx(ctx context.Context, tr *trace.Trace, loopID int, m
 	if len(picks) > maxRegions {
 		picks = picks[:maxRegions]
 	}
-	// The sampled regions are independent; build and analyze them across
-	// opts.WorkerCount() workers, merging by pick index for determinism.
+	// The sampled regions are independent; analyze them across
+	// opts.WorkerCount() workers (each through the default one-pass route;
+	// see pipeline.AnalyzeRegion), merging by pick index for determinism.
 	reps := make([]*core.Report, len(picks))
 	err := core.ParallelFor(ctx, len(picks), opts.WorkerCount(), func(i int) error {
-		g, err := ddg.Build(tr.Slice(regions[picks[i]]))
-		if err != nil {
-			return err
-		}
-		reps[i], err = core.AnalyzeCtx(ctx, g, opts)
+		var err error
+		reps[i], err = pipeline.AnalyzeRegion(ctx, tr.Slice(regions[picks[i]]), ddg.Options{}, opts)
 		return err
 	})
 	if err != nil {
