@@ -7,6 +7,12 @@
 //	vecbench -table 1    one table (1–4)
 //	vecbench -figure 2   one figure (1–2)
 //	vecbench -workers 4  table rows analyzed by a 4-worker pool
+//	vecbench -scan 512   trace scan throughput: VTR1 sequential vs VTR2 indexed
+//
+// The -scan mode records a synthetic multi-region trace in both formats and
+// times the sequential VTR1 scanner against VTR2 indexed scans at doubling
+// worker counts (-block/-compress pick the container encoding, -scan-workers
+// caps the fan-out), cross-checking every run against the VTR1 baseline.
 //
 // Profiling: -cpuprofile, -memprofile, and -trace write the standard
 // runtime profiles for the whole run (view with go tool pprof / trace).
@@ -26,6 +32,7 @@ import (
 	"github.com/example/vectrace/internal/core"
 	"github.com/example/vectrace/internal/diag"
 	"github.com/example/vectrace/internal/report"
+	"github.com/example/vectrace/internal/trace"
 )
 
 func main() {
@@ -34,6 +41,9 @@ func main() {
 	n := flag.Int("n", 16, "problem size for the figures")
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of the paper layout")
 	workers := flag.Int("workers", 0, "analysis worker count (0 = GOMAXPROCS)")
+	scan := flag.Int("scan", 0, "benchmark scan throughput on a trace with this many dynamic `regions` (0 = off)")
+	var tf diag.TraceFormat
+	tf.Register(flag.CommandLine, "trace-format", trace.FormatVTR2, true)
 	var prof diag.Flags
 	prof.Register(flag.CommandLine, "trace")
 	var timeout diag.Timeout
@@ -42,6 +52,10 @@ func main() {
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
+	if err := tf.Validate(false); err != nil {
+		fmt.Fprintln(os.Stderr, "vecbench:", err)
+		os.Exit(2)
+	}
 	if err := obsFlags.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "vecbench:", err)
 		os.Exit(1)
@@ -55,9 +69,12 @@ func main() {
 	defer cancel()
 	opts := core.Options{Workers: *workers}
 	var err error
-	if *csvOut {
+	switch {
+	case *scan > 0:
+		err = runScan(ctx, *scan, opts, tf)
+	case *csvOut:
 		err = runCSV(ctx, *table, *figure, *n, opts)
-	} else {
+	default:
 		err = run(ctx, *table, *figure, *n, opts)
 	}
 	if serr := prof.Stop(); err == nil {
@@ -66,6 +83,11 @@ func main() {
 	config := map[string]any{
 		"table": *table, "figure": *figure, "n": *n,
 		"workers": opts.WorkerCount(), "csv": *csvOut,
+	}
+	if *scan > 0 {
+		config["scan"] = *scan
+		config["trace_format"] = tf.Format
+		config["scan_workers"] = tf.ScanWorkers
 	}
 	if serr := obsFlags.Stop(config); err == nil {
 		err = serr

@@ -22,6 +22,11 @@
 // Recording streams VTR1 events to disk as the program executes, and
 // "analyze -trace file.vtr -line N" replays regions from disk one at a
 // time, so neither side ever materializes the full trace in memory.
+// "record -format vtr2" instead writes the indexed, compressed VTR2
+// container (block-compressed events plus a region index in the footer);
+// analyze sniffs the format, seeks straight to the requested -instance
+// through the index, and fans "-instance -1" region scans across
+// -scan-workers. Old VTR1 files keep working unchanged.
 //
 // Profiling the analysis itself: analyze accepts -cpuprofile and
 // -memprofile (pprof format) and -exectrace (go tool trace format); the
@@ -229,19 +234,31 @@ func run(args []string) error {
 		return nil
 
 	case "record", "trace":
-		// "record" streams VTR1 events to disk as the program runs — the
-		// trace is never materialized in memory. "trace" is the legacy
-		// name for the same operation.
+		// "record" streams events to disk as the program runs — the trace
+		// is never materialized in memory. "trace" is the legacy name for
+		// the same operation. -format vtr2 writes the indexed, compressed
+		// container (seekable regions, parallel scanning); the default
+		// stays vtr1 so existing consumers keep working.
 		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 		out := fs.String("o", "trace.vtr", "output trace file")
+		var tf diag.TraceFormat
+		tf.Register(fs, "format", trace.FormatVTR1, false)
 		if err := parseFlags(fs, rest); err != nil {
 			return err
+		}
+		if err := tf.Validate(false); err != nil {
+			return usageError{err}
 		}
 		f, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
-		res, err := pipeline.Record(mod, f)
+		var res *interp.Result
+		if tf.Format == trace.FormatVTR2 {
+			res, err = pipeline.RecordContainer(mod, f, tf.ContainerOptions())
+		} else {
+			res, err = pipeline.Record(mod, f)
+		}
 		if err != nil {
 			f.Close()
 			return err
@@ -249,7 +266,7 @@ func run(args []string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d events to %s\n", res.Steps, *out)
+		fmt.Printf("wrote %d events to %s (%s)\n", res.Steps, *out, tf.Format)
 		return nil
 	}
 	return usage()
@@ -273,6 +290,8 @@ func analyzeCmd(file, src string, rest []string) error {
 	intOps := fs.Bool("int-ops", false, "also characterize integer add/sub/mul")
 	workers := fs.Int("workers", 0, "analysis worker count (0 = GOMAXPROCS)")
 	tile := fs.Int("tile", 0, "candidates per fused Algorithm-1 pass (0 = auto, <0 = per-candidate kernel)")
+	var tf diag.TraceFormat
+	tf.Register(fs, "trace-format", "auto", true)
 	var prof diag.Flags
 	prof.Register(fs, "exectrace")
 	var timeout diag.Timeout
@@ -284,6 +303,9 @@ func analyzeCmd(file, src string, rest []string) error {
 	}
 	opts := ddg.Options{CharacterizeInts: *intOps}
 	copts := core.Options{RelaxReductions: *relax, Workers: *workers, TileSize: *tile}
+	if err := tf.Validate(true); err != nil {
+		return usageError{err}
+	}
 	if err := obsFlags.Start(); err != nil {
 		return err
 	}
@@ -357,36 +379,54 @@ func analyzeCmd(file, src string, rest []string) error {
 			}
 			return nil
 		}
-		// openTrace opens the input trace with its bytes counted into the
-		// recorder (and its size recorded, for percent-done and ETA).
-		openTrace := func() (*os.File, *obs.CountingReader, error) {
+		// openTrace opens and format-sniffs the input trace, with its bytes
+		// counted into the recorder (and its size recorded, for percent-done
+		// and ETA). VTR1 files stream through the classic decoder; VTR2 files
+		// expose their footer index for seeks and parallel scanning, falling
+		// back to a sequential salvage walk (with a warning) when the index
+		// is damaged.
+		openTrace := func() (*os.File, *trace.Opened, error) {
 			f, err := os.Open(*traceFile)
 			if err != nil {
 				return nil, nil, err
 			}
-			if fi, err := f.Stat(); err == nil {
-				rec.Set(obs.TraceBytesTotal, fi.Size())
+			fi, err := f.Stat()
+			if err != nil {
+				f.Close()
+				return nil, nil, err
 			}
-			return f, &obs.CountingReader{R: f, Rec: rec, C: obs.TraceBytesRead}, nil
+			rec.Set(obs.TraceBytesTotal, fi.Size())
+			o, err := trace.OpenTrace(f, fi.Size(), rec)
+			if err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			if err := tf.CheckOpened(o); err != nil {
+				f.Close()
+				return nil, nil, usageError{err}
+			}
+			if o.IndexErr != nil {
+				fmt.Fprintf(os.Stderr, "vectrace: analyze: trace index unusable (%v); scanning sequentially\n", o.IndexErr)
+			}
+			return f, o, nil
 		}
 
 		if *traceFile != "" && *line != 0 {
 			// Offline mode, the paper's workflow: the instrumented run wrote
-			// the trace to disk; analysis replays it against the same module,
-			// streaming one region at a time so memory stays bounded by the
-			// largest region rather than the trace.
-			f, cr, err := openTrace()
+			// the trace to disk; analysis replays it against the same module.
+			// Sequential streams keep memory bounded by the largest region;
+			// indexed containers additionally seek and fan out (-scan-workers).
+			f, o, err := openTrace()
 			if err != nil {
 				return err
 			}
 			defer f.Close()
-			dec := trace.NewDecoder(cr)
 			if *instance < 0 {
-				regs, err := pipeline.AnalyzeLoopRegionsStreamCtx(ctx, mod, dec, *line, opts, copts)
+				regs, err := pipeline.AnalyzeLoopRegionsOpened(ctx, o, mod, *line, opts, copts, tf.ScanWorkers)
 				printRegions(regs, err)
 				return err
 			}
-			region, err := pipeline.LoopRegionStream(mod, dec, *line, *instance)
+			region, err := pipeline.LoopRegionOpened(o, mod, *line, *instance)
 			if err != nil {
 				return err
 			}
@@ -401,11 +441,11 @@ func analyzeCmd(file, src string, rest []string) error {
 		if *traceFile != "" {
 			// Whole-program analysis needs every event resident; only this
 			// mode decodes the file into memory.
-			f, cr, err := openTrace()
+			f, o, err := openTrace()
 			if err != nil {
 				return err
 			}
-			events, err := trace.Decode(cr)
+			events, err := trace.ReadAll(o.Source())
 			f.Close()
 			if err != nil {
 				return err
@@ -454,6 +494,8 @@ func analyzeCmd(file, src string, rest []string) error {
 	}
 	if *traceFile != "" {
 		config["trace"] = *traceFile
+		config["trace_format"] = tf.Format
+		config["scan_workers"] = tf.ScanWorkers
 	}
 	if serr := obsFlags.Stop(config); err == nil {
 		err = serr

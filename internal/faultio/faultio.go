@@ -52,6 +52,42 @@ func (r *ErrReader) fault() error {
 	return ErrInjected
 }
 
+// ErrReaderAt fails any random-access read touching the byte window
+// [FailAt, FailAt+Len) with Err (ErrInjected when nil) — the ReaderAt
+// analogue of ErrReader, for consumers that seek (the VTR2 container
+// reader) rather than stream. Len <= 0 extends the window to EOF, modeling
+// a device failing from some offset on; a positive Len models a bad sector
+// range with readable data on both sides.
+type ErrReaderAt struct {
+	R      io.ReaderAt
+	FailAt int64 // first byte offset the fault covers
+	Len    int64 // window length; <= 0 means unbounded
+	Err    error // error to inject; nil means ErrInjected
+}
+
+// ReadAt implements io.ReaderAt.
+func (r *ErrReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	end := off + int64(len(p))
+	if end <= r.FailAt || (r.Len > 0 && off >= r.FailAt+r.Len) {
+		return r.R.ReadAt(p, off)
+	}
+	if off >= r.FailAt {
+		return 0, r.fault()
+	}
+	n, err := r.R.ReadAt(p[:r.FailAt-off], off)
+	if err != nil {
+		return n, err
+	}
+	return n, r.fault()
+}
+
+func (r *ErrReaderAt) fault() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
 // TruncatingReader delivers at most N bytes of the underlying reader and
 // then reports a clean io.EOF — modeling a truncated file, the commonest
 // corruption a long-running trace recorder leaves behind.

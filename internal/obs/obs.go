@@ -46,6 +46,20 @@ const (
 	// TraceBytesTotal is the input size when known (a gauge set once);
 	// the progress printer derives percent-done and ETA from it.
 	TraceBytesTotal
+	// TraceBlocksRead counts VTR2 container blocks fetched (frame read and
+	// checksum-verified), whether served from disk or a scan worker's
+	// single-block cache miss. The index-seek guarantee is observable here:
+	// analyzing one region of an N-block trace reads only the blocks its
+	// indexed byte range covers, not all N.
+	TraceBlocksRead
+	// TraceBlocksDecompressed counts the subset of fetched blocks whose
+	// payload was actually stored compressed and had to be inflated (raw
+	// stored blocks are read without a decompression pass).
+	TraceBlocksDecompressed
+	// RegionIndexHits counts region lookups answered by a VTR2 footer index
+	// — region requests that seeked straight to their block range instead of
+	// decoding the stream prefix.
+	RegionIndexHits
 	// EventsScanned counts trace events consumed by the region scanner.
 	EventsScanned
 	// RegionsScanned counts dynamic regions the scanner closed and yielded.
@@ -122,6 +136,9 @@ const (
 var counterNames = [numCounters]string{
 	"trace_bytes_read",
 	"trace_bytes_total",
+	"trace_blocks_read",
+	"trace_blocks_decompressed",
+	"region_index_hits",
 	"events_scanned",
 	"regions_scanned",
 	"regions_started",

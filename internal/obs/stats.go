@@ -121,6 +121,9 @@ func WriteStats(path string, rs *RunStats) error {
 // not disappear without a schema version bump).
 var requiredCounters = []string{
 	"events_scanned",
+	"trace_blocks_read",
+	"trace_blocks_decompressed",
+	"region_index_hits",
 	"regions_started",
 	"regions_completed",
 	"regions_failed",

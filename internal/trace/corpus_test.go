@@ -1,0 +1,62 @@
+package trace_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/example/vectrace/internal/trace"
+)
+
+// TestRegenerateVTR2FuzzCorpus rewrites the on-disk seed corpora for
+// FuzzDecodeVTR2 and FuzzRegionIndex under testdata/fuzz/. Skipped unless
+// VECTRACE_REGEN_CORPUS=1: the corpora are committed, and regeneration is
+// only needed when the wire format (and therefore what a useful seed looks
+// like) changes.
+func TestRegenerateVTR2FuzzCorpus(t *testing.T) {
+	if os.Getenv("VECTRACE_REGEN_CORPUS") != "1" {
+		t.Skip("set VECTRACE_REGEN_CORPUS=1 to rewrite testdata/fuzz corpora")
+	}
+	flate := fuzzContainerBytes(t, trace.ContainerOptions{BlockBytes: 128, Codec: "flate"})
+	none := fuzzContainerBytes(t, trace.ContainerOptions{BlockBytes: 96, Codec: "none"})
+
+	write := func(dir string, i int, data []byte) {
+		t.Helper()
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed%d", i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	decode := [][]byte{
+		flate,
+		none,
+		[]byte("VTR2\x00"),
+		[]byte("VTR2\x01"),
+		flate[:len(flate)/2],
+		none[:len(none)-9],
+	}
+	hdrFlip := append([]byte{}, flate...)
+	hdrFlip[7] ^= 0x40
+	midFlip := append([]byte{}, none...)
+	midFlip[len(midFlip)/2] ^= 0x40
+	decode = append(decode, hdrFlip, midFlip)
+	for i, data := range decode {
+		write("testdata/fuzz/FuzzDecodeVTR2", i, data)
+	}
+
+	index := [][]byte{none, flate}
+	for _, off := range []int{len(none) - 6, len(none) - 12, len(none) - 25, len(none) - 38} {
+		c := append([]byte{}, none...)
+		c[off] ^= 0x11
+		index = append(index, c)
+	}
+	index = append(index, none[:len(none)-8], none[:len(none)-1])
+	for i, data := range index {
+		write("testdata/fuzz/FuzzRegionIndex", i, data)
+	}
+}

@@ -153,6 +153,29 @@ func Encode(w io.Writer, events []Event) error {
 	return e.Close()
 }
 
+// appendEvent appends ev's canonical encoding (uvarint head, optional
+// zigzag address delta) to dst and returns the grown slice plus the updated
+// previous-address chain value. The VTR1 Encoder and the VTR2 block writer
+// share this, so both formats carry byte-identical per-event encodings.
+func appendEvent(dst []byte, ev Event, prevAddr int64) ([]byte, int64, error) {
+	if ev.ID < 0 || int64(ev.ID) > maxID {
+		return dst, prevAddr, fmt.Errorf("trace: event ID %d out of range", ev.ID)
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	head := uint64(ev.ID+1) << 1
+	if ev.Addr != NoAddr {
+		head |= 1
+	}
+	n := binary.PutUvarint(tmp[:], head)
+	dst = append(dst, tmp[:n]...)
+	if ev.Addr != NoAddr {
+		n = binary.PutVarint(tmp[:], ev.Addr-prevAddr)
+		dst = append(dst, tmp[:n]...)
+		prevAddr = ev.Addr
+	}
+	return dst, prevAddr, nil
+}
+
 // A Decoder reads events one at a time from an io.Reader without
 // materializing the stream: peak memory is constant in the trace length.
 //
@@ -160,8 +183,7 @@ func Encode(w io.Writer, events []Event) error {
 // instruction IDs, and reserved address values, so every successfully
 // decoded stream re-encodes byte-identically.
 type Decoder struct {
-	br       io.ByteReader
-	off      int64 // bytes consumed so far, for corruption diagnostics
+	cur      byteCursor
 	prevAddr int64
 	started  bool
 	done     bool
@@ -175,28 +197,37 @@ func NewDecoder(r io.Reader) *Decoder {
 	if !ok {
 		br = bufio.NewReader(r)
 	}
-	return &Decoder{br: br}
+	return &Decoder{cur: byteCursor{br: br}}
 }
 
 // Offset returns the number of stream bytes consumed so far; after a
 // decoding error it names the corrupted position for diagnostics.
-func (d *Decoder) Offset() int64 { return d.off }
+func (d *Decoder) Offset() int64 { return d.cur.off }
+
+// A byteCursor reads bytes from an io.ByteReader while tracking the count
+// consumed, enforcing the canonical (minimal) varint rules the format
+// requires. The VTR1 stream decoder and the VTR2 block/footer decoders all
+// read through one of these, so strictness is defined in exactly one place.
+type byteCursor struct {
+	br  io.ByteReader
+	off int64
+}
 
 // readByte reads one byte, keeping the consumed-byte count current.
-func (d *Decoder) readByte() (byte, error) {
-	b, err := d.br.ReadByte()
+func (c *byteCursor) readByte() (byte, error) {
+	b, err := c.br.ReadByte()
 	if err == nil {
-		d.off++
+		c.off++
 	}
 	return b, err
 }
 
 // readUvarint reads a canonically (minimally) encoded uvarint.
-func (d *Decoder) readUvarint() (uint64, error) {
+func (c *byteCursor) readUvarint() (uint64, error) {
 	var x uint64
 	var s uint
 	for i := 0; ; i++ {
-		b, err := d.readByte()
+		b, err := c.readByte()
 		if err != nil {
 			if err == io.EOF && i > 0 {
 				err = io.ErrUnexpectedEOF
@@ -218,8 +249,8 @@ func (d *Decoder) readUvarint() (uint64, error) {
 }
 
 // readVarint reads a canonically encoded zigzag varint.
-func (d *Decoder) readVarint() (int64, error) {
-	ux, err := d.readUvarint()
+func (c *byteCursor) readVarint() (int64, error) {
+	ux, err := c.readUvarint()
 	if err != nil {
 		return 0, err
 	}
@@ -228,6 +259,33 @@ func (d *Decoder) readVarint() (int64, error) {
 		x = ^x
 	}
 	return x, nil
+}
+
+// decodeEventTail finishes decoding one event whose head uvarint has
+// already been read, consuming the address delta when present and advancing
+// the previous-address chain. On failure the returned context string names
+// the decoding phase ("reading event header" for a bad instruction ID,
+// "reading address delta" otherwise), matching the VTR1 diagnostics. Shared
+// by the VTR1 stream decoder and the VTR2 block decoder.
+func decodeEventTail(cur *byteCursor, head uint64, prevAddr *int64) (Event, string, error) {
+	id := head >> 1
+	if id == 0 || id > maxID+1 {
+		return Event{}, "reading event header", fmt.Errorf("instruction ID %d out of range: %w", int64(id)-1, ErrCorruptTrace)
+	}
+	ev := Event{ID: int32(id) - 1, Addr: NoAddr}
+	if head&1 != 0 {
+		delta, err := cur.readVarint()
+		if err != nil {
+			return Event{}, "reading address delta", err
+		}
+		addr := *prevAddr + delta
+		if addr == NoAddr {
+			return Event{}, "reading address delta", ErrReservedAddr
+		}
+		*prevAddr = addr
+		ev.Addr = addr
+	}
+	return ev, "", nil
 }
 
 // An OffsetError is the typed form of every Decoder failure: it carries the
@@ -269,7 +327,7 @@ func (d *Decoder) fail(context string, err error) (Event, error) {
 	if errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrCorruptTrace) {
 		err = fmt.Errorf("%w: %w", err, ErrCorruptTrace)
 	}
-	d.err = &OffsetError{Context: context, Offset: d.off, Err: err}
+	d.err = &OffsetError{Context: context, Offset: d.cur.off, Err: err}
 	return Event{}, d.err
 }
 
@@ -287,7 +345,7 @@ func (d *Decoder) Next() (Event, error) {
 		d.started = true
 		var m [4]byte
 		for i := range m {
-			b, err := d.readByte()
+			b, err := d.cur.readByte()
 			if err != nil {
 				return d.fail("reading magic", err)
 			}
@@ -297,7 +355,7 @@ func (d *Decoder) Next() (Event, error) {
 			return d.fail("reading magic", fmt.Errorf("bad magic %q: %w", m[:], ErrCorruptTrace))
 		}
 	}
-	head, err := d.readUvarint()
+	head, err := d.cur.readUvarint()
 	if err != nil {
 		return d.fail("reading event header", err)
 	}
@@ -305,22 +363,9 @@ func (d *Decoder) Next() (Event, error) {
 		d.done = true
 		return Event{}, io.EOF
 	}
-	id := head >> 1
-	if id == 0 || id > maxID+1 {
-		return d.fail("reading event header", fmt.Errorf("instruction ID %d out of range: %w", int64(id)-1, ErrCorruptTrace))
-	}
-	ev := Event{ID: int32(id) - 1, Addr: NoAddr}
-	if head&1 != 0 {
-		delta, err := d.readVarint()
-		if err != nil {
-			return d.fail("reading address delta", err)
-		}
-		addr := d.prevAddr + delta
-		if addr == NoAddr {
-			return d.fail("reading address delta", ErrReservedAddr)
-		}
-		d.prevAddr = addr
-		ev.Addr = addr
+	ev, context, err := decodeEventTail(&d.cur, head, &d.prevAddr)
+	if err != nil {
+		return d.fail(context, err)
 	}
 	return ev, nil
 }
@@ -341,8 +386,8 @@ func Decode(r io.Reader) ([]Event, error) {
 		}
 		events = append(events, ev)
 	}
-	if _, err := d.br.ReadByte(); err != io.EOF {
-		return nil, fmt.Errorf("trace: trailing data after end-of-stream sentinel at byte offset %d: %w", d.off, ErrCorruptTrace)
+	if _, err := d.cur.br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("trace: trailing data after end-of-stream sentinel at byte offset %d: %w", d.cur.off, ErrCorruptTrace)
 	}
 	return events, nil
 }
