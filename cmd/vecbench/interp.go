@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"time"
+
+	"github.com/example/vectrace/internal/interp"
+	"github.com/example/vectrace/internal/ir"
+	"github.com/example/vectrace/internal/kernels"
+	"github.com/example/vectrace/internal/pipeline"
+)
+
+// interpSuite is the stock kernel set behind -interp: the paper's Table 2
+// kernels plus Listing 1, sized by the -interp value so the dominant cost is
+// steady-state dispatch rather than setup.
+func interpSuite(n int) []kernels.Kernel {
+	return []kernels.Kernel{
+		kernels.Listing1(n * 8),
+		kernels.GaussSeidel(n, 8),
+		kernels.PDESolver(n, 3),
+	}
+}
+
+// interpRun is one timed execution of a module under one dispatch engine.
+type interpRun struct {
+	res  *interp.Result
+	wall time.Duration
+}
+
+// timeRun executes main once under cfg and returns the result with its wall
+// time.
+func timeRun(ctx context.Context, mod *ir.Module, cfg interp.Config) (interpRun, error) {
+	m := interp.New(mod, cfg)
+	start := time.Now()
+	res, err := m.RunContext(ctx, "main")
+	wall := time.Since(start)
+	if err != nil {
+		return interpRun{}, err
+	}
+	return interpRun{res: res, wall: wall}, nil
+}
+
+// runInterp benchmarks the interpreter's dispatch engines head to head on
+// the stock kernel suite: the legacy switch-loop oracle, the precompiled
+// plan engine, and the plan engine feeding a batched TraceSink (the tracing
+// configuration the analysis pipeline runs). Every row is cross-checked
+// against the oracle — identical Steps, Cycles, FPOps, and print output —
+// before it prints, so the table doubles as a differential. The interpreter
+// itself records interp_steps/interp_batched_events through the recorder on
+// ctx; the per-kernel plan-vs-oracle speedups land in summary, which the
+// caller folds into the stats config map (and so into BENCH_<rev>.json
+// under -stats auto).
+func runInterp(ctx context.Context, n int, summary map[string]any) error {
+	fmt.Printf("== Interpreter dispatch: plan vs oracle (n=%d) ==\n", n)
+	fmt.Printf("%-14s %-12s %12s %14s %9s\n", "kernel", "engine", "wall", "steps/s", "speedup")
+	for _, k := range interpSuite(n) {
+		mod, err := pipeline.Compile(k.Name+".c", k.Source)
+		if err != nil {
+			return err
+		}
+		plan := interp.CompilePlan(mod)
+		oracle, err := timeRun(ctx, mod, interp.Config{Oracle: true, CountLoopCycles: true})
+		if err != nil {
+			return err
+		}
+		row := func(engine string, cfg interp.Config) (interpRun, error) {
+			r, err := timeRun(ctx, mod, cfg)
+			if err != nil {
+				return interpRun{}, err
+			}
+			if r.res.Steps != oracle.res.Steps || r.res.Cycles != oracle.res.Cycles ||
+				r.res.FPOps != oracle.res.FPOps || !reflect.DeepEqual(r.res.Output, oracle.res.Output) {
+				return interpRun{}, fmt.Errorf("interp: %s: %s run diverged from oracle (steps %d vs %d)",
+					k.Name, engine, r.res.Steps, oracle.res.Steps)
+			}
+			fmt.Printf("%-14s %-12s %12s %14.0f %8.2fx\n", k.Name, engine,
+				r.wall.Round(time.Microsecond),
+				float64(r.res.Steps)/r.wall.Seconds(),
+				float64(oracle.wall)/float64(r.wall))
+			return r, nil
+		}
+		fmt.Printf("%-14s %-12s %12s %14.0f %9s\n", k.Name, "oracle",
+			oracle.wall.Round(time.Microsecond),
+			float64(oracle.res.Steps)/oracle.wall.Seconds(), "1.00x")
+		planRun, err := row("plan", interp.Config{Plan: plan, CountLoopCycles: true})
+		if err != nil {
+			return err
+		}
+		sink := &interp.TraceSink{}
+		if _, err := row("plan+trace", interp.Config{Plan: plan, Tracer: sink, CountLoopCycles: true}); err != nil {
+			return err
+		}
+		if got, want := int64(len(sink.Events)), oracle.res.Steps; got > want {
+			return fmt.Errorf("interp: %s: traced %d events for %d steps", k.Name, got, want)
+		}
+		summary[fmt.Sprintf("interp_speedup_%s", k.Name)] =
+			float64(oracle.wall) / float64(planRun.wall)
+		summary[fmt.Sprintf("interp_plan_steps_per_sec_%s", k.Name)] =
+			float64(planRun.res.Steps) / planRun.wall.Seconds()
+	}
+	return nil
+}

@@ -42,6 +42,7 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of the paper layout")
 	workers := flag.Int("workers", 0, "analysis worker count (0 = GOMAXPROCS)")
 	scan := flag.Int("scan", 0, "benchmark scan throughput on a trace with this many dynamic `regions` (0 = off)")
+	interpN := flag.Int("interp", 0, "benchmark interpreter dispatch (plan vs oracle) at this problem `size` (0 = off)")
 	var tf diag.TraceFormat
 	tf.Register(flag.CommandLine, "trace-format", trace.FormatVTR2, true)
 	var prof diag.Flags
@@ -68,8 +69,11 @@ func main() {
 	ctx, cancel := timeout.Context(obsFlags.Context(context.Background()))
 	defer cancel()
 	opts := core.Options{Workers: *workers}
+	interpSummary := map[string]any{}
 	var err error
 	switch {
+	case *interpN > 0:
+		err = runInterp(ctx, *interpN, interpSummary)
 	case *scan > 0:
 		err = runScan(ctx, *scan, opts, tf)
 	case *csvOut:
@@ -88,6 +92,12 @@ func main() {
 		config["scan"] = *scan
 		config["trace_format"] = tf.Format
 		config["scan_workers"] = tf.ScanWorkers
+	}
+	if *interpN > 0 {
+		config["interp"] = *interpN
+		for k, v := range interpSummary {
+			config[k] = v
+		}
 	}
 	if serr := obsFlags.Stop(config); err == nil {
 		err = serr

@@ -290,6 +290,8 @@ func analyzeCmd(file, src string, rest []string) error {
 	intOps := fs.Bool("int-ops", false, "also characterize integer add/sub/mul")
 	workers := fs.Int("workers", 0, "analysis worker count (0 = GOMAXPROCS)")
 	tile := fs.Int("tile", 0, "candidates per fused Algorithm-1 pass (0 = auto, <0 = per-candidate kernel)")
+	dispatch := fs.String("dispatch", "plan", "interpreter dispatch engine: plan (precompiled) or oracle (legacy switch loop)")
+	shadow := fs.String("shadow", "paged", "stream-kernel shadow memory: paged (two-level pages) or map (legacy oracle)")
 	var tf diag.TraceFormat
 	tf.Register(fs, "trace-format", "auto", true)
 	var prof diag.Flags
@@ -303,6 +305,20 @@ func analyzeCmd(file, src string, rest []string) error {
 	}
 	opts := ddg.Options{CharacterizeInts: *intOps}
 	copts := core.Options{RelaxReductions: *relax, Workers: *workers, TileSize: *tile}
+	switch *dispatch {
+	case "plan":
+	case "oracle":
+		copts.OracleDispatch = true
+	default:
+		return usageError{fmt.Errorf("-dispatch must be plan or oracle, got %q", *dispatch)}
+	}
+	switch *shadow {
+	case "paged":
+	case "map":
+		copts.MapShadow = true
+	default:
+		return usageError{fmt.Errorf("-shadow must be paged or map, got %q", *shadow)}
+	}
 	if err := tf.Validate(true); err != nil {
 		return usageError{err}
 	}
@@ -453,7 +469,7 @@ func analyzeCmd(file, src string, rest []string) error {
 			tr = &trace.Trace{Module: mod, Events: events}
 		} else {
 			var err error
-			_, tr, err = pipeline.TraceCtx(ctx, mod, core.Budget{})
+			_, tr, err = pipeline.TraceCtxOpts(ctx, mod, core.Budget{}, copts)
 			if err != nil {
 				return err
 			}
@@ -491,6 +507,7 @@ func analyzeCmd(file, src string, rest []string) error {
 		"file": file, "line": *line, "instance": *instance,
 		"workers": copts.WorkerCount(), "tile": *tile,
 		"relax_reductions": *relax, "int_ops": *intOps,
+		"dispatch": *dispatch, "shadow": *shadow,
 	}
 	if *traceFile != "" {
 		config["trace"] = *traceFile

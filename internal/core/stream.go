@@ -110,6 +110,39 @@ type shadowCell struct {
 	hasStore bool
 }
 
+// The paged shadow memory: address → cell resolution through a two-level
+// page table instead of a Go map. Level one is a flat page directory
+// indexed by addr >> shadowPageShift; level two is a pointer-free slot
+// array of (epoch, ref) pairs, where ref-1 indexes the kernel's cells
+// slice. A slot is live only when its epoch matches the kernel's current
+// region epoch, so resetting the entire shadow between regions is one
+// epoch increment — no per-slot clearing — and pages are recycled across
+// regions through the directory itself plus a freelist. Addresses outside
+// the directory's span (negative, or beyond maxShadowPages pages) fall
+// back to the legacy map, which also serves whole when Options.MapShadow
+// selects the oracle path.
+const (
+	shadowPageShift = 10 // 1 KiB of address space per page
+	shadowPageSpan  = 1 << shadowPageShift
+	shadowPageMask  = shadowPageSpan - 1
+	maxShadowPages  = 1 << 16 // directory cap: 64 MiB of address space
+)
+
+// shadowSlot is one address's entry in a shadow page: the region epoch the
+// entry belongs to and the 1-based index of its cell (0 = empty).
+type shadowSlot struct {
+	epoch uint32
+	ref   uint32
+}
+
+// shadowPage is one fixed-span slot array. The header epoch marks the most
+// recent region that touched the page, driving the shadow_pages_touched
+// counter at page granularity.
+type shadowPage struct {
+	epoch uint32
+	slots [shadowPageSpan]shadowSlot
+}
+
 // StreamKernel runs the fused one-pass analysis of a single region: feed
 // the region's events in trace order, then Finish. Kernels are checked out
 // of a pool (AcquireStreamKernel / Release) so successive regions reuse the
@@ -132,9 +165,17 @@ type StreamKernel struct {
 	kmax     int
 	rowBytes int64
 
-	cands     []candCol
-	frames    []streamFrame
-	shadow    map[int64]*shadowCell
+	cands  []candCol
+	frames []streamFrame
+	// shadow is the legacy map path: the whole shadow under
+	// Options.MapShadow, the out-of-directory overflow otherwise.
+	shadow map[int64]*shadowCell
+	// The paged shadow: directory, per-region touch list, recycled pages,
+	// and the current region epoch (always ≥ 1; 0 marks dead slots).
+	pageDir   []*shadowPage
+	pageFree  []*shadowPage
+	touched   []int32
+	epoch     uint32
 	cells     []*shadowCell
 	cellFree  []*shadowCell
 	rowFree   [][]int32
@@ -198,6 +239,9 @@ func AcquireStreamKernel(mod *ir.Module, dopts ddg.Options, opts Options, rec *o
 	if k.shadow == nil {
 		k.shadow = make(map[int64]*shadowCell, 64)
 	}
+	if k.epoch == 0 {
+		k.epoch = 1 // zeroed slots must never match a live epoch
+	}
 	return k
 }
 
@@ -224,6 +268,24 @@ func (k *StreamKernel) Release() {
 	k.cellFree = append(k.cellFree, k.cells...)
 	k.cells = k.cells[:0]
 	clear(k.shadow)
+	// Retire the region's paged-shadow entries wholesale: one epoch bump
+	// invalidates every live slot, making reset O(1) regardless of how many
+	// pages the region touched. Pages themselves stay hooked in the
+	// directory for the next region. On the (astronomically rare) epoch
+	// wrap, every retained page is scrubbed so stale epochs cannot collide.
+	k.touched = k.touched[:0]
+	k.epoch++
+	if k.epoch == 0 {
+		for _, pg := range k.pageDir {
+			if pg != nil {
+				*pg = shadowPage{}
+			}
+		}
+		for _, pg := range k.pageFree {
+			*pg = shadowPage{}
+		}
+		k.epoch = 1
+	}
 	if k.branch != nil {
 		k.rowFree = append(k.rowFree, k.branch)
 		k.branch = nil
@@ -400,6 +462,36 @@ func (k *StreamKernel) popFrame() {
 	k.frames = k.frames[:len(k.frames)-1]
 }
 
+// cellAt resolves an address to its live shadow cell, or nil. The paged
+// path is two array indexes and an epoch compare; only out-of-directory
+// addresses (and the MapShadow oracle mode) consult the map.
+func (k *StreamKernel) cellAt(addr int64) *shadowCell {
+	if k.opts.MapShadow {
+		return k.shadow[addr]
+	}
+	pi := addr >> shadowPageShift
+	if uint64(pi) >= maxShadowPages {
+		return k.shadow[addr] // negative or beyond the directory span
+	}
+	if int(pi) >= len(k.pageDir) {
+		return nil
+	}
+	pg := k.pageDir[pi]
+	if pg == nil {
+		return nil
+	}
+	s := pg.slots[addr&shadowPageMask]
+	if s.epoch != k.epoch || s.ref == 0 {
+		return nil
+	}
+	return k.cells[s.ref-1]
+}
+
+// newCell creates (or recycles) the shadow cell for a previously unseen
+// address and hooks it into the paged table or the map. The budget charge
+// and the live-address peak are identical on both paths — one
+// streamCellBytes charge per distinct address per region — so a budgeted
+// run fails at the same event regardless of the shadow representation.
 func (k *StreamKernel) newCell(addr int64) *shadowCell {
 	var c *shadowCell
 	if n := len(k.cellFree); n > 0 {
@@ -412,10 +504,34 @@ func (k *StreamKernel) newCell(addr int64) *shadowCell {
 	} else {
 		c = &shadowCell{valInstr: -1}
 	}
-	k.shadow[addr] = c
 	k.cells = append(k.cells, c)
+	if pi := addr >> shadowPageShift; !k.opts.MapShadow && uint64(pi) < maxShadowPages {
+		for int(pi) >= len(k.pageDir) {
+			k.pageDir = append(k.pageDir, nil)
+		}
+		pg := k.pageDir[pi]
+		if pg == nil {
+			if n := len(k.pageFree); n > 0 {
+				pg = k.pageFree[n-1]
+				k.pageFree[n-1] = nil
+				k.pageFree = k.pageFree[:n-1]
+			} else {
+				pg = new(shadowPage)
+			}
+			k.pageDir[pi] = pg
+		}
+		if pg.epoch != k.epoch {
+			pg.epoch = k.epoch
+			k.touched = append(k.touched, int32(pi))
+		}
+		pg.slots[addr&shadowPageMask] = shadowSlot{epoch: k.epoch, ref: uint32(len(k.cells))}
+	} else {
+		k.shadow[addr] = c
+	}
 	k.charge(streamCellBytes)
-	if n := len(k.shadow); n > k.peakAddrs {
+	// len(cells) is the count of distinct addresses seen this region on
+	// either path, preserving shadow_peak_live_addresses semantics exactly.
+	if n := len(k.cells); n > k.peakAddrs {
 		k.peakAddrs = n
 	}
 	return c
@@ -476,7 +592,7 @@ func (k *StreamKernel) Feed(id int32, addr int64) error {
 			k.preds = append(k.preds, px.row)
 			k.edges++
 		}
-		cell := k.shadow[addr]
+		cell := k.cellAt(addr)
 		var storedInstr int32 = -1
 		if cell != nil && cell.hasStore {
 			k.preds = append(k.preds, cell.row)
@@ -515,7 +631,7 @@ func (k *StreamKernel) Feed(id int32, addr int64) error {
 			k.preds = append(k.preds, pv.row)
 			k.edges++
 		}
-		cell := k.shadow[addr]
+		cell := k.cellAt(addr)
 		if k.dopts.IncludeAntiOutput && cell != nil {
 			if cell.hasStore {
 				k.preds = append(k.preds, cell.row) // output dependence
@@ -742,6 +858,9 @@ func (k *StreamKernel) Finish(ctx context.Context) (*Report, error) {
 		rec.Set(obs.BudgetMaxAnalysisBytes, k.opts.Budget.MaxAnalysisBytes)
 		rec.Max(obs.AnalysisFootprintBytes, k.peak)
 		rec.Max(obs.ShadowPeakLiveAddresses, int64(k.peakAddrs))
+		if len(k.touched) > 0 {
+			rec.Add(obs.ShadowPagesTouched, int64(len(k.touched)))
+		}
 		rec.Add(obs.TilesDispatched, 1) // the whole region is one fused sweep
 	}
 

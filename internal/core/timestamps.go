@@ -56,6 +56,19 @@ type Options struct {
 	// the critical-path/parallelism profiles, and the Kumar/Larus-style
 	// whole-graph baselines. Output is byte-identical either way.
 	Materialize bool
+	// MapShadow forces the one-pass stream kernel's legacy map-backed
+	// shadow memory (map[addr]*cell) instead of the default two-level paged
+	// shadow. The map path is the differential-testing oracle for the paged
+	// implementation; results, budget charging, and the
+	// shadow_peak_live_addresses gauge are identical either way. Only the
+	// shadow_pages_touched counter differs (zero under the map).
+	MapShadow bool
+	// OracleDispatch forces the interpreter's legacy per-instruction
+	// switch loop instead of the default precompiled-plan dispatcher when
+	// the pipeline traces a module (see interp.Config.Oracle). Output is
+	// bit-for-bit identical either way; the switch loop is the
+	// differential-testing oracle for the plan engine.
+	OracleDispatch bool
 }
 
 // Timestamps runs Algorithm 1 for static instruction id over the graph and

@@ -32,20 +32,27 @@ type Tracer interface {
 }
 
 // TraceSink is the canonical Tracer: it appends events to a slice that can
-// be wrapped into a trace.Trace.
+// be wrapped into a trace.Trace. It implements BatchTracer, so the plan
+// dispatcher hands it events in recycled ~1K-event chunks.
 type TraceSink struct {
-	Events []struct {
-		ID   int32
-		Addr int64
-	}
+	Events []Event
 }
 
 // Exec implements Tracer.
 func (s *TraceSink) Exec(id int32, addr int64) {
-	s.Events = append(s.Events, struct {
-		ID   int32
-		Addr int64
-	}{id, addr})
+	s.Events = append(s.Events, Event{id, addr})
+}
+
+// ExecBatch implements BatchTracer: one append per chunk instead of one
+// interface call per event.
+func (s *TraceSink) ExecBatch(events []Event) {
+	s.Events = append(s.Events, events...)
+}
+
+// Reset empties the sink while retaining the backing slice's capacity, so
+// a pooled sink reused across runs stops regrowing its event buffer.
+func (s *TraceSink) Reset() {
+	s.Events = s.Events[:0]
 }
 
 // Config controls execution limits and instrumentation.
@@ -61,6 +68,16 @@ type Config struct {
 	StackSize int64
 	// CountLoopCycles enables per-loop cycle attribution (see Result.LoopCycles).
 	CountLoopCycles bool
+	// Oracle forces the legacy per-instruction switch loop instead of the
+	// precompiled-plan dispatcher. Both produce bit-identical results,
+	// traces, and error texts; the switch loop is retained as the
+	// differential oracle and for A/B benchmarking.
+	Oracle bool
+	// Plan optionally supplies a precompiled execution plan for the module
+	// (see CompilePlan), letting repeated runs or many Machines share one
+	// compilation. Nil compiles lazily, cached per Machine. Ignored when
+	// it was not compiled from this module.
+	Plan *Plan
 }
 
 // OpCounts tallies dynamic instructions by cost class, for the SIMD
@@ -211,9 +228,10 @@ type frame struct {
 	regs      []uint64
 	base      int64 // frame base address
 	retDst    ir.Reg
-	retBlock  int32 // caller resume position
+	retBlock  int32 // caller resume position (oracle loop)
 	retIndex  int32
-	loopsOpen int // loops opened within this frame (for early-return cleanup)
+	retPC     int32 // caller resume position (plan dispatcher, flat index)
+	loopsOpen int   // loops opened within this frame (for early-return cleanup)
 }
 
 // Machine executes a module. A Machine is single-use per Run call but may be
@@ -228,6 +246,11 @@ type Machine struct {
 	frameBase int64 // first stack address; below it lie the globals
 	loopStack []int32
 	res       Result
+
+	plan    *Plan   // lazily compiled plan, cached per module
+	batch   []Event // recycled batch buffer for the BatchTracer path
+	args    []uint64
+	batched int64 // events delivered via ExecBatch this run
 }
 
 // New returns a Machine for the module.
@@ -292,7 +315,13 @@ func (m *Machine) RunContext(ctx context.Context, entry string) (*Result, error)
 		return nil, err
 	}
 
-	if err := m.loop(ctx); err != nil {
+	var err error
+	if m.Cfg.Oracle {
+		err = m.loop(ctx)
+	} else {
+		err = m.runPlan(ctx)
+	}
+	if err != nil {
 		return nil, err
 	}
 	return &m.res, nil
@@ -692,18 +721,22 @@ func evalCmp(in *ir.Instr, x, y uint64) uint64 {
 }
 
 func evalCast(in *ir.Instr, x uint64) uint64 {
+	return castValue(in.From, in.Type, x)
+}
+
+func castValue(from, to ir.ScalarType, x uint64) uint64 {
 	switch {
-	case in.From == ir.I64 && in.Type.IsFloat():
+	case from == ir.I64 && to.IsFloat():
 		v := float64(int64(x))
-		if in.Type == ir.F32 {
+		if to == ir.F32 {
 			v = float64(float32(v))
 		}
 		return math.Float64bits(v)
-	case in.From.IsFloat() && in.Type == ir.I64:
+	case from.IsFloat() && to == ir.I64:
 		return uint64(int64(math.Float64frombits(x)))
-	case in.From == ir.F64 && in.Type == ir.F32:
+	case from == ir.F64 && to == ir.F32:
 		return math.Float64bits(float64(float32(math.Float64frombits(x))))
-	case in.From == ir.F32 && in.Type == ir.F64:
+	case from == ir.F32 && to == ir.F64:
 		return x // already widened in the register file
 	}
 	return x

@@ -126,6 +126,17 @@ const (
 	// the perf trajectory next to the analytical footprint gauges.
 	HeapAllocPeakBytes
 	HeapSysPeakBytes
+	// InterpBatchedEvents counts trace events delivered through the
+	// interpreter's batched tracer path (BatchTracer.ExecBatch) — i.e. at
+	// one interface call per chunk instead of one per instruction. Zero
+	// when the run used a per-event sink or the oracle dispatch loop.
+	InterpBatchedEvents
+	// ShadowPagesTouched counts shadow-memory pages the one-pass stream
+	// kernel hooked into its page directory across all regions. Zero when
+	// the legacy map shadow was selected. Together with
+	// ShadowPeakLiveAddresses it bounds the paged shadow's real footprint:
+	// pages × page span ≥ live addresses.
+	ShadowPagesTouched
 
 	numCounters
 )
@@ -166,6 +177,8 @@ var counterNames = [numCounters]string{
 	"stream_pool_misses",
 	"heap_alloc_peak_bytes",
 	"heap_sys_peak_bytes",
+	"interp_batched_events",
+	"shadow_pages_touched",
 }
 
 // Name returns the counter's stable snake_case export key.

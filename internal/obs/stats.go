@@ -43,8 +43,12 @@ type RunStats struct {
 // the one-pass memory telemetry to the required counter set: process heap
 // peaks (heap_alloc_peak_bytes, heap_sys_peak_bytes, sampled by the CLI
 // while the run is live) and the stream kernels' live-address high-water
-// mark (shadow_peak_live_addresses).
-const RunStatsVersion = 2
+// mark (shadow_peak_live_addresses). Version 3 added the hot-path engine
+// telemetry: interp_steps joined the required set, alongside the new
+// interp_batched_events (events delivered through the plan dispatcher's
+// batched Tracer fan-out) and shadow_pages_touched (pages the paged shadow
+// memory dirtied across regions; zero under the map-shadow oracle).
+const RunStatsVersion = 3
 
 // SpanStats is one recorded stage span. StartNs is relative to the
 // recorder's start, so spans order and nest without absolute clocks.
@@ -135,6 +139,9 @@ var requiredCounters = []string{
 	"shadow_peak_live_addresses",
 	"heap_alloc_peak_bytes",
 	"heap_sys_peak_bytes",
+	"interp_steps",
+	"interp_batched_events",
+	"shadow_pages_touched",
 }
 
 // ValidateRunStats performs the golden-style schema check on a marshaled

@@ -40,6 +40,17 @@ func (s *containerSink) Exec(id int32, addr int64) {
 	}
 }
 
+// ExecBatch implements interp.BatchTracer: one fan-out call per recycled
+// event chunk instead of one per event.
+func (s *containerSink) ExecBatch(events []interp.Event) {
+	for _, ev := range events {
+		if s.err != nil {
+			return
+		}
+		s.err = s.cw.Write(trace.Event{ID: ev.ID, Addr: ev.Addr})
+	}
+}
+
 // RecordContainer executes the module's main function under full
 // instrumentation, streaming the trace to w as an indexed VTR2 container.
 // Like Record, peak memory is independent of the trace length (one block
@@ -58,7 +69,7 @@ func RecordContainerCtx(ctx context.Context, mod *ir.Module, w io.Writer, budget
 		return nil, fmt.Errorf("pipeline: recording trace: %w", err)
 	}
 	sink := &containerSink{cw: cw}
-	m := interp.New(mod, interpConfig(budget, sink, true))
+	m := interp.New(mod, interpConfig(budget, sink, true, false))
 	res, err := m.RunContext(ctx, "main")
 	if err != nil {
 		return nil, err

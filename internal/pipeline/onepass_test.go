@@ -355,3 +355,45 @@ func TestOnePassAllocsSubLinearInRegionLength(t *testing.T) {
 			large/small, large, small)
 	}
 }
+
+// TestPagedShadowAllocsBeatMap extends the VECTRACE_MEM_SMOKE gate to the
+// paged shadow memory: on the same streamed analysis, the paged path (whose
+// pages are epoch-reset and pooled across regions) must not allocate more
+// bytes per run than the legacy map shadow, which rebuilds its buckets
+// every region. A paged-shadow change that quietly loses the freelist or
+// re-zeroes pages per region shows up as an allocation regression here.
+func TestPagedShadowAllocsBeatMap(t *testing.T) {
+	if os.Getenv("VECTRACE_MEM_SMOKE") == "" {
+		t.Skip("set VECTRACE_MEM_SMOKE=1 to run the memory-regression smoke")
+	}
+	mod, err := pipeline.Compile("smoke.c", budgetDemoKernel(16000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := pipeline.Record(mod, &buf); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	measure := func(copts core.Options) float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dec := trace.NewDecoder(bytes.NewReader(encoded))
+				if _, err := pipeline.AnalyzeLoopRegionsStream(mod, dec, budgetDemoLoopLine, ddg.Options{}, copts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(res.AllocedBytesPerOp())
+	}
+	paged := measure(core.Options{Workers: 1})
+	mapped := measure(core.Options{Workers: 1, MapShadow: true})
+	t.Logf("alloc B/op: paged %.0f, map %.0f (%.2f×)", paged, mapped, paged/mapped)
+	// 10% headroom absorbs benchmark jitter; the expected steady state is
+	// paged ≤ map (pages are pooled, map buckets are not).
+	if paged > 1.1*mapped {
+		t.Fatalf("paged shadow allocates %.2f× the map shadow (%.0f vs %.0f B/op) — page pooling regressed",
+			paged/mapped, paged, mapped)
+	}
+}

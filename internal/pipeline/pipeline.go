@@ -7,6 +7,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/example/vectrace/internal/core"
@@ -21,14 +22,17 @@ import (
 )
 
 // interpConfig maps a core.Budget onto the interpreter's execution limits,
-// leaving the interpreter defaults in place for unset fields.
-func interpConfig(b core.Budget, tracer interp.Tracer, countLoops bool) interp.Config {
+// leaving the interpreter defaults in place for unset fields. oracle selects
+// the legacy switch-loop dispatcher instead of the precompiled plan (see
+// core.Options.OracleDispatch); output is bit-for-bit identical either way.
+func interpConfig(b core.Budget, tracer interp.Tracer, countLoops, oracle bool) interp.Config {
 	return interp.Config{
 		Tracer:          tracer,
 		CountLoopCycles: countLoops,
 		MaxSteps:        b.MaxSteps,
 		MaxDepth:        b.MaxDepth,
 		StackSize:       b.MaxStackBytes,
+		Oracle:          oracle,
 	}
 }
 
@@ -76,7 +80,7 @@ func Run(mod *ir.Module, countLoops bool) (*interp.Result, error) {
 func RunCtx(ctx context.Context, mod *ir.Module, countLoops bool, budget core.Budget) (*interp.Result, error) {
 	ctx, sp := obs.StartSpan(ctx, "interp")
 	defer sp.End()
-	m := interp.New(mod, interpConfig(budget, nil, countLoops))
+	m := interp.New(mod, interpConfig(budget, nil, countLoops, false))
 	return m.RunContext(ctx, "main")
 }
 
@@ -89,10 +93,25 @@ func Trace(mod *ir.Module) (*interp.Result, *trace.Trace, error) {
 // TraceCtx is Trace with cooperative cancellation and the budget's
 // interpreter limits applied.
 func TraceCtx(ctx context.Context, mod *ir.Module, budget core.Budget) (*interp.Result, *trace.Trace, error) {
+	return TraceCtxOpts(ctx, mod, budget, core.Options{})
+}
+
+// sinkPool recycles TraceSinks (and so their event backing arrays) across
+// traces: Reset retains capacity, so steady-state tracing of same-sized
+// programs allocates no event storage at all.
+var sinkPool = sync.Pool{New: func() any { return new(interp.TraceSink) }}
+
+// TraceCtxOpts is TraceCtx honoring the analysis options that affect
+// execution: copts.OracleDispatch selects the interpreter's legacy switch
+// loop instead of the precompiled plan. The captured trace is bit-for-bit
+// identical either way.
+func TraceCtxOpts(ctx context.Context, mod *ir.Module, budget core.Budget, copts core.Options) (*interp.Result, *trace.Trace, error) {
 	ctx, sp := obs.StartSpan(ctx, "interp")
 	defer sp.End()
-	sink := &interp.TraceSink{}
-	m := interp.New(mod, interpConfig(budget, sink, true))
+	sink := sinkPool.Get().(*interp.TraceSink)
+	sink.Reset()
+	defer sinkPool.Put(sink)
+	m := interp.New(mod, interpConfig(budget, sink, true, copts.OracleDispatch))
 	res, err := m.RunContext(ctx, "main")
 	if err != nil {
 		return nil, nil, err

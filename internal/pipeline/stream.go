@@ -35,6 +35,18 @@ func (s *encoderSink) Exec(id int32, addr int64) {
 	}
 }
 
+// ExecBatch implements interp.BatchTracer: the plan dispatcher hands events
+// over in recycled ~1K chunks, costing one dynamic dispatch per chunk
+// instead of one per event.
+func (s *encoderSink) ExecBatch(events []interp.Event) {
+	for _, ev := range events {
+		if s.err != nil {
+			return
+		}
+		s.err = s.enc.Write(trace.Event{ID: ev.ID, Addr: ev.Addr})
+	}
+}
+
 // Record executes the module's main function under full instrumentation,
 // streaming the VTR1-encoded trace to w as it is produced. Peak memory is
 // the interpreter's working set plus the encoder's buffer, independent of
@@ -52,7 +64,7 @@ func RecordCtx(ctx context.Context, mod *ir.Module, w io.Writer, budget core.Bud
 	defer sp.End()
 	enc := trace.NewEncoder(w)
 	sink := &encoderSink{enc: enc}
-	m := interp.New(mod, interpConfig(budget, sink, true))
+	m := interp.New(mod, interpConfig(budget, sink, true, false))
 	res, err := m.RunContext(ctx, "main")
 	if err != nil {
 		return nil, err
@@ -520,6 +532,17 @@ func (s *feedTracer) Exec(id int32, addr int64) {
 	}
 }
 
+// ExecBatch implements interp.BatchTracer for the fully fused live path:
+// interpreter → region feed → kernel, one fan-out call per chunk.
+func (s *feedTracer) ExecBatch(events []interp.Event) {
+	for _, ev := range events {
+		if s.err != nil {
+			return
+		}
+		s.err = s.feed.Push(trace.Event{ID: ev.ID, Addr: ev.Addr})
+	}
+}
+
 // AnalyzeLoopRegionsLive executes the module's main function and analyzes
 // the dynamic regions of the loop on the given source line as the program
 // runs: the fully fused record→scan→analyze pipeline with no trace
@@ -538,7 +561,7 @@ func AnalyzeLoopRegionsLiveCtx(ctx context.Context, mod *ir.Module, line int, do
 		ctx = context.Background()
 	}
 	if !useOnePass(copts) {
-		res, tr, err := TraceCtx(ctx, mod, budget)
+		res, tr, err := TraceCtxOpts(ctx, mod, budget, copts)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -558,7 +581,7 @@ func AnalyzeLoopRegionsLiveCtx(ctx context.Context, mod *ir.Module, line int, do
 			feed := trace.NewRegionFeed(ctx, mod, lm.ID, factory)
 			sink := &feedTracer{feed: feed}
 			ictx, sp := obs.StartSpan(ctx, "interp")
-			m := interp.New(mod, interpConfig(budget, sink, true))
+			m := interp.New(mod, interpConfig(budget, sink, true, copts.OracleDispatch))
 			r, rerr := m.RunContext(ictx, "main")
 			sp.End()
 			res = r

@@ -89,7 +89,7 @@ func analyzeKernelLoop(ctx context.Context, k kernels.Kernel, marker string, opt
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", k.Name, err)
 	}
-	res, tr, err := pipeline.TraceCtx(ctx, mod, core.Budget{})
+	res, tr, err := pipeline.TraceCtxOpts(ctx, mod, core.Budget{}, opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", k.Name, err)
 	}
