@@ -43,6 +43,7 @@ func main() {
 	workers := flag.Int("workers", 0, "analysis worker count (0 = GOMAXPROCS)")
 	scan := flag.Int("scan", 0, "benchmark scan throughput on a trace with this many dynamic `regions` (0 = off)")
 	interpN := flag.Int("interp", 0, "benchmark interpreter dispatch (plan vs oracle) at this problem `size` (0 = off)")
+	serveN := flag.Int("serve", 0, "benchmark the vectraced service path with this many `requests` per queue depth (0 = off)")
 	var tf diag.TraceFormat
 	tf.Register(flag.CommandLine, "trace-format", trace.FormatVTR2, true)
 	var prof diag.Flags
@@ -72,6 +73,8 @@ func main() {
 	interpSummary := map[string]any{}
 	var err error
 	switch {
+	case *serveN > 0:
+		err = runServe(ctx, *serveN, interpSummary)
 	case *interpN > 0:
 		err = runInterp(ctx, *interpN, interpSummary)
 	case *scan > 0:
@@ -95,6 +98,12 @@ func main() {
 	}
 	if *interpN > 0 {
 		config["interp"] = *interpN
+		for k, v := range interpSummary {
+			config[k] = v
+		}
+	}
+	if *serveN > 0 {
+		config["serve"] = *serveN
 		for k, v := range interpSummary {
 			config[k] = v
 		}

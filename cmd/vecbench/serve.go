@@ -1,0 +1,274 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/example/vectrace/internal/kernels"
+	"github.com/example/vectrace/internal/obs"
+	"github.com/example/vectrace/internal/server"
+)
+
+// serveDepths are the queue depths the -serve benchmark sweeps: serial
+// admission, a typical small-tenant fan-in, and a saturated queue.
+var serveDepths = []int{1, 8, 64}
+
+// serveVariants is how many distinct job specs the benchmark cycles
+// through. Each variant is a cache miss the first time a depth sees it
+// and a hit afterwards, so the measured mix exercises both the compute
+// path and the single-flight/cache path.
+const serveVariants = 4
+
+// serveResult aggregates one depth's measurements.
+type serveResult struct {
+	depth     int
+	requests  int
+	wall      time.Duration
+	latencies []time.Duration
+	hits      int64
+	misses    int64
+}
+
+func (r *serveResult) percentile(p float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(r.latencies)-1))
+	return r.latencies[i]
+}
+
+// runServe benchmarks the vectraced service path end to end: a real HTTP
+// listener in front of a server.Server, hit by `depth` concurrent clients
+// submitting jobs and fetching reports, for each depth in serveDepths.
+// Requests/s and p50/p99 job latency print per depth; the aggregate
+// serve_p99_ms and serve_cache_hit_rate land in summary, which main folds
+// into the stats config map (and so into BENCH_<rev>.json under -stats
+// auto).
+func runServe(ctx context.Context, n int, summary map[string]any) error {
+	fmt.Printf("== Service throughput: %d requests per queue depth ==\n", n)
+	fmt.Printf("%6s %9s %10s %10s %10s %9s\n", "depth", "req/s", "p50", "p99", "max", "hit-rate")
+
+	var all []time.Duration
+	var hits, misses int64
+	for _, depth := range serveDepths {
+		res, err := serveOneDepth(ctx, depth, n)
+		if err != nil {
+			return fmt.Errorf("serve depth %d: %w", depth, err)
+		}
+		rate := float64(0)
+		if total := res.hits + res.misses; total > 0 {
+			rate = float64(res.hits) / float64(total)
+		}
+		fmt.Printf("%6d %9.1f %10s %10s %10s %8.2f%%\n", depth,
+			float64(res.requests)/res.wall.Seconds(),
+			res.percentile(0.50).Round(time.Microsecond),
+			res.percentile(0.99).Round(time.Microsecond),
+			res.percentile(1.00).Round(time.Microsecond),
+			100*rate)
+		summary[fmt.Sprintf("serve_rps_q%d", depth)] = float64(res.requests) / res.wall.Seconds()
+		summary[fmt.Sprintf("serve_p99_ms_q%d", depth)] = res.percentile(0.99).Seconds() * 1e3
+		all = append(all, res.latencies...)
+		hits += res.hits
+		misses += res.misses
+	}
+
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	agg := serveResult{latencies: all}
+	summary["serve_p50_ms"] = agg.percentile(0.50).Seconds() * 1e3
+	summary["serve_p99_ms"] = agg.percentile(0.99).Seconds() * 1e3
+	if total := hits + misses; total > 0 {
+		summary["serve_cache_hit_rate"] = float64(hits) / float64(total)
+	} else {
+		summary["serve_cache_hit_rate"] = 0.0
+	}
+	return nil
+}
+
+// serveOneDepth measures one queue depth: a fresh server (cold cache),
+// `depth` clients round-tripping n requests between them over real TCP.
+func serveOneDepth(ctx context.Context, depth, n int) (*serveResult, error) {
+	workers := depth
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	rec := obs.New()
+	s := server.New(server.Config{
+		Queue:        depth,
+		Workers:      workers,
+		CacheEntries: 2 * serveVariants,
+		Recorder:     rec,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	bodies := make([][2]string, serveVariants) // contentType, body per variant
+	for v := 0; v < serveVariants; v++ {
+		ct, body, err := serveJobBody(v)
+		if err != nil {
+			return nil, err
+		}
+		bodies[v] = [2]string{ct, body}
+	}
+
+	res := &serveResult{depth: depth, requests: n, latencies: make([]time.Duration, n)}
+	var wg sync.WaitGroup
+	errs := make(chan error, depth)
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := 0; i < n; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	for c := 0; c < depth; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := range next {
+				v := bodies[i%serveVariants]
+				t0 := time.Now()
+				if err := serveOneRequest(ctx, client, base, v[0], v[1]); err != nil {
+					errs <- fmt.Errorf("request %d: %w", i, err)
+					return
+				}
+				res.latencies[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	res.wall = time.Since(start)
+
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if derr := s.Drain(dctx); derr != nil {
+		return nil, fmt.Errorf("drain: %w", derr)
+	}
+	hs.Close()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, context.Cause(ctx)
+	}
+	res.hits = rec.Get(obs.CacheHits)
+	res.misses = rec.Get(obs.CacheMisses)
+	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+	return res, nil
+}
+
+// serveJobBody builds the multipart submission for one spec variant: the
+// Listing 1 kernel under a variant-specific filename, so each variant is
+// its own cache key.
+func serveJobBody(variant int) (string, string, error) {
+	k := kernels.Listing1(32)
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	cfg, err := json.Marshal(map[string]any{
+		"filename": fmt.Sprintf("listing1-v%d.c", variant),
+		"line":     serveTargetLine(k.Source),
+		"instance": -1,
+	})
+	if err != nil {
+		return "", "", err
+	}
+	w, err := mw.CreateFormField("config")
+	if err != nil {
+		return "", "", err
+	}
+	w.Write(cfg)
+	w, err = mw.CreateFormField("source")
+	if err != nil {
+		return "", "", err
+	}
+	w.Write([]byte(k.Source))
+	if err := mw.Close(); err != nil {
+		return "", "", err
+	}
+	return mw.FormDataContentType(), buf.String(), nil
+}
+
+// serveTargetLine finds the first for-loop line in src — the analysis
+// target every benchmark request points at.
+func serveTargetLine(src string) int {
+	line := 1
+	for i := 0; i+3 < len(src); i++ {
+		if src[i] == '\n' {
+			line++
+		}
+		if src[i] == 'f' && src[i+1] == 'o' && src[i+2] == 'r' && (src[i+3] == ' ' || src[i+3] == '(') {
+			return line
+		}
+	}
+	return 1
+}
+
+// serveOneRequest is one full client round trip: submit, then fetch the
+// report with wait=1 and check it is a non-empty regions document.
+func serveOneRequest(ctx context.Context, client *http.Client, base, ct, body string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", ct)
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	sub, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submission answered %d: %s", resp.StatusCode, sub)
+	}
+	var doc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(sub, &doc); err != nil {
+		return fmt.Errorf("submission body: %w", err)
+	}
+	req, err = http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+doc.ID+"/report?wait=1", nil)
+	if err != nil {
+		return err
+	}
+	rr, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	rep, err := io.ReadAll(rr.Body)
+	rr.Body.Close()
+	if err != nil {
+		return err
+	}
+	if rr.StatusCode != http.StatusOK {
+		return fmt.Errorf("report answered %d: %s", rr.StatusCode, rep)
+	}
+	if !bytes.Contains(rep, []byte(`"regions"`)) {
+		return fmt.Errorf("report is not a regions document: %.120s", rep)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunServeSummary runs a miniature -serve sweep and checks the summary
+// carries the trajectory keys the BENCH_<rev>.json fold depends on.
+func TestRunServeSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service sweep in -short mode")
+	}
+	summary := map[string]any{}
+	if err := runServe(context.Background(), 8, summary); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"serve_p50_ms", "serve_p99_ms", "serve_cache_hit_rate",
+		"serve_rps_q1", "serve_rps_q8", "serve_rps_q64"} {
+		if _, ok := summary[key]; !ok {
+			t.Errorf("summary missing %q: %v", key, summary)
+		}
+	}
+	if p99 := summary["serve_p99_ms"].(float64); p99 <= 0 {
+		t.Errorf("serve_p99_ms = %v, want > 0", p99)
+	}
+	if rate := summary["serve_cache_hit_rate"].(float64); rate <= 0 || rate > 1 {
+		t.Errorf("serve_cache_hit_rate = %v, want in (0, 1]", rate)
+	}
+}
+
+// TestServeTargetLine pins the loop finder against the stock kernel.
+func TestServeTargetLine(t *testing.T) {
+	if got := serveTargetLine("int x;\nfor (i = 0; ...\n"); got != 2 {
+		t.Errorf("serveTargetLine = %d, want 2", got)
+	}
+	if got := serveTargetLine("no loop here"); got != 1 {
+		t.Errorf("serveTargetLine fallback = %d, want 1", got)
+	}
+}

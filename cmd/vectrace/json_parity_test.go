@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"github.com/example/vectrace/internal/core"
+	"github.com/example/vectrace/internal/ddg"
+	"github.com/example/vectrace/internal/pipeline"
+	"github.com/example/vectrace/internal/report"
+)
+
+// TestAnalyzeJSONParity pins the byte-identity contract between the CLI
+// and the service: `analyze -line N -json` must emit exactly the bytes
+// the pipeline + canonical encoder produce — the same bytes vectraced
+// serves from /v1/jobs/{id}/report — for both the all-instances and the
+// single-instance paths.
+func TestAnalyzeJSONParity(t *testing.T) {
+	path := writeSample(t)
+
+	for _, tc := range []struct {
+		name     string
+		instance int
+		args     []string
+	}{
+		{"all instances", -1, nil},
+		{"single instance", 0, []string{"-instance", "0"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			regs, err := pipeline.AnalyzeSourceCtx(context.Background(), path, sampleProgram,
+				11, tc.instance, ddg.Options{}, core.Options{}, core.Budget{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := report.RegionsJSON(regs)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			args := append([]string{"analyze", path, "-line", "11", "-json"}, tc.args...)
+			got, err := capture(t, args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("-json output differs from pipeline ground truth:\n got: %s\nwant: %s", got, want)
+			}
+			// And it must actually be a well-formed regions document.
+			var doc struct {
+				Regions []json.RawMessage `json:"regions"`
+			}
+			if err := json.Unmarshal([]byte(got), &doc); err != nil {
+				t.Fatalf("-json output is not valid JSON: %v", err)
+			}
+			if len(doc.Regions) == 0 {
+				t.Fatal("-json output has no regions")
+			}
+		})
+	}
+}
+
+// TestAnalyzeJSONFlagValidation pins the flag contract: -json needs a
+// -line target and excludes the human-oriented -baselines table.
+func TestAnalyzeJSONFlagValidation(t *testing.T) {
+	path := writeSample(t)
+	if _, err := capture(t, "analyze", path, "-json"); err == nil {
+		t.Error("-json without -line was accepted")
+	}
+	if _, err := capture(t, "analyze", path, "-line", "11", "-json", "-baselines"); err == nil {
+		t.Error("-json with -baselines was accepted")
+	}
+}

@@ -290,6 +290,7 @@ func analyzeCmd(file, src string, rest []string) error {
 	intOps := fs.Bool("int-ops", false, "also characterize integer add/sub/mul")
 	workers := fs.Int("workers", 0, "analysis worker count (0 = GOMAXPROCS)")
 	tile := fs.Int("tile", 0, "candidates per fused Algorithm-1 pass (0 = auto, <0 = per-candidate kernel)")
+	jsonOut := fs.Bool("json", false, "emit the canonical analysis JSON instead of text (requires -line; excludes -baselines)")
 	dispatch := fs.String("dispatch", "plan", "interpreter dispatch engine: plan (precompiled) or oracle (legacy switch loop)")
 	shadow := fs.String("shadow", "paged", "stream-kernel shadow memory: paged (two-level pages) or map (legacy oracle)")
 	var tf diag.TraceFormat
@@ -322,6 +323,16 @@ func analyzeCmd(file, src string, rest []string) error {
 	if err := tf.Validate(true); err != nil {
 		return usageError{err}
 	}
+	if *jsonOut {
+		// The JSON contract covers region analyses (internal/report); the
+		// whole-program graph and the Kumar baseline stay text-only.
+		if *line == 0 {
+			return usageError{fmt.Errorf("-json requires -line")}
+		}
+		if *compare {
+			return usageError{fmt.Errorf("-json and -baselines are mutually exclusive")}
+		}
+	}
 	if err := obsFlags.Start(); err != nil {
 		return err
 	}
@@ -349,6 +360,17 @@ func analyzeCmd(file, src string, rest []string) error {
 		printRegions := func(regs []pipeline.RegionReport, err error) {
 			_, sp := obs.StartSpan(ctx, "report")
 			defer sp.End()
+			if *jsonOut {
+				// Canonical JSON shared with vectraced: the service's job
+				// results are byte-identical to this output.
+				js, jerr := report.RegionsJSON(regs)
+				if jerr != nil {
+					fmt.Fprintln(os.Stderr, "vectrace: analyze:", jerr)
+					return
+				}
+				os.Stdout.Write(js)
+				return
+			}
 			for _, rr := range regs {
 				fmt.Printf("== region %d/%d: %d events ==\n", rr.Index+1, len(regs), rr.Events)
 				if rr.Err != nil {
@@ -379,6 +401,25 @@ func analyzeCmd(file, src string, rest []string) error {
 				summary += fmt.Sprintf("; trace corrupt at byte offset %d", off)
 			}
 			fmt.Fprintln(os.Stderr, summary)
+		}
+		// printRegionJSON is the single-instance JSON path: it analyzes the
+		// region through pipeline.AnalyzeRegion — the exact call the
+		// vectraced job engine makes — so the output bytes match the
+		// service's for the same submission.
+		printRegionJSON := func(sub *trace.Trace, idx int) error {
+			rep, aerr := pipeline.AnalyzeRegion(ctx, sub, opts, copts)
+			rr := pipeline.RegionReport{Index: idx, Events: sub.Len(), Report: rep}
+			if aerr != nil {
+				rr.Err = fmt.Errorf("pipeline: region %d: %w", idx, aerr)
+			}
+			js, jerr := report.RegionsJSON([]pipeline.RegionReport{rr})
+			if jerr != nil {
+				return jerr
+			}
+			_, sp := obs.StartSpan(ctx, "report")
+			defer sp.End()
+			os.Stdout.Write(js)
+			return rr.Err
 		}
 		printGraph := func(g *ddg.Graph) error {
 			rep, err := core.AnalyzeCtx(ctx, g, copts)
@@ -446,6 +487,9 @@ func analyzeCmd(file, src string, rest []string) error {
 			if err != nil {
 				return err
 			}
+			if *jsonOut {
+				return printRegionJSON(region, *instance)
+			}
 			g, err := ddg.BuildOpts(region, opts)
 			if err != nil {
 				return err
@@ -489,6 +533,9 @@ func analyzeCmd(file, src string, rest []string) error {
 			region, err = pipeline.LoopRegion(tr, *line, *instance)
 			if err != nil {
 				return err
+			}
+			if *jsonOut {
+				return printRegionJSON(region, *instance)
 			}
 			g, err = ddg.BuildOpts(region, opts)
 		}

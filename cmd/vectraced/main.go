@@ -1,0 +1,130 @@
+// Command vectraced serves the dynamic vectorization-potential analysis
+// as a multi-tenant job API that degrades gracefully under overload.
+//
+// Usage:
+//
+//	vectraced [-addr localhost:8722] [-queue 64] [-job-workers 4] ...
+//
+// Clients POST a MiniC program (optionally with a recorded VTR1/VTR2
+// trace) to /v1/jobs, poll or stream the job's progress, and fetch the
+// analysis as the same canonical JSON `vectrace analyze -json` prints —
+// byte for byte. GET /v1/tables/{1..3} regenerates the paper's tables.
+//
+// The robustness surface is the point of the daemon:
+//
+//   - A bounded admission queue sheds overload with 429 + Retry-After
+//     instead of buffering unbounded work; memory stays bounded by
+//     -queue × the per-job budget.
+//   - Every job runs under its own budget and deadline (composed with the
+//     -job-timeout server ceiling; shortest wins, the error names which
+//     fired), and a panicking job surfaces a typed error in its own
+//     result without taking the process down.
+//   - Uploads are guarded: -max-upload size cap (413), -upload-timeout
+//     slow-client read deadline (408), corrupt traces degrade per region.
+//   - A content-addressed result cache (-cache-entries) with
+//     single-flight dedup makes identical submissions ~free.
+//   - SIGTERM/SIGINT drains gracefully: new submissions get 503, queued
+//     and running jobs get -drain-timeout to finish before being
+//     checkpoint-failed, and the -stats document flushes afterwards so
+//     the final counters include every drained job.
+//
+// Observability mirrors the other commands: -stats writes a RunStats
+// JSON document on exit, -progress prints live counters, -debug-addr
+// serves /metrics and /debug/pprof.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/example/vectrace/internal/diag"
+	"github.com/example/vectrace/internal/obs"
+	"github.com/example/vectrace/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vectraced:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("vectraced", flag.ContinueOnError)
+	var sf diag.Serve
+	sf.Register(fs)
+	var od diag.Obs
+	od.Tool = "vectraced"
+	od.Register(fs)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if err := sf.Validate(); err != nil {
+		return err
+	}
+	if err := od.Start(); err != nil {
+		return err
+	}
+
+	// The service counters always record, even without -stats: /statsz
+	// serves them live. With -stats the same recorder feeds the exported
+	// document, so the final dump includes every job the drain finished.
+	rec := od.Recorder()
+	if rec == nil {
+		rec = obs.New()
+	}
+	srv := server.New(server.FromServeFlags(&sf, rec))
+
+	ln, err := net.Listen("tcp", sf.Addr)
+	if err != nil {
+		od.Stop(nil) //nolint:errcheck
+		return err
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "vectraced: listening on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	var serveErr error
+	drainClean := true
+	select {
+	case serveErr = <-errc:
+	case got := <-sig:
+		signal.Stop(sig)
+		fmt.Fprintf(os.Stderr, "vectraced: %v: draining (budget %v)\n", got, sf.DrainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), sf.DrainTimeout)
+		if derr := srv.Drain(ctx); derr != nil {
+			drainClean = false
+			fmt.Fprintf(os.Stderr, "vectraced: drain budget exceeded, in-flight jobs checkpoint-failed\n")
+		}
+		cancel()
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		hs.Shutdown(sctx) //nolint:errcheck
+		scancel()
+	}
+
+	stopErr := od.Stop(map[string]any{
+		"addr":        sf.Addr,
+		"queue":       sf.Queue,
+		"job_workers": sf.JobWorkers,
+		"drain_clean": drainClean,
+	})
+	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return stopErr
+}

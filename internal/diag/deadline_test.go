@@ -1,0 +1,139 @@
+package diag
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// The deadline-composition contract: a server-wide deadline and a per-job
+// deadline stack via DeadlineContext, the shortest one wins, and
+// context.Cause names exactly the deadline that fired. These tests pin
+// every ordering — server shorter, job shorter, only one present, neither
+// present, and an upstream cancellation beating both.
+
+// compose builds the server→job deadline stack the way runJob does.
+func compose(parent context.Context, server, job time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancelSrv := DeadlineContext(parent, server, "server job deadline")
+	ctx, cancelJob := DeadlineContext(ctx, job, "job deadline")
+	return ctx, func() { cancelJob(); cancelSrv() }
+}
+
+// waitCause blocks until ctx is done and returns its cause.
+func waitCause(t *testing.T, ctx context.Context) error {
+	t.Helper()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context never expired")
+	}
+	return context.Cause(ctx)
+}
+
+// expectDeadline asserts the cause is a *DeadlineCause with the given name
+// and that the standard deadline predicates hold on both cause and context.
+func expectDeadline(t *testing.T, ctx context.Context, cause error, name string) {
+	t.Helper()
+	var dc *DeadlineCause
+	if !errors.As(cause, &dc) {
+		t.Fatalf("cause = %v (%T), want *DeadlineCause", cause, cause)
+	}
+	if dc.Name != name {
+		t.Fatalf("cause names %q, want %q", dc.Name, name)
+	}
+	if !errors.Is(cause, context.DeadlineExceeded) {
+		t.Fatalf("cause %v does not unwrap to context.DeadlineExceeded", cause)
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("ctx.Err() = %v, want DeadlineExceeded", ctx.Err())
+	}
+}
+
+// TestDeadlineServerShorter: the server-wide ceiling fires first and the
+// cause says so — the job's longer budget never shows up.
+func TestDeadlineServerShorter(t *testing.T) {
+	ctx, cancel := compose(context.Background(), 10*time.Millisecond, time.Hour)
+	defer cancel()
+	expectDeadline(t, ctx, waitCause(t, ctx), "server job deadline")
+}
+
+// TestDeadlineJobShorter: the job's own budget fires first and the cause
+// names it, not the server ceiling above it.
+func TestDeadlineJobShorter(t *testing.T) {
+	ctx, cancel := compose(context.Background(), time.Hour, 10*time.Millisecond)
+	defer cancel()
+	expectDeadline(t, ctx, waitCause(t, ctx), "job deadline")
+}
+
+// TestDeadlineOnlyServer: no per-job deadline (d <= 0 is a no-op layer);
+// the server deadline is the only one and fires.
+func TestDeadlineOnlyServer(t *testing.T) {
+	ctx, cancel := compose(context.Background(), 10*time.Millisecond, 0)
+	defer cancel()
+	expectDeadline(t, ctx, waitCause(t, ctx), "server job deadline")
+}
+
+// TestDeadlineOnlyJob: no server-wide ceiling; the job deadline fires.
+func TestDeadlineOnlyJob(t *testing.T) {
+	ctx, cancel := compose(context.Background(), 0, 10*time.Millisecond)
+	defer cancel()
+	expectDeadline(t, ctx, waitCause(t, ctx), "job deadline")
+}
+
+// TestDeadlineNeither: with both budgets unset the stack is a no-op — the
+// parent comes back unchanged, with no deadline and no timer.
+func TestDeadlineNeither(t *testing.T) {
+	parent := context.Background()
+	ctx, cancel := compose(parent, 0, 0)
+	defer cancel()
+	if ctx != parent {
+		t.Fatal("zero-budget stack allocated a new context")
+	}
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("zero-budget stack installed a deadline")
+	}
+}
+
+// TestDeadlineParentCancelWins: an upstream cancellation (client
+// disconnect, drain checkpoint) beats both deadlines and its cause flows
+// through the stack untouched.
+func TestDeadlineParentCancelWins(t *testing.T) {
+	errClient := errors.New("cancelled by client")
+	parent, cancelParent := context.WithCancelCause(context.Background())
+	ctx, cancel := compose(parent, time.Hour, time.Hour)
+	defer cancel()
+	cancelParent(errClient)
+	if cause := waitCause(t, ctx); !errors.Is(cause, errClient) {
+		t.Fatalf("cause = %v, want the parent's cancellation cause", cause)
+	}
+	var dc *DeadlineCause
+	if errors.As(context.Cause(ctx), &dc) {
+		t.Fatalf("parent cancellation misattributed to deadline %q", dc.Name)
+	}
+}
+
+// TestDeadlineTies ties equal budgets: exactly one of the two causes is
+// reported (whichever timer the runtime fired first) — never a mix, never
+// a bare DeadlineExceeded without a name.
+func TestDeadlineTies(t *testing.T) {
+	ctx, cancel := compose(context.Background(), 10*time.Millisecond, 10*time.Millisecond)
+	defer cancel()
+	cause := waitCause(t, ctx)
+	var dc *DeadlineCause
+	if !errors.As(cause, &dc) {
+		t.Fatalf("cause = %v, want a named *DeadlineCause", cause)
+	}
+	if dc.Name != "server job deadline" && dc.Name != "job deadline" {
+		t.Fatalf("cause names %q, want one of the two composed deadlines", dc.Name)
+	}
+}
+
+// TestTimeoutContextDelegates pins that the -timeout flag group rides the
+// same composition: its cause is a *DeadlineCause named "-timeout".
+func TestTimeoutContextDelegates(t *testing.T) {
+	tm := Timeout{D: 10 * time.Millisecond}
+	ctx, cancel := tm.Context(context.Background())
+	defer cancel()
+	expectDeadline(t, ctx, waitCause(t, ctx), "-timeout")
+}

@@ -38,14 +38,50 @@ func (t *Timeout) Register(fs *flag.FlagSet) {
 // values on parent (an obs recorder, a span) flow through, and whichever of
 // the two cancellations fires first wins. A nil parent means Background;
 // with the flag unset the parent comes back unchanged (no timer allocated).
+//
+// When this deadline is the one that fires, context.Cause names it (a
+// *DeadlineCause labeled "-timeout"); when the parent's earlier deadline
+// or cancellation fires first, the parent's cause flows through untouched.
 func (t *Timeout) Context(parent context.Context) (context.Context, context.CancelFunc) {
+	return DeadlineContext(parent, t.D, "-timeout")
+}
+
+// DeadlineCause is the cancel cause installed by DeadlineContext: it names
+// which of several composed deadlines actually fired. Callers recover it
+// with context.Cause + errors.As after a cancellation and report the label
+// (e.g. "-timeout", "job deadline", "server job deadline") to the user, so
+// a job killed under a stack of deadlines says which budget it blew.
+type DeadlineCause struct {
+	// Name labels the deadline's owner.
+	Name string
+	// D is the configured duration.
+	D time.Duration
+}
+
+// Error implements error.
+func (c *DeadlineCause) Error() string {
+	return fmt.Sprintf("%s (%v) exceeded", c.Name, c.D)
+}
+
+// Unwrap lets errors.Is(cause, context.DeadlineExceeded) hold on the cause
+// itself, matching the ctx.Err() the cancellation reports.
+func (c *DeadlineCause) Unwrap() error { return context.DeadlineExceeded }
+
+// DeadlineContext composes a named wall-clock budget onto parent: the
+// shortest of the new deadline and any deadline already on parent wins, and
+// the cancel cause names which one fired — context.Cause returns a
+// *DeadlineCause carrying this call's name only if this deadline was the
+// one that expired; a parent that cancels first keeps its own cause. d <= 0
+// installs no deadline and returns parent unchanged (no timer allocated),
+// so flag groups and server config can call it unconditionally.
+func DeadlineContext(parent context.Context, d time.Duration, name string) (context.Context, context.CancelFunc) {
 	if parent == nil {
 		parent = context.Background()
 	}
-	if t.D <= 0 {
+	if d <= 0 {
 		return parent, func() {}
 	}
-	return context.WithTimeout(parent, t.D)
+	return context.WithTimeoutCause(parent, d, &DeadlineCause{Name: name, D: d})
 }
 
 // Flags holds the profiling destinations selected on the command line.

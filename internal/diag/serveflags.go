@@ -1,0 +1,74 @@
+package diag
+
+import (
+	"flag"
+	"fmt"
+	"time"
+)
+
+// Serve groups the vectraced service knobs: where to listen, how much work
+// to admit, and how hard to bound each tenant's job. Like the other flag
+// groups here, the zero value is usable and Register installs defaults
+// that make a small local deployment safe out of the box.
+type Serve struct {
+	// Addr is the listen address for the job API.
+	Addr string
+	// Queue bounds jobs holding queue slots (queued + running). A full
+	// queue rejects new submissions with 429 + Retry-After instead of
+	// buffering without bound.
+	Queue int
+	// JobWorkers is the number of jobs executed concurrently.
+	JobWorkers int
+	// MaxUploadBytes caps one submission's body (config + source +
+	// optional trace). Oversized uploads fail with 413 before the body is
+	// buffered past the cap.
+	MaxUploadBytes int64
+	// UploadTimeout is the per-request read deadline: a slow or stalled
+	// client must deliver its body within it or the upload fails, freeing
+	// the connection and its reserved queue slot.
+	UploadTimeout time.Duration
+	// JobTimeout is the server-wide per-job wall-clock ceiling; a job's
+	// own (shorter) deadline composes with it via DeadlineContext, and the
+	// cancel cause names which of the two fired.
+	JobTimeout time.Duration
+	// DrainTimeout bounds the graceful drain on SIGTERM: in-flight jobs
+	// get this long to finish before being checkpoint-failed by
+	// cancellation.
+	DrainTimeout time.Duration
+	// CacheEntries bounds the content-addressed result cache (0 disables
+	// caching).
+	CacheEntries int
+	// MaxSteps / MaxAnalysisBytes seed each job's core.Budget unless the
+	// job's own config tightens them further (a job may never exceed the
+	// server-wide ceiling).
+	MaxSteps         int64
+	MaxAnalysisBytes int64
+}
+
+// Register installs the service flags on fs.
+func (s *Serve) Register(fs *flag.FlagSet) {
+	fs.StringVar(&s.Addr, "addr", "localhost:8722", "listen `address` for the job API")
+	fs.IntVar(&s.Queue, "queue", 64, "maximum jobs queued or running; beyond it submissions get 429 + Retry-After")
+	fs.IntVar(&s.JobWorkers, "job-workers", 4, "jobs executed concurrently")
+	fs.Int64Var(&s.MaxUploadBytes, "max-upload", 64<<20, "maximum submission body size in `bytes` (413 beyond it)")
+	fs.DurationVar(&s.UploadTimeout, "upload-timeout", 30*time.Second, "per-request body read `deadline` for slow clients")
+	fs.DurationVar(&s.JobTimeout, "job-timeout", 2*time.Minute, "server-wide per-job wall-clock `ceiling` (0 = none)")
+	fs.DurationVar(&s.DrainTimeout, "drain-timeout", 30*time.Second, "graceful-drain `budget` on SIGTERM before in-flight jobs are cancelled")
+	fs.IntVar(&s.CacheEntries, "cache-entries", 1024, "content-addressed result cache capacity (0 = off)")
+	fs.Int64Var(&s.MaxSteps, "max-steps", 200_000_000, "server-wide interpreter step ceiling per job (0 = interpreter default)")
+	fs.Int64Var(&s.MaxAnalysisBytes, "max-analysis-bytes", 256<<20, "server-wide analysis working-set ceiling per job in `bytes` (0 = unlimited)")
+}
+
+// Validate checks the selected values.
+func (s *Serve) Validate() error {
+	if s.Queue < 1 {
+		return fmt.Errorf("-queue must be >= 1, got %d", s.Queue)
+	}
+	if s.JobWorkers < 1 {
+		return fmt.Errorf("-job-workers must be >= 1, got %d", s.JobWorkers)
+	}
+	if s.MaxUploadBytes < 1 {
+		return fmt.Errorf("-max-upload must be >= 1, got %d", s.MaxUploadBytes)
+	}
+	return nil
+}

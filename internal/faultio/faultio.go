@@ -1,16 +1,21 @@
 // Package faultio supplies fault-injecting io.Reader and io.Writer wrappers
 // for exercising the failure model: readers that error or truncate at a
-// chosen byte offset, writers that fail mid-stream, and short variants that
-// deliver one byte per call to stress partial-I/O handling. The trace and
-// pipeline test suites drive recorded traces through these wrappers —
-// sweeping truncation across every byte offset — to prove that every
-// injected fault surfaces as a typed error rather than a panic, hang, or
-// silently partial result.
+// chosen byte offset, writers that fail mid-stream, short variants that
+// deliver one byte per call to stress partial-I/O handling, and a slow
+// reader that stalls between bytes. The trace and pipeline test suites
+// drive recorded traces through these wrappers — sweeping truncation
+// across every byte offset — to prove that every injected fault surfaces
+// as a typed error rather than a panic, hang, or silently partial result.
+// The vectraced load test uses the same wrappers client-side, as HTTP
+// request bodies: ErrReader models a mid-upload disconnect,
+// TruncatingReader a truncated upload, and SlowReader a stalled client
+// that must trip the server's read deadline.
 package faultio
 
 import (
 	"errors"
 	"io"
+	"time"
 )
 
 // ErrInjected is the sentinel the fault injectors return by default, so
@@ -119,6 +124,33 @@ type ShortReader struct {
 
 // Read implements io.Reader.
 func (r *ShortReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return r.R.Read(p)
+}
+
+// SlowReader delivers the underlying reader's bytes one at a time with a
+// pause before each read — the client-side injector for server read
+// deadlines: a well-formed but glacial upload must trip the server's
+// slow-client guard rather than hold a connection (and its queue slot)
+// forever.
+type SlowReader struct {
+	R     io.Reader
+	Delay time.Duration // pause before each Read
+
+	sleep func(time.Duration) // test hook; nil means time.Sleep
+}
+
+// Read implements io.Reader.
+func (r *SlowReader) Read(p []byte) (int, error) {
+	if r.Delay > 0 {
+		if r.sleep != nil {
+			r.sleep(r.Delay)
+		} else {
+			time.Sleep(r.Delay)
+		}
+	}
 	if len(p) > 1 {
 		p = p[:1]
 	}

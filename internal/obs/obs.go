@@ -137,6 +137,34 @@ const (
 	// ShadowPeakLiveAddresses it bounds the paged shadow's real footprint:
 	// pages × page span ≥ live addresses.
 	ShadowPagesTouched
+	// JobsAdmitted / JobsRejected count vectraced admission decisions: a
+	// submission that won a queue slot versus one turned away with 429 +
+	// Retry-After because the bounded queue was full. Their sum is the
+	// service's total submission traffic; the rejected count is the
+	// overload-degradation story, observed (load is shed, not absorbed).
+	JobsAdmitted
+	JobsRejected
+	// JobsCompleted / JobsFailed / JobsCancelled track the terminal states
+	// of admitted jobs: finished with a report, finished with an error
+	// (budget exhaustion, corrupt upload, isolated panic), or cancelled by
+	// the client / a deadline before finishing. Admitted jobs always reach
+	// exactly one of the three, so admitted == completed+failed+cancelled
+	// once the queue drains — the balance the drain test pins.
+	JobsCompleted
+	JobsFailed
+	JobsCancelled
+	// CacheHits / CacheMisses track the content-addressed result cache
+	// (trace/source hash × analysis config → report JSON). A hit serves the
+	// stored bytes without running the pipeline; a miss is the single
+	// flight that computes them (duplicate concurrent requests coalesce
+	// onto one miss).
+	CacheHits
+	CacheMisses
+	// QueueDepth / QueueDepthPeak gauge jobs holding queue slots (queued or
+	// running) and the high-water mark — the observable form of the
+	// "memory bounded by Q × per-job budget" guarantee.
+	QueueDepth
+	QueueDepthPeak
 
 	numCounters
 )
@@ -179,6 +207,15 @@ var counterNames = [numCounters]string{
 	"heap_sys_peak_bytes",
 	"interp_batched_events",
 	"shadow_pages_touched",
+	"jobs_admitted",
+	"jobs_rejected",
+	"jobs_completed",
+	"jobs_failed",
+	"jobs_cancelled",
+	"cache_hits",
+	"cache_misses",
+	"queue_depth",
+	"queue_depth_peak",
 }
 
 // Name returns the counter's stable snake_case export key.

@@ -48,7 +48,15 @@ type RunStats struct {
 // interp_batched_events (events delivered through the plan dispatcher's
 // batched Tracer fan-out) and shadow_pages_touched (pages the paged shadow
 // memory dirtied across regions; zero under the map-shadow oracle).
-const RunStatsVersion = 3
+// Version 4 added the vectraced service telemetry to the required set:
+// admission (jobs_admitted, jobs_rejected), job terminal states
+// (jobs_completed, jobs_failed, jobs_cancelled), the content-addressed
+// result cache (cache_hits, cache_misses), and the queue-depth high-water
+// mark (queue_depth_peak). CLI runs export them as zeros; vecbench -serve
+// additionally folds serve_p99_ms and serve_cache_hit_rate into the stats
+// config, so the BENCH_<rev>.json trajectory tracks service latency next
+// to analysis throughput.
+const RunStatsVersion = 4
 
 // SpanStats is one recorded stage span. StartNs is relative to the
 // recorder's start, so spans order and nest without absolute clocks.
@@ -142,6 +150,14 @@ var requiredCounters = []string{
 	"interp_steps",
 	"interp_batched_events",
 	"shadow_pages_touched",
+	"jobs_admitted",
+	"jobs_rejected",
+	"jobs_completed",
+	"jobs_failed",
+	"jobs_cancelled",
+	"cache_hits",
+	"cache_misses",
+	"queue_depth_peak",
 }
 
 // ValidateRunStats performs the golden-style schema check on a marshaled

@@ -1,0 +1,168 @@
+package report
+
+// Canonical machine-readable renderings of the analysis artifacts: the
+// per-region analysis a `vectrace analyze` run produces and the paper's
+// Tables 1–3. These encodings are the service contract of vectraced — the
+// CLI's -json mode and the job API both emit exactly these bytes, so
+// "service output equals CLI output" is a byte-for-byte comparison, and
+// the content-addressed result cache can store and replay responses
+// without a normalization step.
+//
+// Determinism rules: every field is a fixed-layout struct (no maps),
+// floats round-trip through encoding/json's shortest representation, and
+// rows keep their computation order (which the table builders already
+// guarantee is index-merged and worker-count-independent). Volatile
+// observability metadata (RegionReport.Elapsed) is deliberately excluded.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"github.com/example/vectrace/internal/core"
+	"github.com/example/vectrace/internal/pipeline"
+)
+
+// RegionJSON is the canonical encoding of one analyzed region: the
+// region's identity, its §3 report (nil when the region failed before
+// producing one), and its error text. Err is a rendered string — error
+// values don't marshal — and Text is the exact block Report.String()
+// prints, so consumers get both the structured columns and the
+// human-readable rendering the CLI shows.
+type RegionJSON struct {
+	Index  int          `json:"index"`
+	Events int          `json:"events"`
+	Report *core.Report `json:"report,omitempty"`
+	Text   string       `json:"text,omitempty"`
+	Err    string       `json:"error,omitempty"`
+}
+
+// RegionsDoc is the top-level document for a multi-region analysis.
+type RegionsDoc struct {
+	Regions []RegionJSON `json:"regions"`
+	// Failed counts regions whose slot carries an error.
+	Failed int `json:"failed"`
+}
+
+// RegionsJSON encodes region reports canonically (indented, trailing
+// newline — the same conventions WriteStats uses). The encoding is
+// byte-identical for any worker count, tile width, shadow or dispatch
+// engine, because the underlying reports are.
+func RegionsJSON(regs []pipeline.RegionReport) ([]byte, error) {
+	doc := RegionsDoc{Regions: make([]RegionJSON, len(regs))}
+	for i, rr := range regs {
+		rj := RegionJSON{Index: rr.Index, Events: rr.Events, Report: rr.Report}
+		if rr.Report != nil {
+			rj.Text = rr.Report.String()
+		}
+		if rr.Err != nil {
+			rj.Err = rr.Err.Error()
+			doc.Failed++
+		}
+		doc.Regions[i] = rj
+	}
+	return marshalDoc(doc)
+}
+
+// TableRowJSON is one row of a Table 1–3 document: the identity columns
+// (Style and Loop are empty where a table doesn't have them) plus the
+// summary columns the paper prints. The full per-instruction detail stays
+// out — the table contract is the paper's columns, and keeping the rows
+// flat makes the documents stable and small.
+type TableRowJSON struct {
+	Benchmark      string  `json:"benchmark"`
+	Loop           string  `json:"loop,omitempty"`
+	Style          string  `json:"style,omitempty"`
+	PercentCycles  float64 `json:"percent_cycles"`
+	PercentPacked  float64 `json:"percent_packed"`
+	AvgConcurrency float64 `json:"avg_concurrency"`
+	UnitPct        float64 `json:"unit_vec_ops_pct"`
+	UnitSize       float64 `json:"unit_avg_vec_size"`
+	NonUnitPct     float64 `json:"nonunit_vec_ops_pct"`
+	NonUnitSize    float64 `json:"nonunit_avg_vec_size"`
+}
+
+// TableDoc is the top-level document for one of Tables 1–3.
+type TableDoc struct {
+	Table int            `json:"table"`
+	Rows  []TableRowJSON `json:"rows"`
+}
+
+// tableRow flattens a LoopAnalysis into the shared row shape.
+func tableRow(bench, loop, style string, la LoopAnalysis) TableRowJSON {
+	return TableRowJSON{
+		Benchmark:      bench,
+		Loop:           loop,
+		Style:          style,
+		PercentCycles:  la.PercentCycles,
+		PercentPacked:  la.PercentPacked,
+		AvgConcurrency: la.AvgConcurrency,
+		UnitPct:        la.UnitPct,
+		UnitSize:       la.UnitSize,
+		NonUnitPct:     la.NonUnitPct,
+		NonUnitSize:    la.NonUnitSize,
+	}
+}
+
+// Table1JSON / Table2JSON / Table3JSON encode computed rows canonically.
+func Table1JSON(rows []T1Row) ([]byte, error) {
+	doc := TableDoc{Table: 1, Rows: make([]TableRowJSON, len(rows))}
+	for i, r := range rows {
+		doc.Rows[i] = tableRow(r.Benchmark, r.Loop, "", r.LoopAnalysis)
+	}
+	return marshalDoc(doc)
+}
+
+func Table2JSON(rows []T2Row) ([]byte, error) {
+	doc := TableDoc{Table: 2, Rows: make([]TableRowJSON, len(rows))}
+	for i, r := range rows {
+		doc.Rows[i] = tableRow(r.Benchmark, "", "", r.LoopAnalysis)
+	}
+	return marshalDoc(doc)
+}
+
+func Table3JSON(rows []T3Row) ([]byte, error) {
+	doc := TableDoc{Table: 3, Rows: make([]TableRowJSON, len(rows))}
+	for i, r := range rows {
+		doc.Rows[i] = tableRow(r.Benchmark, "", r.Style, r.LoopAnalysis)
+	}
+	return marshalDoc(doc)
+}
+
+// TableJSON regenerates table n (1–3) with the given analysis options and
+// encodes it — the one-call entry point the vectraced table jobs and the
+// CLI parity tests share.
+func TableJSON(ctx context.Context, n int, opts core.Options) ([]byte, error) {
+	switch n {
+	case 1:
+		rows, err := Table1Ctx(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		return Table1JSON(rows)
+	case 2:
+		rows, err := Table2Ctx(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		return Table2JSON(rows)
+	case 3:
+		rows, err := Table3Ctx(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		return Table3JSON(rows)
+	default:
+		return nil, fmt.Errorf("report: no table %d (want 1-3)", n)
+	}
+}
+
+// marshalDoc applies the canonical encoding conventions: two-space
+// indentation and a trailing newline.
+func marshalDoc(doc any) ([]byte, error) {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("report: marshal: %w", err)
+	}
+	return append(data, '\n'), nil
+}

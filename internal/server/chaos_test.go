@@ -1,0 +1,279 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/example/vectrace/internal/faultio"
+	"github.com/example/vectrace/internal/obs"
+)
+
+// TestChaosLoad is the load/chaos harness: N concurrent clients fire a
+// mixed workload at a small server — clean uploads, truncated uploads,
+// mid-upload disconnects, and cancellations of queued and running jobs —
+// over several rounds. The service must never panic, never leak
+// goroutines, never corrupt the result cache, and finish with a balanced
+// admission ledger.
+func TestChaosLoad(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s := New(Config{Queue: 8, Workers: 3, CacheEntries: 16, MaxUploadBytes: 1 << 20,
+		UploadTimeout: 2 * time.Second, JobTimeout: 30 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+
+	// Ground truth for the cache-integrity check at the end.
+	want := expectedRegionsJSON(t, JobSpec{Filename: "prog.c", Line: sampleLine, Instance: -1})
+
+	const clients = 8
+	const rounds = 6
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) * 7919))
+			for r := 0; r < rounds; r++ {
+				switch rng.Intn(4) {
+				case 0:
+					chaosCleanUpload(t, ts, want)
+				case 1:
+					chaosTruncatedUpload(t, ts)
+				case 2:
+					chaosDisconnect(t, ts)
+				case 3:
+					chaosSubmitCancel(t, ts)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Clean drain; every admitted job must have reached a terminal state.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain after chaos: %v", err)
+	}
+	ts.Close()
+
+	adm := s.rec.Get(obs.JobsAdmitted)
+	fin := s.rec.Get(obs.JobsCompleted) + s.rec.Get(obs.JobsFailed) + s.rec.Get(obs.JobsCancelled)
+	if adm != fin {
+		t.Fatalf("admission ledger unbalanced after chaos: admitted %d, terminal %d", adm, fin)
+	}
+	if peak := s.rec.Get(obs.QueueDepthPeak); peak > 8 {
+		t.Fatalf("queue depth peak %d exceeded the bound 8", peak)
+	}
+
+	// Cache integrity: whatever the chaos cached, a fresh differential
+	// run on a clean server-free path must match what the cache serves.
+	// (The chaos' clean uploads already verified their bytes; this guards
+	// the entries themselves.)
+	s2 := New(Config{Queue: 4, Workers: 2, CacheEntries: 16})
+	s2.cache = s.cache // adopt the survived cache
+	ts2 := httptest.NewServer(s2.Handler())
+	id := submitHTTP(t, ts2, JobSpec{Line: sampleLine, Instance: -1}, sampleProgram, nil)
+	if got := fetchReport(t, ts2, id); !bytes.Equal(got, want) {
+		t.Fatalf("cache corrupted by chaos: served bytes differ from ground truth")
+	}
+	ts2.Close()
+	s2.Close()
+
+	// Goroutine hygiene: allow a small slack for runtime/netpoll stragglers.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before chaos, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// chaosCleanUpload submits a well-formed job and verifies its bytes.
+func chaosCleanUpload(t *testing.T, ts *httptest.Server, want []byte) {
+	ct, body := multipartBody(t, JobSpec{Line: sampleLine, Instance: -1}, sampleProgram, nil)
+	resp, err := ts.Client().Post(ts.URL+"/v1/jobs", ct, bytes.NewReader(body))
+	if err != nil {
+		t.Errorf("clean upload: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var doc submitDoc
+		if err := jsonDecode(resp.Body, &doc); err != nil {
+			t.Errorf("clean upload decode: %v", err)
+			return
+		}
+		rr, err := ts.Client().Get(ts.URL + "/v1/jobs/" + doc.ID + "/report?wait=1")
+		if err != nil {
+			t.Errorf("clean upload report: %v", err)
+			return
+		}
+		got, _ := io.ReadAll(rr.Body)
+		rr.Body.Close()
+		if rr.StatusCode == http.StatusOK && !bytes.Equal(got, want) {
+			t.Errorf("clean upload under chaos returned wrong bytes")
+		}
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		// Shed under load: acceptable, must carry Retry-After.
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("shed response %d without Retry-After", resp.StatusCode)
+		}
+		io.Copy(io.Discard, resp.Body)
+	default:
+		msg, _ := io.ReadAll(resp.Body)
+		t.Errorf("clean upload: unexpected status %d: %s", resp.StatusCode, msg)
+	}
+}
+
+// chaosTruncatedUpload sends a multipart body that ends mid-part (clean
+// EOF): the server must answer 4xx, never 5xx.
+func chaosTruncatedUpload(t *testing.T, ts *httptest.Server) {
+	ct, body := multipartBody(t, JobSpec{Line: sampleLine, Instance: -1}, sampleProgram, nil)
+	trunc := &faultio.TruncatingReader{R: bytes.NewReader(body), N: int64(len(body) / 2)}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", trunc)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	req.Header.Set("Content-Type", ct)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		// Chunked-encoding truncation can surface client-side; that's a
+		// legitimate outcome of a broken upload.
+		return
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode >= 500 {
+		t.Errorf("truncated upload answered %d, want 4xx", resp.StatusCode)
+	}
+	if resp.StatusCode == http.StatusAccepted {
+		t.Errorf("truncated upload was accepted")
+	}
+}
+
+// chaosDisconnect aborts the upload mid-body with an injected I/O error —
+// the HTTP client tears the connection down, the server sees a broken
+// request and must carry on.
+func chaosDisconnect(t *testing.T, ts *httptest.Server) {
+	ct, body := multipartBody(t, JobSpec{Line: sampleLine, Instance: -1}, sampleProgram, nil)
+	bad := &faultio.ErrReader{R: bytes.NewReader(body), FailAt: int64(len(body) / 3)}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bad)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	req.Header.Set("Content-Type", ct)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		return // expected: the injected fault aborts the request
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		t.Errorf("aborted upload answered %d, want 4xx", resp.StatusCode)
+	}
+}
+
+// chaosSubmitCancel submits a job and cancels it immediately — sometimes
+// while queued, sometimes while running.
+func chaosSubmitCancel(t *testing.T, ts *httptest.Server) {
+	ct, body := multipartBody(t, JobSpec{Line: sampleLine, Instance: -1, Filename: "cancel.c"}, sampleProgram, nil)
+	resp, err := ts.Client().Post(ts.URL+"/v1/jobs", ct, bytes.NewReader(body))
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return // shed; fine
+	}
+	var doc submitDoc
+	err = jsonDecode(resp.Body, &doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+doc.ID, nil)
+	dr, err := ts.Client().Do(req)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	io.Copy(io.Discard, dr.Body)
+	dr.Body.Close()
+	if dr.StatusCode >= 500 {
+		t.Errorf("cancel answered %d", dr.StatusCode)
+	}
+	// The job must still reach a terminal state.
+	rr, err := ts.Client().Get(ts.URL + "/v1/jobs/" + doc.ID + "/result?wait=1")
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	io.Copy(io.Discard, rr.Body)
+	rr.Body.Close()
+}
+
+// TestSlowClientReadDeadline drives a glacial upload against a server
+// with a tight read deadline over a real TCP connection: the server must
+// fail the request (or cut the connection) instead of holding the slot
+// forever, and the slot must come back.
+func TestSlowClientReadDeadline(t *testing.T) {
+	s := newTestServer(t, Config{Queue: 2, Workers: 1, UploadTimeout: 150 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ct, body := multipartBody(t, JobSpec{Line: sampleLine}, sampleProgram, nil)
+	slow := &faultio.SlowReader{R: bytes.NewReader(body), Delay: 20 * time.Millisecond}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", ct)
+	start := time.Now()
+	resp, err := ts.Client().Do(req)
+	if err == nil {
+		defer resp.Body.Close()
+		msg, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode == http.StatusAccepted {
+			t.Fatalf("glacial upload accepted: %s", msg)
+		}
+	}
+	// At ~20ms/byte the full body takes minutes; the deadline must cut it
+	// off in well under that.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("slow client held the connection %v", elapsed)
+	}
+	waitDepthZero(t, s)
+
+	// The freed slot must serve the next clean submission.
+	id := submitHTTP(t, ts, JobSpec{Line: sampleLine}, sampleProgram, nil)
+	if doc := fetchResult(t, ts, id); doc.State != StateDone {
+		t.Fatalf("job after slow-client rejection: state %q (%s)", doc.State, doc.Error)
+	}
+}
+
+// jsonDecode decodes one JSON document from r.
+func jsonDecode(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}

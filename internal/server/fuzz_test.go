@@ -1,0 +1,97 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/example/vectrace/internal/core"
+)
+
+// tinyBudget keeps fuzz-admitted jobs cheap: a hostile program the fuzzer
+// conjures may loop, and the budget — not wall time — must stop it.
+func tinyBudget() core.Budget {
+	return core.Budget{MaxSteps: 100_000, MaxDepth: 64, MaxStackBytes: 1 << 20, MaxAnalysisBytes: 16 << 20}
+}
+
+// FuzzJobRequest fuzzes the submission surface end to end: arbitrary
+// bodies under arbitrary content types (malformed multipart framing,
+// lying content lengths, hostile config JSON, garbage and truncated trace
+// payloads — VTR2 footers pointing past EOF included). The contract under
+// fuzz: the handler answers every submission with a well-formed HTTP
+// status — 2xx for admitted work, 4xx/429/503 for rejected work — and
+// never panics into a 5xx; admitted jobs run to a terminal state under a
+// tiny budget without crashing the worker pool.
+func FuzzJobRequest(f *testing.F) {
+	// A valid multipart submission, for the fuzzer to mutate framing from.
+	spec := JobSpec{Line: sampleLine, Instance: -1}
+	ct, body := multipartBody(f, spec, sampleProgram, nil)
+	f.Add(body, ct, int64(len(body)))
+	// Truncated multipart (clean EOF mid-part).
+	f.Add(body[:len(body)/2], ct, int64(len(body)))
+	// Lying content length: declares more than it delivers.
+	f.Add(body, ct, int64(len(body))*4)
+	// Boundary mismatch.
+	f.Add(body, "multipart/form-data; boundary=not-the-boundary", int64(len(body)))
+	// No boundary parameter at all.
+	f.Add(body, "multipart/form-data", int64(len(body)))
+	// JSON submission, valid and hostile.
+	f.Add([]byte(`{"config":{"kind":"analyze","line":11},"source":"void main() {}"}`), "application/json", int64(-1))
+	f.Add([]byte(`{"config":{"line":-9223372036854775808,"max_steps":-1},"source":""}`), "application/json", int64(-1))
+	f.Add([]byte(`{"config":{"unknown_knob":1}}`), "application/json", int64(-1))
+	f.Add([]byte("{"), "application/json", int64(-1))
+	// Trace payload with a VTR2-looking magic and a footer offset past
+	// EOF, plus raw garbage bytes.
+	_, vtr2ish := multipartBody(f, spec, sampleProgram,
+		append([]byte("VTR2"), bytes.Repeat([]byte{0xFF}, 64)...))
+	f.Add(vtr2ish, ct, int64(len(vtr2ish)))
+	_, garbage := multipartBody(f, spec, sampleProgram, []byte("NOPEnope\x00\x01\x02"))
+	f.Add(garbage, ct, int64(len(garbage)))
+
+	s := New(Config{
+		Queue:          16,
+		Workers:        2,
+		MaxUploadBytes: 1 << 20,
+		UploadTimeout:  5 * time.Second,
+		JobTimeout:     5 * time.Second,
+		CacheEntries:   0, // every input must execute, not replay
+		Budget:         tinyBudget(),
+	})
+	defer s.Close()
+	h := s.Handler()
+
+	f.Fuzz(func(t *testing.T, body []byte, contentType string, declaredLen int64) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+		req.Header.Set("Content-Type", contentType)
+		req.ContentLength = declaredLen
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+
+		resp := rw.Result()
+		if resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("submission answered %d (server-side failure):\n%s", resp.StatusCode, rw.Body.String())
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return
+		}
+		// Admitted: the job must reach a terminal state without killing
+		// the service, whatever the payload was.
+		var doc submitDoc
+		if err := json.Unmarshal(rw.Body.Bytes(), &doc); err != nil || !strings.HasPrefix(doc.ID, "j") {
+			t.Fatalf("202 with unusable body: %v %q", err, rw.Body.String())
+		}
+		j, ok := s.Job(doc.ID)
+		if !ok {
+			t.Fatalf("202 for unregistered job %q", doc.ID)
+		}
+		select {
+		case <-j.Done():
+		case <-time.After(30 * time.Second):
+			t.Fatalf("admitted job %s never terminated", doc.ID)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Admission errors.
+var (
+	// ErrQueueFull is returned when every queue slot (queued + running
+	// jobs) is taken; the handler maps it to 429 + Retry-After.
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining is returned once shutdown began; the handler maps it to
+	// 503 + Retry-After.
+	ErrDraining = errors.New("server: draining, not admitting jobs")
+)
+
+// jobQueue is the bounded admission queue. A slot is reserved *before*
+// the submission body is read — so under a flood of Q+K simultaneous
+// submissions, exactly K are rejected promptly with ErrQueueFull, and the
+// accepted Q bound the server's memory (Q × per-job budget) no matter how
+// large or slow the rejected bodies were. A slot is held from reservation
+// until the job reaches a terminal state: queued and running jobs both
+// count against the bound.
+type jobQueue struct {
+	capacity int
+	jobs     chan *Job
+
+	mu     sync.Mutex
+	depth  int
+	closed bool
+
+	// avgNs is an EWMA of recent job durations, feeding Retry-After.
+	avgNs int64
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	return &jobQueue{capacity: capacity, jobs: make(chan *Job, capacity)}
+}
+
+// reserve claims one queue slot, or reports why it can't. Every
+// successful reserve is paired with exactly one of enqueue+release (job
+// lifecycle) or unreserve (submission failed before becoming a job).
+func (q *jobQueue) reserve() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if q.depth >= q.capacity {
+		return ErrQueueFull
+	}
+	q.depth++
+	return nil
+}
+
+// unreserve returns a slot claimed by reserve when the submission never
+// became a job (malformed body, oversized upload, read timeout).
+func (q *jobQueue) unreserve() {
+	q.mu.Lock()
+	q.depth--
+	q.mu.Unlock()
+}
+
+// enqueue hands a job (whose slot is already reserved) to the workers.
+// It fails only when drain closed the intake after the reservation; the
+// caller then owns the slot and the rejection.
+func (q *jobQueue) enqueue(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		q.depth--
+		return ErrDraining
+	}
+	// Cannot block: depth <= capacity and every buffered job holds a slot.
+	q.jobs <- j
+	return nil
+}
+
+// release returns a terminal job's slot and folds its duration into the
+// Retry-After estimate.
+func (q *jobQueue) release(d time.Duration) {
+	q.mu.Lock()
+	q.depth--
+	if d > 0 {
+		if q.avgNs == 0 {
+			q.avgNs = int64(d)
+		} else {
+			q.avgNs = (q.avgNs*4 + int64(d)) / 5
+		}
+	}
+	q.mu.Unlock()
+}
+
+// Depth returns the number of slots held (queued + running jobs).
+func (q *jobQueue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
+}
+
+// close stops the intake: reserve fails with ErrDraining and the workers'
+// feed channel is closed so they exit after draining the backlog.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	close(q.jobs)
+}
+
+// retryAfter estimates seconds until a slot should free up, for the
+// Retry-After header: the backlog drained at the observed per-job rate
+// across the worker pool, clamped to [1s, 5min].
+func (q *jobQueue) retryAfter(workers int) int {
+	q.mu.Lock()
+	depth, avg := q.depth, q.avgNs
+	q.mu.Unlock()
+	if avg == 0 {
+		return 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	secs := (int64(depth)*avg/int64(workers) + int64(time.Second) - 1) / int64(time.Second)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 300 {
+		return 300
+	}
+	return int(secs)
+}

@@ -1,0 +1,371 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/example/vectrace/internal/core"
+	"github.com/example/vectrace/internal/diag"
+	"github.com/example/vectrace/internal/obs"
+)
+
+// Config sizes a Server. The zero value of any field selects a safe
+// default; diag.Serve mirrors these knobs as flags for cmd/vectraced.
+type Config struct {
+	// Queue bounds jobs holding queue slots (queued + running).
+	Queue int
+	// Workers is the number of jobs executed concurrently.
+	Workers int
+	// MaxUploadBytes caps one submission body.
+	MaxUploadBytes int64
+	// UploadTimeout is the per-request body read deadline.
+	UploadTimeout time.Duration
+	// JobTimeout is the server-wide per-job wall-clock ceiling (0 = none).
+	JobTimeout time.Duration
+	// CacheEntries bounds the result cache (0 disables caching).
+	CacheEntries int
+	// Budget holds the server-wide per-job resource ceilings; a job's own
+	// config may tighten but never exceed them.
+	Budget core.Budget
+	// Recorder receives the service-level counters (admission, cache,
+	// queue depth). Nil allocates a private one.
+	Recorder *obs.Recorder
+}
+
+func (c *Config) fillDefaults() {
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 64 << 20
+	}
+	if c.UploadTimeout <= 0 {
+		c.UploadTimeout = 30 * time.Second
+	}
+	if c.Recorder == nil {
+		c.Recorder = obs.New()
+	}
+}
+
+// FromServeFlags builds a Config from the diag.Serve flag group.
+func FromServeFlags(sf *diag.Serve, rec *obs.Recorder) Config {
+	return Config{
+		Queue:          sf.Queue,
+		Workers:        sf.JobWorkers,
+		MaxUploadBytes: sf.MaxUploadBytes,
+		UploadTimeout:  sf.UploadTimeout,
+		JobTimeout:     sf.JobTimeout,
+		CacheEntries:   sf.CacheEntries,
+		Budget: core.Budget{
+			MaxSteps:         sf.MaxSteps,
+			MaxAnalysisBytes: sf.MaxAnalysisBytes,
+		},
+		Recorder: rec,
+	}
+}
+
+// Server is the vectraced job engine: admission queue, worker pool,
+// result cache, job registry, and drain machinery. HTTP handling lives in
+// handlers.go; Server itself is transport-agnostic and fully exercisable
+// in-process.
+type Server struct {
+	cfg   Config
+	rec   *obs.Recorder
+	queue *jobQueue
+	cache *resultCache
+
+	// base is the ancestor of every job context; baseCancel checkpoints
+	// outstanding jobs when the drain budget expires.
+	base       context.Context
+	baseCancel context.CancelCauseFunc
+	workers    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // registry insertion order, for bounded retention
+	nextID   int
+	draining bool
+
+	// testBeforeRun, when set, runs inside the worker after a job turns
+	// running and before its body executes — the determinism hook the
+	// overload and cancellation tests use to hold jobs at a known point.
+	testBeforeRun func(*Job)
+}
+
+// retainedJobs bounds the registry: beyond it the oldest terminal jobs
+// are forgotten (their results become 404), keeping a long-lived service
+// from accumulating every result ever computed.
+func retainedJobs(queue int) int {
+	if r := 4 * queue; r > 64 {
+		return r
+	}
+	return 64
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:   cfg,
+		rec:   cfg.Recorder,
+		queue: newJobQueue(cfg.Queue),
+		cache: newResultCache(cfg.CacheEntries),
+		jobs:  make(map[string]*Job),
+	}
+	s.base, s.baseCancel = context.WithCancelCause(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			for j := range s.queue.jobs {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+// Submit validates a parsed submission, admits it against the queue
+// bound, and returns the queued job. The caller must already hold a
+// reservation (see reserveSlot); Submit consumes it on success and on
+// failure alike.
+func (s *Server) submitReserved(spec JobSpec, source string, payload []byte) (*Job, error) {
+	if err := spec.validate(source != "", len(payload) > 0); err != nil {
+		s.releaseSlot()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	j := newJob(s.base, id, spec, source, payload)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.evictJobsLocked()
+	s.mu.Unlock()
+
+	if err := s.queue.enqueue(j); err != nil {
+		// Drain closed the intake between reservation and enqueue.
+		s.rec.GaugeDec(obs.QueueDepth)
+		s.rec.Add(obs.JobsRejected, 1)
+		j.finish(StateCancelled, nil, err)
+		return nil, err
+	}
+	s.rec.Add(obs.JobsAdmitted, 1)
+	return j, nil
+}
+
+// Submit is the in-process submission entry point (tests, benchmarks):
+// reserve + submit in one call.
+func (s *Server) Submit(spec JobSpec, source string, payload []byte) (*Job, error) {
+	if err := s.reserveSlot(); err != nil {
+		return nil, err
+	}
+	return s.submitReserved(spec, source, payload)
+}
+
+// reserveSlot claims a queue slot and maintains the depth gauge; the
+// admission counters for rejects are the caller's (the reject reason
+// decides the status code).
+func (s *Server) reserveSlot() error {
+	if err := s.queue.reserve(); err != nil {
+		s.rec.Add(obs.JobsRejected, 1)
+		return err
+	}
+	s.rec.GaugeInc(obs.QueueDepth, obs.QueueDepthPeak)
+	return nil
+}
+
+// releaseSlot returns a slot that never became a terminal job.
+func (s *Server) releaseSlot() {
+	s.queue.unreserve()
+	s.rec.GaugeDec(obs.QueueDepth)
+}
+
+// Job looks up a registered job.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a queued or running job on a client's behalf.
+func (s *Server) Cancel(id string, cause error) (*Job, bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return nil, false
+	}
+	if j.CancelRequest(cause) && j.State() == StateCancelled {
+		// Queued job cancelled in place: its slot frees here, its worker
+		// dequeue becomes a no-op.
+		s.rec.Add(obs.JobsCancelled, 1)
+		s.queue.release(0)
+		s.rec.GaugeDec(obs.QueueDepth)
+	}
+	return j, true
+}
+
+// evictJobsLocked forgets the oldest terminal jobs beyond the retention
+// bound. In-flight jobs are never evicted: they hold queue slots, and the
+// slot bound caps how many can exist.
+func (s *Server) evictJobsLocked() {
+	limit := retainedJobs(s.cfg.Queue)
+	for i := 0; len(s.order) > limit && i < len(s.order); {
+		id := s.order[i]
+		if j := s.jobs[id]; j != nil && !terminal(j.State()) {
+			i++
+			continue
+		}
+		delete(s.jobs, id)
+		s.order = append(s.order[:i], s.order[i+1:]...)
+	}
+}
+
+// errDrainCheckpoint is the cancel cause stamped on jobs the drain budget
+// could not wait for.
+var errDrainCheckpoint = fmt.Errorf("server: drain deadline reached, job checkpoint-failed: %w", context.Canceled)
+
+// Drain performs the graceful shutdown: stop admitting (429→503), let
+// queued and running jobs finish, and when ctx expires first,
+// checkpoint-fail the stragglers by cancellation so the workers still
+// exit cleanly. It returns nil when every job completed and ctx.Err()
+// when the deadline forced cancellation.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.queue.close()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel(errDrainCheckpoint)
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close drains with a short deadline; for tests.
+func (s *Server) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s.Drain(ctx)
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// QueueDepth returns the live slot count (queued + running jobs).
+func (s *Server) QueueDepth() int { return s.queue.Depth() }
+
+// Stats exports the service-level RunStats document.
+func (s *Server) Stats() *obs.RunStats {
+	return s.rec.Stats("vectraced", map[string]any{
+		"queue":   s.cfg.Queue,
+		"workers": s.cfg.Workers,
+	})
+}
+
+// runJob is the worker body: one job from running to terminal, with the
+// slot released and the admission ledger balanced on every path.
+func (s *Server) runJob(j *Job) {
+	if !j.setRunning() {
+		// Cancelled while still queued: Cancel already finalized the job
+		// and released its slot, so this dequeue is a no-op.
+		return
+	}
+	var dur time.Duration
+	defer func() {
+		s.queue.release(dur)
+		s.rec.GaugeDec(obs.QueueDepth)
+	}()
+
+	// Compose the context stack: job lifetime (client cancel, drain
+	// checkpoint) → per-job recorder → server deadline ceiling → the
+	// job's own deadline. Shortest deadline wins natively; the causes
+	// name which one fired.
+	ctx := obs.WithRecorder(j.ctx, j.rec)
+	ctx, cancelSrv := diag.DeadlineContext(ctx, s.cfg.JobTimeout, "server job deadline")
+	defer cancelSrv()
+	ctx, cancelJob := diag.DeadlineContext(ctx, time.Duration(j.Spec.TimeoutMs)*time.Millisecond, "job deadline")
+	defer cancelJob()
+
+	key := cacheKey(j.Spec, j.source, j.payload)
+	ceil := s.cfg.Budget
+	report, hit, err := s.cache.do(ctx, key, s.rec, func() (rep []byte, rerr error) {
+		// Panic isolation: a poisoned job yields a typed *core.UnitError
+		// (with the recovered stack) in this job's result; the worker and
+		// every other tenant are untouched.
+		rerr = core.Guard(0, "job", int64(j.Spec.Line), func() error {
+			if h := s.testBeforeRun; h != nil {
+				h(j)
+			}
+			var e error
+			rep, e = j.run(ctx, ceil)
+			return e
+		})
+		return rep, rerr
+	})
+
+	// A cancelled job stays cancelled even when the computation raced to
+	// completion first (tiny jobs can finish before the cooperative
+	// cancellation check runs): the client asked for it not to count.
+	if cause := context.Cause(ctx); cause != nil && err == nil {
+		err = cause
+		report = nil
+	}
+	j.mu.Lock()
+	j.cacheHit = hit
+	if cause := context.Cause(ctx); cause != nil {
+		j.cause = cause
+	}
+	j.mu.Unlock()
+
+	// Terminal state: cancellation trumps everything (a partial report
+	// from a cancelled run is not a result); otherwise a report — even a
+	// degraded one with failed regions — counts as done, and only a
+	// report-less failure is failed.
+	state := StateDone
+	if err != nil {
+		switch {
+		case errorKind(err) == "cancelled":
+			state = StateCancelled
+			report = nil
+		case report == nil:
+			state = StateFailed
+		}
+	}
+	if j.finish(state, report, err) {
+		switch state {
+		case StateDone:
+			s.rec.Add(obs.JobsCompleted, 1)
+		case StateFailed:
+			s.rec.Add(obs.JobsFailed, 1)
+		case StateCancelled:
+			s.rec.Add(obs.JobsCancelled, 1)
+		}
+	}
+	dur = j.elapsedLocked()
+}
+
+// elapsedLocked reads the job's elapsed time under its lock.
+func (j *Job) elapsedLocked() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.elapsed
+}
