@@ -129,12 +129,15 @@ func serveOneDepth(ctx context.Context, depth, n int) (*serveResult, error) {
 	var wg sync.WaitGroup
 	errs := make(chan error, depth)
 	next := make(chan int)
+	clientsDone := make(chan struct{}) // unblocks the feeder if every client errors out early
 	go func() {
 		defer close(next)
 		for i := 0; i < n; i++ {
 			select {
 			case next <- i:
 			case <-ctx.Done():
+				return
+			case <-clientsDone:
 				return
 			}
 		}
@@ -157,6 +160,7 @@ func serveOneDepth(ctx context.Context, depth, n int) (*serveResult, error) {
 		}()
 	}
 	wg.Wait()
+	close(clientsDone)
 	res.wall = time.Since(start)
 
 	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

@@ -255,7 +255,10 @@ func (j *Job) finish(state string, reportJS []byte, err error) bool {
 // CancelRequest implements client- and drain-initiated cancellation: a
 // queued job terminates immediately; a running job has its context
 // cancelled with the given cause and terminates when its worker observes
-// the cancellation. Terminal jobs are untouched (returns false).
+// the cancellation. It returns whether it performed the queued→cancelled
+// transition itself — the one case where the caller, not the worker's
+// finish path, owns the terminal accounting. Running and terminal jobs
+// return false (the worker settles those races under j.mu).
 func (j *Job) CancelRequest(cause error) bool {
 	j.mu.Lock()
 	if terminal(j.state) {
@@ -272,7 +275,7 @@ func (j *Job) CancelRequest(cause error) bool {
 	if queued {
 		close(j.done)
 	}
-	return true
+	return queued
 }
 
 // errorKind classifies a job error for the result document, so clients

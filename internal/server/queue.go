@@ -21,8 +21,9 @@ var (
 // submissions, exactly K are rejected promptly with ErrQueueFull, and the
 // accepted Q bound the server's memory (Q × per-job budget) no matter how
 // large or slow the rejected bodies were. A slot is held from reservation
-// until the job reaches a terminal state: queued and running jobs both
-// count against the bound.
+// until the job's worker dequeues and finishes it (or no-op dequeues a
+// job cancelled while queued): every job buffered in the channel holds a
+// slot, so depth bounds channel occupancy and enqueue can never block.
 type jobQueue struct {
 	capacity int
 	jobs     chan *Job
@@ -120,7 +121,11 @@ func (q *jobQueue) retryAfter(workers int) int {
 	depth, avg := q.depth, q.avgNs
 	q.mu.Unlock()
 	if avg == 0 {
-		return 1
+		// No job has completed yet, so there is no observed rate. Assume a
+		// conservative one second per job: a full queue of first-ever jobs
+		// still backs clients off proportionally to the backlog instead of
+		// inviting an immediate retry into a still-full queue.
+		avg = int64(time.Second)
 	}
 	if workers < 1 {
 		workers = 1

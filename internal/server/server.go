@@ -200,12 +200,14 @@ func (s *Server) Cancel(id string, cause error) (*Job, bool) {
 	if !ok {
 		return nil, false
 	}
-	if j.CancelRequest(cause) && j.State() == StateCancelled {
-		// Queued job cancelled in place: its slot frees here, its worker
-		// dequeue becomes a no-op.
+	if j.CancelRequest(cause) {
+		// Queued job cancelled in place (CancelRequest performed the
+		// transition under j.mu, so this cannot race the worker's finish
+		// path). Only the counter moves here: the Job stays buffered in
+		// the queue channel, and it keeps its slot until the worker's
+		// no-op dequeue — freeing it early would break the "every buffered
+		// job holds a slot" invariant that keeps enqueue non-blocking.
 		s.rec.Add(obs.JobsCancelled, 1)
-		s.queue.release(0)
-		s.rec.GaugeDec(obs.QueueDepth)
 	}
 	return j, true
 }
@@ -285,8 +287,10 @@ func (s *Server) Stats() *obs.RunStats {
 // slot released and the admission ledger balanced on every path.
 func (s *Server) runJob(j *Job) {
 	if !j.setRunning() {
-		// Cancelled while still queued: Cancel already finalized the job
-		// and released its slot, so this dequeue is a no-op.
+		// Cancelled while still queued: Cancel already finalized and
+		// counted the job; this dequeue just returns its slot.
+		s.queue.release(0)
+		s.rec.GaugeDec(obs.QueueDepth)
 		return
 	}
 	var dur time.Duration

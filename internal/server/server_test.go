@@ -416,8 +416,11 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 	if st := queued.State(); st != StateCancelled {
 		t.Fatalf("queued job state = %q, want cancelled", st)
 	}
-	if d := s.QueueDepth(); d != 1 {
-		t.Fatalf("depth after queued cancel = %d, want 1", d)
+	// The cancelled job stays buffered and keeps its slot until the (still
+	// busy) worker dequeues the no-op: depth holds at 2, preserving the
+	// every-buffered-job-holds-a-slot invariant behind enqueue.
+	if d := s.QueueDepth(); d != 2 {
+		t.Fatalf("depth after queued cancel = %d, want 2", d)
 	}
 
 	if _, ok := s.Cancel(running.ID, errClientCancel); !ok {
@@ -436,6 +439,62 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 	}
 	waitDepthZero(t, s)
 	close(gate)
+}
+
+// TestCancelQueuedResubmit is the regression test for the cancel+resubmit
+// deadlock: a job cancelled while queued stays buffered in the queue
+// channel, so its slot must stay held until the worker's no-op dequeue.
+// Freeing it at cancel time let resubmissions overfill the channel until
+// enqueue blocked holding the queue lock, wedging every worker. With the
+// slot held, a resubmit while the worker is busy gets a prompt
+// ErrQueueFull, and everything drains once the worker frees up.
+func TestCancelQueuedResubmit(t *testing.T) {
+	gate := make(chan struct{})
+	s := newTestServer(t, Config{Queue: 2, Workers: 1, CacheEntries: 0})
+	s.testBeforeRun = func(j *Job) {
+		select {
+		case <-gate:
+		case <-j.ctx.Done():
+		}
+	}
+	running, err := s.Submit(JobSpec{Line: sampleLine}, sampleProgram, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning)
+	queued, err := s.Submit(JobSpec{Line: sampleLine, Filename: "q.c"}, sampleProgram, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Cancel(queued.ID, errClientCancel); !ok {
+		t.Fatal("cancel queued: not found")
+	}
+	<-queued.Done()
+
+	// The cancelled job still holds its slot, so resubmits are rejected
+	// promptly instead of buffering past the channel's capacity.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit(JobSpec{Line: sampleLine, Filename: "r.c"}, sampleProgram, nil); !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("resubmit %d after queued cancel: err = %v, want ErrQueueFull", i, err)
+		}
+	}
+	if got := s.rec.Get(obs.JobsCancelled); got != 1 {
+		t.Fatalf("jobs_cancelled = %d, want 1", got)
+	}
+
+	// Releasing the worker drains both the running job and the cancelled
+	// no-op, returning both slots; admission then works again.
+	close(gate)
+	<-running.Done()
+	waitDepthZero(t, s)
+	again, err := s.Submit(JobSpec{Line: sampleLine, Filename: "r.c"}, sampleProgram, nil)
+	if err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	<-again.Done()
+	if st := again.State(); st != StateDone {
+		t.Fatalf("post-drain job state = %q, want done", st)
+	}
 }
 
 func waitState(t testing.TB, j *Job, want string) {
