@@ -37,6 +37,11 @@ type serveResult struct {
 	latencies []time.Duration
 	hits      int64
 	misses    int64
+	// server is the service's own "job" latency histogram (submit to
+	// terminal state, measured inside the server), the same distribution
+	// vectraced exports at /metrics and /statsz. It is the server-side
+	// counterpart to the client-observed latencies above.
+	server obs.HistogramSnapshot
 }
 
 func (r *serveResult) percentile(p float64) time.Duration {
@@ -56,9 +61,11 @@ func (r *serveResult) percentile(p float64) time.Duration {
 // auto).
 func runServe(ctx context.Context, n int, summary map[string]any) error {
 	fmt.Printf("== Service throughput: %d requests per queue depth ==\n", n)
-	fmt.Printf("%6s %9s %10s %10s %10s %9s\n", "depth", "req/s", "p50", "p99", "max", "hit-rate")
+	fmt.Printf("%6s %9s %10s %10s %10s %10s %10s %9s\n",
+		"depth", "req/s", "p50", "p99", "max", "srv-p50", "srv-p99", "hit-rate")
 
 	var all []time.Duration
+	var serverAgg obs.HistogramSnapshot
 	var hits, misses int64
 	for _, depth := range serveDepths {
 		res, err := serveOneDepth(ctx, depth, n)
@@ -69,15 +76,26 @@ func runServe(ctx context.Context, n int, summary map[string]any) error {
 		if total := res.hits + res.misses; total > 0 {
 			rate = float64(res.hits) / float64(total)
 		}
-		fmt.Printf("%6d %9.1f %10s %10s %10s %8.2f%%\n", depth,
+		fmt.Printf("%6d %9.1f %10s %10s %10s %10s %10s %8.2f%%\n", depth,
 			float64(res.requests)/res.wall.Seconds(),
 			res.percentile(0.50).Round(time.Microsecond),
 			res.percentile(0.99).Round(time.Microsecond),
 			res.percentile(1.00).Round(time.Microsecond),
+			res.server.Quantile(0.50).Round(time.Microsecond),
+			res.server.Quantile(0.99).Round(time.Microsecond),
 			100*rate)
 		summary[fmt.Sprintf("serve_rps_q%d", depth)] = float64(res.requests) / res.wall.Seconds()
 		summary[fmt.Sprintf("serve_p99_ms_q%d", depth)] = res.percentile(0.99).Seconds() * 1e3
+		// A job's server-side lifetime (submit to terminal) nests inside the
+		// client's round trip, so the server's median can never exceed the
+		// slowest client observation. A violation means the two measurement
+		// paths disagree — fail loudly rather than publish bogus numbers.
+		if slack := 10 * time.Millisecond; res.server.Quantile(0.50) > res.percentile(1.00)+slack {
+			return fmt.Errorf("depth %d: server-side p50 %v exceeds client max %v",
+				depth, res.server.Quantile(0.50), res.percentile(1.00))
+		}
 		all = append(all, res.latencies...)
+		serverAgg.Merge(res.server)
 		hits += res.hits
 		misses += res.misses
 	}
@@ -86,6 +104,8 @@ func runServe(ctx context.Context, n int, summary map[string]any) error {
 	agg := serveResult{latencies: all}
 	summary["serve_p50_ms"] = agg.percentile(0.50).Seconds() * 1e3
 	summary["serve_p99_ms"] = agg.percentile(0.99).Seconds() * 1e3
+	summary["serve_server_p50_ms"] = serverAgg.Quantile(0.50).Seconds() * 1e3
+	summary["serve_server_p99_ms"] = serverAgg.Quantile(0.99).Seconds() * 1e3
 	if total := hits + misses; total > 0 {
 		summary["serve_cache_hit_rate"] = float64(hits) / float64(total)
 	} else {
@@ -179,6 +199,9 @@ func serveOneDepth(ctx context.Context, depth, n int) (*serveResult, error) {
 	}
 	res.hits = rec.Get(obs.CacheHits)
 	res.misses = rec.Get(obs.CacheMisses)
+	// Snapshot after Drain: every job has reached a terminal state, so the
+	// server's "job" histogram covers all n requests.
+	res.server, _ = rec.HistSnapshot("job")
 	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
 	return res, nil
 }

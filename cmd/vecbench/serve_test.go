@@ -16,6 +16,7 @@ func TestRunServeSummary(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"serve_p50_ms", "serve_p99_ms", "serve_cache_hit_rate",
+		"serve_server_p50_ms", "serve_server_p99_ms",
 		"serve_rps_q1", "serve_rps_q8", "serve_rps_q64"} {
 		if _, ok := summary[key]; !ok {
 			t.Errorf("summary missing %q: %v", key, summary)
@@ -23,6 +24,9 @@ func TestRunServeSummary(t *testing.T) {
 	}
 	if p99 := summary["serve_p99_ms"].(float64); p99 <= 0 {
 		t.Errorf("serve_p99_ms = %v, want > 0", p99)
+	}
+	if sp99 := summary["serve_server_p99_ms"].(float64); sp99 <= 0 {
+		t.Errorf("serve_server_p99_ms = %v, want > 0", sp99)
 	}
 	if rate := summary["serve_cache_hit_rate"].(float64); rate <= 0 || rate > 1 {
 		t.Errorf("serve_cache_hit_rate = %v, want in (0, 1]", rate)

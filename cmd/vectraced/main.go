@@ -70,6 +70,10 @@ func run(argv []string) error {
 	if err := sf.Validate(); err != nil {
 		return err
 	}
+	// The flight ring exists before od.Start so the -debug-addr listener's
+	// /debug/flight serves the same ring the API port does.
+	flight := obs.NewFlightRecorder(sf.FlightEvents)
+	od.Flight = flight
 	if err := od.Start(); err != nil {
 		return err
 	}
@@ -81,7 +85,7 @@ func run(argv []string) error {
 	if rec == nil {
 		rec = obs.New()
 	}
-	srv := server.New(server.FromServeFlags(&sf, rec))
+	srv := server.New(server.FromServeFlags(&sf, rec, od.Logger(), flight))
 
 	ln, err := net.Listen("tcp", sf.Addr)
 	if err != nil {
@@ -98,6 +102,18 @@ func run(argv []string) error {
 	go func() { errc <- hs.Serve(ln) }()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	// SIGQUIT dumps the flight recorder to stderr and keeps serving — the
+	// attach-free postmortem: recent lifecycle events on demand without
+	// killing the process the way the runtime's default SIGQUIT would.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			flight.WriteText(os.Stderr) //nolint:errcheck
+		}
+	}()
+	defer signal.Stop(quit)
 
 	var serveErr error
 	drainClean := true

@@ -212,13 +212,25 @@ type Obs struct {
 	DebugAddr string
 	// Tool names the producing command in exported stats documents.
 	Tool string
+	// LogFormat / LogLevel select the -log-format/-log-level structured
+	// logger; an empty format means no logger (Logger() stays nil and
+	// every log site keeps its nil fast path).
+	LogFormat string
+	LogLevel  string
 	// ProgressWriter overrides the progress destination (tests). Nil means
 	// os.Stderr.
 	ProgressWriter io.Writer
+	// LogWriter overrides the log destination (tests). Nil means os.Stderr.
+	LogWriter io.Writer
+	// Flight, when set by the command before Start, is served at the debug
+	// listener's /debug/flight (vectraced shares its ring here).
+	Flight *obs.FlightRecorder
 
 	rec      *obs.Recorder
 	prog     *obs.Progress
+	logger   *obs.Logger
 	srv      *obs.Server
+	started  time.Time
 	heapStop chan struct{}
 	heapDone chan struct{}
 }
@@ -237,11 +249,13 @@ func (o *Obs) sampleHeap() {
 	o.rec.Max(obs.HeapSysPeakBytes, int64(ms.HeapSys))
 }
 
-// Register installs the three observability flags on fs.
+// Register installs the observability flags on fs.
 func (o *Obs) Register(fs *flag.FlagSet) {
 	fs.StringVar(&o.Stats, "stats", "", "write run statistics (RunStats JSON) to `file` on exit (\"auto\" = BENCH_<rev>.json)")
 	fs.BoolVar(&o.Progress, "progress", false, "print throttled live progress lines to stderr")
 	fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve /metrics, /progress and /debug/pprof on `addr` (e.g. localhost:6060) while running")
+	fs.StringVar(&o.LogFormat, "log-format", "", "emit structured logs to stderr as \"json\" (NDJSON) or \"text\" (\"\" = no structured logs)")
+	fs.StringVar(&o.LogLevel, "log-level", "info", "minimum structured log `level`: debug, info, warn, or error")
 }
 
 // Enabled reports whether any observability flag was set.
@@ -254,6 +268,24 @@ func (o *Obs) Enabled() bool {
 // error (a debug listener that cannot bind) the exporters already started
 // are stopped again.
 func (o *Obs) Start() error {
+	// The logger is independent of the recorder: -log-format alone builds
+	// one without switching the analysis pipeline's recorder on.
+	if o.LogFormat != "" {
+		w := o.LogWriter
+		if w == nil {
+			w = os.Stderr
+		}
+		lg, err := obs.NewLogger(w, o.LogFormat, o.LogLevel)
+		if err != nil {
+			return err
+		}
+		o.logger = lg
+		// Run-lifecycle bracket: every binary that wires Obs gets a
+		// run_started/run_done pair, so -log-format is never a silent no-op
+		// on the CLIs (the daemon layers its job/http records on top).
+		o.started = time.Now()
+		o.logger.Info("run_started", "tool", o.Tool)
+	}
 	if !o.Enabled() {
 		return nil
 	}
@@ -266,7 +298,7 @@ func (o *Obs) Start() error {
 		o.prog = obs.StartProgress(o.rec, w, 0)
 	}
 	if o.DebugAddr != "" {
-		srv, err := obs.StartServer(o.DebugAddr, o.rec)
+		srv, err := obs.StartServer(o.DebugAddr, o.rec, o.Flight)
 		if err != nil {
 			o.prog.Stop()
 			o.prog = nil
@@ -296,6 +328,9 @@ func (o *Obs) Start() error {
 // Recorder returns the live recorder, nil when observability is off.
 func (o *Obs) Recorder() *obs.Recorder { return o.rec }
 
+// Logger returns the structured logger, nil when -log-format is unset.
+func (o *Obs) Logger() *obs.Logger { return o.logger }
+
 // DebugURL returns the bound debug listener address ("" when off) — with a
 // ":0" port this is how callers learn the real port.
 func (o *Obs) DebugURL() string { return o.srv.Addr() }
@@ -311,6 +346,11 @@ func (o *Obs) Context(ctx context.Context) context.Context {
 // complete run) — attempting every step and returning the first error.
 // Safe when Start was never called or observability is off.
 func (o *Obs) Stop(config map[string]any) error {
+	if o.logger != nil {
+		// The closing half of the run_started bracket; logger non-nil
+		// implies Start ran and stamped o.started.
+		o.logger.Info("run_done", "tool", o.Tool, "dur_ms", time.Since(o.started).Milliseconds())
+	}
 	if o.rec == nil {
 		return nil
 	}

@@ -161,14 +161,20 @@ func TestObsLifecycle(t *testing.T) {
 	}
 	rec.Add(obs.EventsScanned, 7)
 
-	resp, err := http.Get("http://" + o.DebugURL() + "/metrics")
-	if err != nil {
-		t.Fatalf("debug listener: %v", err)
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + o.DebugURL() + path)
+		if err != nil {
+			t.Fatalf("debug listener %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != 200 || !strings.Contains(string(body), "vectrace_run") {
-		t.Errorf("/metrics: code %d", resp.StatusCode)
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "# TYPE vectrace_events_scanned_total counter") {
+		t.Errorf("/metrics: code %d, body %.120s", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "vectrace_run") {
+		t.Errorf("/debug/vars: code %d, body %.120s", code, body)
 	}
 
 	if err := o.Stop(map[string]any{"n": 16}); err != nil {
@@ -214,6 +220,47 @@ func TestObsDisabled(t *testing.T) {
 	}
 	if err := o.Stop(nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestObsRunLifecycleLog: -log-format alone (no recorder) still brackets
+// the run with run_started/run_done NDJSON records, so the flag is never a
+// silent no-op on the CLIs.
+func TestObsRunLifecycleLog(t *testing.T) {
+	var logs bytes.Buffer
+	o := Obs{Tool: "vectrace-test", LogFormat: "json", LogWriter: &logs}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Recorder() != nil {
+		t.Fatal("-log-format alone allocated a recorder")
+	}
+	if o.Logger() == nil {
+		t.Fatal("-log-format did not build a logger")
+	}
+	if err := o.Stop(nil); err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, line := range strings.Split(strings.TrimSpace(logs.String()), "\n") {
+		var rec struct {
+			Msg   string `json:"msg"`
+			Tool  string `json:"tool"`
+			DurMs *int64 `json:"dur_ms"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if rec.Tool != "vectrace-test" {
+			t.Errorf("log line %q: tool = %q", line, rec.Tool)
+		}
+		if rec.Msg == "run_done" && (rec.DurMs == nil || *rec.DurMs < 0) {
+			t.Errorf("run_done missing sane dur_ms: %q", line)
+		}
+		msgs = append(msgs, rec.Msg)
+	}
+	if len(msgs) != 2 || msgs[0] != "run_started" || msgs[1] != "run_done" {
+		t.Fatalf("lifecycle bracket = %v, want [run_started run_done]", msgs)
 	}
 }
 

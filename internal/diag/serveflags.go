@@ -43,6 +43,9 @@ type Serve struct {
 	// server-wide ceiling).
 	MaxSteps         int64
 	MaxAnalysisBytes int64
+	// FlightEvents sizes the flight recorder's event ring (rounded up to a
+	// power of two; 0 disables it).
+	FlightEvents int
 }
 
 // Register installs the service flags on fs.
@@ -57,6 +60,7 @@ func (s *Serve) Register(fs *flag.FlagSet) {
 	fs.IntVar(&s.CacheEntries, "cache-entries", 1024, "content-addressed result cache capacity (0 = off)")
 	fs.Int64Var(&s.MaxSteps, "max-steps", 200_000_000, "server-wide interpreter step ceiling per job (0 = interpreter default)")
 	fs.Int64Var(&s.MaxAnalysisBytes, "max-analysis-bytes", 256<<20, "server-wide analysis working-set ceiling per job in `bytes` (0 = unlimited)")
+	fs.IntVar(&s.FlightEvents, "flight-events", 256, "flight-recorder ring size in recent lifecycle `events` (0 = off)")
 }
 
 // Validate checks the selected values.

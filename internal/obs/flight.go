@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Flight recorder. A bounded ring of recent lifecycle events — the last
+// thing each job did — kept cheap enough to run always, so a postmortem
+// works without a debugger attached: an in-job panic dumps the ring into
+// the job error, SIGQUIT dumps it to stderr before the stacks, and
+// GET /debug/flight serves it live.
+//
+// The ring is lock-free: one atomic counter claims slots, and each slot
+// is an atomic.Pointer swap, so writers never block each other or the
+// dumper, and a dump taken mid-write sees either the old or the new event
+// in a slot — never a torn one. Old events are overwritten, not flushed;
+// the ring holds the most recent N by construction.
+
+// A FlightEvent is one recorded lifecycle moment.
+type FlightEvent struct {
+	// Seq is the event's global sequence number (monotone from 1); gaps in
+	// a dump mean the ring wrapped past those events.
+	Seq uint64 `json:"seq"`
+	// TimeNs is the wall clock at recording, Unix nanoseconds.
+	TimeNs int64 `json:"time_ns"`
+	// Kind names the lifecycle moment: "admit", "reject", "start",
+	// "complete", "fail", "cancel", "panic", "drain", ...
+	Kind string `json:"kind"`
+	// Job is the job id the event belongs to, when any.
+	Job string `json:"job,omitempty"`
+	// TraceID links the event to the job's trace tree.
+	TraceID string `json:"trace_id,omitempty"`
+	// Detail is one short free-form clause (error text, queue depth, ...).
+	Detail string `json:"detail,omitempty"`
+}
+
+// A FlightRecorder is the bounded lock-free event ring. The nil
+// FlightRecorder is the off state: Record is a no-op, dumps are empty.
+type FlightRecorder struct {
+	seq   atomic.Uint64
+	mask  uint64
+	slots []atomic.Pointer[FlightEvent]
+}
+
+// NewFlightRecorder builds a ring holding the most recent `size` events,
+// rounded up to a power of two (minimum 16). size <= 0 returns nil — the
+// disabled recorder.
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		return nil
+	}
+	if size < 16 {
+		size = 16
+	}
+	n := 1 << bits.Len(uint(size-1))
+	return &FlightRecorder{mask: uint64(n - 1), slots: make([]atomic.Pointer[FlightEvent], n)}
+}
+
+// Record appends one event, overwriting the oldest when full. Safe for
+// concurrent use; no-op on nil.
+func (f *FlightRecorder) Record(kind, job, traceID, detail string) {
+	if f == nil {
+		return
+	}
+	seq := f.seq.Add(1)
+	f.slots[seq&f.mask].Store(&FlightEvent{
+		Seq:     seq,
+		TimeNs:  time.Now().UnixNano(),
+		Kind:    kind,
+		Job:     job,
+		TraceID: traceID,
+		Detail:  detail,
+	})
+}
+
+// Len returns the number of events recorded so far (not the number still
+// held). 0 on nil.
+func (f *FlightRecorder) Len() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.seq.Load()
+}
+
+// Snapshot returns the events currently held, oldest first. Events being
+// written concurrently appear or not as whole records. Empty on nil.
+func (f *FlightRecorder) Snapshot() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(f.slots))
+	for i := range f.slots {
+		if e := f.slots[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// flightDump is the JSON document WriteJSON emits and /debug/flight
+// serves.
+type flightDump struct {
+	// Total counts every event ever recorded; Dropped is how many the ring
+	// has already overwritten (Total - len(Events), never negative).
+	Total   uint64        `json:"total"`
+	Dropped uint64        `json:"dropped"`
+	Events  []FlightEvent `json:"events"`
+}
+
+// WriteJSON writes the ring as one indented JSON document.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	events := f.Snapshot()
+	if events == nil {
+		events = []FlightEvent{}
+	}
+	d := flightDump{Total: f.Len(), Events: events}
+	if n := uint64(len(events)); d.Total > n {
+		d.Dropped = d.Total - n
+	}
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal flight dump: %w", err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteText writes the ring human-readable, one event per line — the
+// SIGQUIT / panic form, built to be greppable next to goroutine stacks.
+func (f *FlightRecorder) WriteText(w io.Writer) error {
+	events := f.Snapshot()
+	if _, err := fmt.Fprintf(w, "flight recorder: %d events held, %d recorded total\n", len(events), f.Len()); err != nil {
+		return err
+	}
+	for _, e := range events {
+		ts := time.Unix(0, e.TimeNs).UTC().Format("15:04:05.000000")
+		line := fmt.Sprintf("  #%d %s %s", e.Seq, ts, e.Kind)
+		if e.Job != "" {
+			line += " job=" + e.Job
+		}
+		if e.TraceID != "" {
+			line += " trace=" + e.TraceID
+		}
+		if e.Detail != "" {
+			line += " " + e.Detail
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFlightRingSizing: power-of-two rounding, the 16-slot floor, and
+// size<=0 as the nil off state.
+func TestFlightRingSizing(t *testing.T) {
+	if f := NewFlightRecorder(0); f != nil {
+		t.Error("size 0 should disable the recorder")
+	}
+	if f := NewFlightRecorder(-5); f != nil {
+		t.Error("negative size should disable the recorder")
+	}
+	for _, c := range []struct{ in, want int }{{1, 16}, {16, 16}, {17, 32}, {100, 128}, {256, 256}} {
+		if f := NewFlightRecorder(c.in); len(f.slots) != c.want {
+			t.Errorf("NewFlightRecorder(%d) holds %d slots, want %d", c.in, len(f.slots), c.want)
+		}
+	}
+}
+
+// TestFlightWrapAround: the ring keeps exactly the most recent N events,
+// reports what it dropped, and sequence numbers stay contiguous.
+func TestFlightWrapAround(t *testing.T) {
+	f := NewFlightRecorder(16)
+	const total = 40
+	for i := 1; i <= total; i++ {
+		f.Record("admit", fmt.Sprintf("job-%d", i), "", "")
+	}
+	if f.Len() != total {
+		t.Fatalf("Len = %d, want %d", f.Len(), total)
+	}
+	events := f.Snapshot()
+	if len(events) != 16 {
+		t.Fatalf("snapshot holds %d events, want 16", len(events))
+	}
+	for i, e := range events {
+		want := uint64(total - 16 + 1 + i)
+		if e.Seq != want {
+			t.Errorf("event %d seq = %d, want %d (most recent window, oldest first)", i, e.Seq, want)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Total   uint64        `json:"total"`
+		Dropped uint64        `json:"dropped"`
+		Events  []FlightEvent `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump is not JSON: %v\n%s", err, buf.String())
+	}
+	if dump.Total != total || dump.Dropped != total-16 || len(dump.Events) != 16 {
+		t.Errorf("dump = total %d dropped %d held %d, want %d/%d/16",
+			dump.Total, dump.Dropped, len(dump.Events), total, total-16)
+	}
+}
+
+// TestFlightConcurrent runs writers against concurrent dumpers — the -race
+// run proves slot swaps are safe, and the whole-record check proves a dump
+// taken mid-write never sees a torn event (Job always matches Detail,
+// written as one record).
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlightRecorder(64)
+	const writers, perWriter = 8, 500
+	stop := make(chan struct{})
+	var dumpers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		dumpers.Add(1)
+		go func() {
+			defer dumpers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					for _, e := range f.Snapshot() {
+						if e.Job != e.Detail {
+							t.Errorf("torn event: job %q detail %q", e.Job, e.Detail)
+							return
+						}
+					}
+					var buf bytes.Buffer
+					f.WriteJSON(&buf) //nolint:errcheck
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := fmt.Sprintf("%d-%d", w, i)
+				f.Record("start", id, "", id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	dumpers.Wait()
+	if f.Len() != writers*perWriter {
+		t.Errorf("Len = %d, want %d", f.Len(), writers*perWriter)
+	}
+	events := f.Snapshot()
+	if len(events) != 64 {
+		t.Errorf("quiesced snapshot holds %d, want 64", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Errorf("snapshot not ordered: seq %d after %d", events[i].Seq, events[i-1].Seq)
+		}
+	}
+}
+
+// TestFlightWriteText pins the human-readable dump shape the SIGQUIT
+// handler emits.
+func TestFlightWriteText(t *testing.T) {
+	f := NewFlightRecorder(16)
+	f.Record("admit", "j1", "0af7651916cd43dd8448eb211c80319c", "queue_depth=1")
+	f.Record("panic", "j1", "", "boom")
+	var buf bytes.Buffer
+	if err := f.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"flight recorder: 2 events held, 2 recorded total",
+		"admit job=j1 trace=0af7651916cd43dd8448eb211c80319c queue_depth=1",
+		"panic job=j1 boom",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistBuckets pins the bucket scheme: powers of two in microseconds,
+// bucket 0 up to 1µs, final bucket +Inf.
+func TestHistBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{1000 * time.Hour, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := histIndex(c.d.Nanoseconds()); got != c.want {
+			t.Errorf("histIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	if ub := HistBucketUpperNs(0); ub != 1000 {
+		t.Errorf("bucket 0 upper = %d, want 1000", ub)
+	}
+	if ub := HistBucketUpperNs(histBuckets - 1); ub != -1 {
+		t.Errorf("overflow bucket upper = %d, want -1", ub)
+	}
+	// Each observation must land within its bucket's bounds.
+	for i := 0; i < histBuckets-1; i++ {
+		ub := HistBucketUpperNs(i)
+		if got := histIndex(ub); got != i {
+			t.Errorf("upper bound of bucket %d indexes to %d", i, got)
+		}
+	}
+}
+
+// TestHistogramObserve covers the single-threaded contract: counts, sum,
+// max, negative clamping, and nil safety.
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(-time.Second) // clamps to 0, must not corrupt an index
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Errorf("count = %d, want 3", s.Count)
+	}
+	if want := int64(4 * time.Millisecond); s.SumNs != want {
+		t.Errorf("sum = %d, want %d", s.SumNs, want)
+	}
+	if want := int64(3 * time.Millisecond); s.MaxNs != want {
+		t.Errorf("max = %d, want %d", s.MaxNs, want)
+	}
+	if s.Buckets[0] != 1 {
+		t.Errorf("clamped negative not in bucket 0: %v", s.Buckets)
+	}
+}
+
+// TestHistogramQuantile: quantiles interpolate within the covering bucket,
+// so estimates stay within the scheme's ≤2× relative error.
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond) // all in the (512µs, 1024µs] bucket
+	}
+	h.Observe(100 * time.Millisecond)
+	s := h.Snapshot()
+	p50 := s.Quantile(0.50)
+	if p50 < 512*time.Microsecond || p50 > 1024*time.Microsecond {
+		t.Errorf("p50 = %v, want within (512µs, 1024µs]", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 512*time.Microsecond || p99 > 1100*time.Microsecond {
+		t.Errorf("p99 = %v, want near 1ms", p99)
+	}
+	if got := s.Quantile(1.0); got > 100*time.Millisecond {
+		t.Errorf("p100 = %v, must not exceed observed max", got)
+	}
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines with
+// snapshot readers interleaved — the -race run proves Observe is safe from
+// every worker and HTTP handler at once, and the final totals prove no
+// observation was lost.
+func TestHistogramConcurrent(t *testing.T) {
+	const writers, perWriter = 8, 2000
+	var h Histogram
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s := h.Snapshot()
+					var inBuckets int64
+					for _, n := range s.Buckets {
+						inBuckets += n
+					}
+					// Observe bumps the bucket before the count, and Snapshot
+					// reads count before buckets, so the bucket total can only
+					// run ahead of count — behind means a lost bucket add.
+					if inBuckets < s.Count-writers {
+						t.Errorf("snapshot lost bucket adds: %d in buckets, count %d", inBuckets, s.Count)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(time.Duration(w*perWriter+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Errorf("count = %d, want %d", s.Count, writers*perWriter)
+	}
+	var inBuckets int64
+	for _, n := range s.Buckets {
+		inBuckets += n
+	}
+	if inBuckets != s.Count {
+		t.Errorf("bucket total %d != count %d after quiesce", inBuckets, s.Count)
+	}
+}
+
+// TestHistogramMerge: Merge and AddSnapshot agree, and the merged
+// distribution is the union of observations.
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 10; i++ {
+		a.Observe(time.Millisecond)
+		b.Observe(time.Second)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	merged := sa
+	merged.Buckets = append([]int64(nil), sa.Buckets...)
+	merged.Merge(sb)
+	if merged.Count != 20 || merged.MaxNs != int64(time.Second) {
+		t.Errorf("merged = count %d max %d", merged.Count, merged.MaxNs)
+	}
+	if want := int64(10*time.Millisecond + 10*time.Second); merged.SumNs != want {
+		t.Errorf("merged sum = %d, want %d", merged.SumNs, want)
+	}
+
+	var c Histogram
+	c.AddSnapshot(sa)
+	c.AddSnapshot(sb)
+	sc := c.Snapshot()
+	if sc.Count != merged.Count || sc.SumNs != merged.SumNs || sc.MaxNs != merged.MaxNs {
+		t.Errorf("AddSnapshot disagrees with Merge: %+v vs %+v", sc, merged)
+	}
+	for i := range sc.Buckets {
+		if sc.Buckets[i] != merged.Buckets[i] {
+			t.Errorf("bucket %d: AddSnapshot %d, Merge %d", i, sc.Buckets[i], merged.Buckets[i])
+		}
+	}
+}
+
+// TestRecorderHistograms covers the recorder-level API: named creation,
+// MergeHistsFrom, and stage-histogram feeding from spans.
+func TestRecorderHistograms(t *testing.T) {
+	job := New()
+	job.ObserveDur("stage:parse", 2*time.Millisecond)
+	job.ObserveDur("stage:parse", 4*time.Millisecond)
+	job.ObserveDur("job", 10*time.Millisecond)
+
+	svc := New()
+	svc.ObserveDur("stage:parse", time.Millisecond)
+	svc.MergeHistsFrom(job)
+	s, ok := svc.HistSnapshot("stage:parse")
+	if !ok || s.Count != 3 {
+		t.Errorf("merged stage:parse = %+v ok=%v, want count 3", s, ok)
+	}
+	if s2, ok := svc.HistSnapshot("job"); !ok || s2.Count != 1 {
+		t.Errorf("merged job histogram = %+v ok=%v, want count 1", s2, ok)
+	}
+	if _, ok := svc.HistSnapshot("absent"); ok {
+		t.Error("HistSnapshot invented a histogram")
+	}
+}

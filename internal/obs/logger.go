@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Structured logging. The service logs machine-readable events — one
+// NDJSON object per line via log/slog's JSON handler — so access records
+// and job lifecycle events join the trace tree by trace id instead of
+// being prose. The same contract as the rest of the package applies: a
+// nil *Logger is the off state, every method nil-checks first, and
+// nothing in the analysis pipeline itself logs (observability must not
+// perturb the measured system), so report bytes stay identical with
+// logging on or off.
+//
+// Hot events (per-request access records under load, queue-full
+// rejections during overload) go through Sampled, a per-key token bucket:
+// the first burst passes, the excess is counted, and the next emitted
+// record carries the suppressed count — bounded log volume without silent
+// loss.
+
+// Log formats and levels accepted by NewLogger.
+const (
+	LogFormatJSON = "json"
+	LogFormatText = "text"
+)
+
+// Logger wraps a slog.Logger with nil-safety and per-key sampling.
+type Logger struct {
+	sl *slog.Logger
+
+	// sampleRate/sampleBurst shape every Sampled key's token bucket:
+	// sustained records per second and the burst allowance.
+	sampleRate  float64
+	sampleBurst float64
+
+	mu      sync.Mutex
+	buckets map[string]*logBucket
+}
+
+type logBucket struct {
+	tokens     float64
+	last       time.Time
+	suppressed int64
+}
+
+// NewLogger builds a logger writing one record per line to w. Format is
+// "json" (NDJSON, the service default) or "text" (slog's logfmt-style
+// handler, for humans watching a terminal); level is "debug", "info",
+// "warn", or "error".
+func NewLogger(w io.Writer, format, level string) (*Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case LogFormatJSON, "":
+		h = slog.NewJSONHandler(w, opts)
+	case LogFormatText:
+		h = slog.NewTextHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want json or text)", format)
+	}
+	return &Logger{
+		sl:          slog.New(h),
+		sampleRate:  10,
+		sampleBurst: 20,
+		buckets:     make(map[string]*logBucket),
+	}, nil
+}
+
+// Enabled reports whether records at the given level would be emitted
+// (false on nil — callers can skip attribute construction entirely).
+func (l *Logger) Enabled(level slog.Level) bool {
+	return l != nil && l.sl.Enabled(context.Background(), level)
+}
+
+// Log emits one record. No-op on nil.
+func (l *Logger) Log(level slog.Level, msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.sl.Log(context.Background(), level, msg, args...)
+}
+
+// Debug, Info, Warn, and Error emit at the respective level. No-op on nil.
+func (l *Logger) Debug(msg string, args ...any) { l.Log(slog.LevelDebug, msg, args...) }
+func (l *Logger) Info(msg string, args ...any)  { l.Log(slog.LevelInfo, msg, args...) }
+func (l *Logger) Warn(msg string, args ...any)  { l.Log(slog.LevelWarn, msg, args...) }
+func (l *Logger) Error(msg string, args ...any) { l.Log(slog.LevelError, msg, args...) }
+
+// Sampled emits like Log but rate-limits per key: each key sustains
+// sampleRate records/second with a sampleBurst allowance, and a record
+// emitted after suppression carries a "suppressed" attribute counting
+// what the limiter dropped since the last emitted record for that key.
+// No-op on nil.
+func (l *Logger) Sampled(key string, level slog.Level, msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	if !l.sl.Enabled(context.Background(), level) {
+		return
+	}
+	now := time.Now()
+	l.mu.Lock()
+	b := l.buckets[key]
+	if b == nil {
+		b = &logBucket{tokens: l.sampleBurst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.sampleRate
+	if b.tokens > l.sampleBurst {
+		b.tokens = l.sampleBurst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		b.suppressed++
+		l.mu.Unlock()
+		return
+	}
+	b.tokens--
+	suppressed := b.suppressed
+	b.suppressed = 0
+	l.mu.Unlock()
+	if suppressed > 0 {
+		args = append(args, "suppressed", suppressed)
+	}
+	l.sl.Log(context.Background(), level, msg, args...)
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// decodeNDJSON parses a log buffer as one JSON object per line.
+func decodeNDJSON(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("log line is not JSON: %v\n%s", err, line)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestLoggerNDJSON: the JSON format emits one parseable object per line
+// carrying message, level, and the supplied attributes.
+func TestLoggerNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("job_admitted", "job", "j1", "trace_id", "abc", "queue_depth", 3)
+	l.Warn("job_rejected", "reason", "queue full")
+	recs := decodeNDJSON(t, &buf)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0]["msg"] != "job_admitted" || recs[0]["job"] != "j1" ||
+		recs[0]["trace_id"] != "abc" || recs[0]["queue_depth"] != float64(3) {
+		t.Errorf("first record = %v", recs[0])
+	}
+	if recs[1]["level"] != "WARN" || recs[1]["reason"] != "queue full" {
+		t.Errorf("second record = %v", recs[1])
+	}
+}
+
+// TestLoggerLevels: records below the configured level are dropped, and
+// Enabled lets callers skip attribute construction.
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "json", "error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	recs := decodeNDJSON(t, &buf)
+	if len(recs) != 1 || recs[0]["msg"] != "e" {
+		t.Errorf("error-level logger emitted %v", recs)
+	}
+	if l.Enabled(slog.LevelInfo) {
+		t.Error("Enabled(info) true on an error-level logger")
+	}
+	if !l.Enabled(slog.LevelError) {
+		t.Error("Enabled(error) false on an error-level logger")
+	}
+}
+
+// TestLoggerText: the text format stays logfmt-ish for humans.
+func TestLoggerText(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "text", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hello", "k", "v")
+	if out := buf.String(); !strings.Contains(out, "msg=hello") || !strings.Contains(out, "k=v") {
+		t.Errorf("text output = %q", out)
+	}
+}
+
+// TestLoggerBadConfig: unknown formats and levels are configuration
+// errors, reported at construction rather than silently defaulted.
+func TestLoggerBadConfig(t *testing.T) {
+	if _, err := NewLogger(&bytes.Buffer{}, "xml", "info"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := NewLogger(&bytes.Buffer{}, "json", "loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+	// Empty strings take the defaults (json, info).
+	l, err := NewLogger(&bytes.Buffer{}, "", "")
+	if err != nil || l == nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}
+
+// TestLoggerSampling: a hot key is rate-limited per its token bucket, the
+// excess is counted, and the next emitted record carries the suppressed
+// count — bounded volume without silent loss.
+func TestLoggerSampling(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the bucket so the test doesn't depend on wall time: burst of
+	// 2, effectively no refill.
+	l.sampleBurst = 2
+	l.sampleRate = 1e-9
+	for i := 0; i < 10; i++ {
+		l.Sampled("hot", slog.LevelInfo, "access", "i", i)
+	}
+	recs := decodeNDJSON(t, &buf)
+	if len(recs) != 2 {
+		t.Fatalf("burst of 2 emitted %d records", len(recs))
+	}
+	// Refill one token by backdating the bucket, then the suppressed count
+	// surfaces on the next emitted record.
+	l.mu.Lock()
+	b := l.buckets["hot"]
+	b.tokens = 1
+	b.last = time.Now()
+	l.mu.Unlock()
+	l.Sampled("hot", slog.LevelInfo, "access", "i", 10)
+	recs = decodeNDJSON(t, &buf)
+	if len(recs) != 3 {
+		t.Fatalf("refilled bucket emitted %d records, want 3", len(recs))
+	}
+	if got := recs[2]["suppressed"]; got != float64(8) {
+		t.Errorf("suppressed = %v, want 8", got)
+	}
+	// Independent keys have independent buckets.
+	l.Sampled("cold", slog.LevelInfo, "other")
+	if recs := decodeNDJSON(t, &buf); len(recs) != 4 {
+		t.Errorf("independent key was limited by the hot key")
+	}
+	// A level below the threshold never charges the bucket.
+	var buf2 bytes.Buffer
+	l2, _ := NewLogger(&buf2, "json", "warn")
+	l2.Sampled("k", slog.LevelInfo, "nope")
+	if buf2.Len() != 0 {
+		t.Error("below-level Sampled emitted")
+	}
+}

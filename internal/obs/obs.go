@@ -237,12 +237,19 @@ type Recorder struct {
 	start    time.Time
 	counters [numCounters]atomic.Int64
 
+	// spanSeq allocates trace span ids (see trace.go); hists holds the
+	// named latency histograms (see histogram.go). Both are lock-free.
+	spanSeq atomic.Uint64
+	hists   sync.Map // string -> *Histogram
+
 	mu           sync.Mutex
 	spans        []SpanStats
 	aggs         map[string]*SpanAgg
 	spansDropped int64
 	firstFailure string
 	corruptByte  int64
+	traceID      string // W3C trace id; set on ingress or first EnsureTraceID
+	remoteParent string // ingress traceparent's span id, if the job joined a trace
 }
 
 // New returns an empty Recorder with its clock started.
@@ -342,8 +349,9 @@ func (r *Recorder) SetCorruptByte(off int64) {
 	r.mu.Unlock()
 }
 
-// ctxKey carries the recorder on a context; spanKey carries the name of
-// the innermost open span (the parent of the next StartSpan).
+// ctxKey carries the recorder on a context; spanKey carries the identity
+// (name + span id) of the innermost open span — the parent of the next
+// StartSpan.
 type ctxKey struct{}
 type spanKey struct{}
 

@@ -34,6 +34,42 @@ func TestNilRecorderSafe(t *testing.T) {
 		t.Errorf("nil recorder Elapsed = %v, want 0", got)
 	}
 	r.StartTimer("x").Stop()
+	r.ObserveDur("stage:x", time.Millisecond)
+	if r.Hist("x") != nil {
+		t.Error("nil recorder Hist should be nil")
+	}
+	if _, ok := r.HistSnapshot("x"); ok {
+		t.Error("nil recorder HistSnapshot should report absent")
+	}
+	r.MergeHistsFrom(New())
+	r.SetTraceParent("0af7651916cd43dd8448eb211c80319c", "b7ad6b7169203331")
+	if r.EnsureTraceID() != "" || r.TraceID() != "" {
+		t.Error("nil recorder trace id should be empty")
+	}
+	if r.NewSpanID() != 0 {
+		t.Error("nil recorder NewSpanID should be 0")
+	}
+	r.RecordSpanAt("x", 1, 0, "", time.Now(), time.Millisecond)
+	if tree := r.TraceTree(); tree == nil || len(tree.Roots) != 0 {
+		t.Errorf("nil recorder TraceTree = %+v, want empty tree", tree)
+	}
+	var h *Histogram
+	h.Observe(time.Second)
+	h.AddSnapshot(HistogramSnapshot{Count: 1})
+	if h.Count() != 0 {
+		t.Error("nil histogram Count should be 0")
+	}
+	var fl *FlightRecorder
+	fl.Record("admit", "j1", "", "")
+	if fl.Len() != 0 || fl.Snapshot() != nil {
+		t.Error("nil flight recorder should be empty")
+	}
+	var lg *Logger
+	lg.Info("x")
+	lg.Sampled("k", 0, "x")
+	if lg.Enabled(0) {
+		t.Error("nil logger Enabled should be false")
+	}
 
 	ctx := context.Background()
 	if got := WithRecorder(ctx, nil); got != ctx {
@@ -151,6 +187,22 @@ func TestSpanTree(t *testing.T) {
 	}
 	if rs.Spans[1].Name != "outer" || rs.Spans[1].Parent != "" {
 		t.Errorf("outer span = %+v, want name=outer no parent", rs.Spans[1])
+	}
+	// Span ids link the same relationship numerically.
+	if rs.Spans[0].ID == 0 || rs.Spans[1].ID == 0 {
+		t.Errorf("spans missing ids: %+v", rs.Spans)
+	}
+	if rs.Spans[0].ParentID != rs.Spans[1].ID {
+		t.Errorf("inner parent_span_id = %d, want outer id %d", rs.Spans[0].ParentID, rs.Spans[1].ID)
+	}
+	if rs.Spans[1].ParentID != 0 {
+		t.Errorf("outer parent_span_id = %d, want 0", rs.Spans[1].ParentID)
+	}
+	// Every span and timer feeds its stage histogram.
+	for _, name := range []string{"stage:outer", "stage:inner", "stage:tile-sweep"} {
+		if hs, ok := rs.Histograms[name]; !ok || hs.Count != 1 {
+			t.Errorf("histograms[%q] = %+v, want count 1", name, hs)
+		}
 	}
 	for _, name := range []string{"outer", "inner", "tile-sweep"} {
 		agg, ok := rs.SpanTotals[name]
@@ -313,7 +365,9 @@ func TestCountingReader(t *testing.T) {
 func TestServer(t *testing.T) {
 	r := New()
 	r.Add(EventsScanned, 42)
-	srv, err := StartServer("127.0.0.1:0", r)
+	fl := NewFlightRecorder(32)
+	fl.Record("admit", "j1", "tid", "")
+	srv, err := StartServer("127.0.0.1:0", r, fl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,8 +395,21 @@ func TestServer(t *testing.T) {
 		body, _ := io.ReadAll(resp.Body)
 		return resp.StatusCode, string(body)
 	}
-	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "vectrace_run") {
+	// /metrics speaks Prometheus text exposition now; the expvar JSON
+	// moved to /debug/vars (with /vars as deprecated alias).
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "# TYPE vectrace_events_scanned_total counter") {
 		t.Errorf("/metrics: code %d, body %.120s", code, body)
+	} else if err := LintExposition([]byte(body)); err != nil {
+		t.Errorf("/metrics fails exposition lint: %v", err)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "vectrace_run") {
+		t.Errorf("/debug/vars: code %d, body %.120s", code, body)
+	}
+	if code, body := get("/vars"); code != 200 || !strings.Contains(body, "vectrace_run") {
+		t.Errorf("/vars alias: code %d, body %.120s", code, body)
+	}
+	if code, body := get("/debug/flight"); code != 200 || !strings.Contains(body, `"kind": "admit"`) {
+		t.Errorf("/debug/flight: code %d, body %.120s", code, body)
 	}
 	code, body := get("/progress")
 	if code != 200 {
@@ -368,12 +435,12 @@ func TestServer(t *testing.T) {
 	}
 	// Second server: Publish must not panic, recorder handoff must work.
 	r2 := New()
-	srv2, err := StartServer("127.0.0.1:0", r2)
+	srv2, err := StartServer("127.0.0.1:0", r2, nil)
 	if err != nil {
 		t.Fatalf("second StartServer: %v", err)
 	}
 	defer srv2.Stop()
-	if _, err := StartServer("", nil); err == nil {
+	if _, err := StartServer("", nil, nil); err == nil {
 		t.Error("StartServer with nil recorder should fail")
 	}
 }

@@ -17,6 +17,11 @@ import (
 // DefaultProgressInterval is the throttle between progress lines.
 const DefaultProgressInterval = 500 * time.Millisecond
 
+// maxETASeconds caps the printed ETA: beyond a year the projection is
+// noise, and unchecked it can overflow time.Duration (a near-zero rate
+// against a large total projects past the int64 nanosecond horizon).
+const maxETASeconds = 365 * 24 * 60 * 60
+
 // A Progress prints throttled progress lines for one recorder until
 // stopped. The nil Progress (from a nil recorder) is inert.
 type Progress struct {
@@ -92,19 +97,23 @@ func (p *Progress) printLine(final bool) {
 	line += fmt.Sprintf("  regions %d done / %d failed", completed, failed)
 	if read > 0 {
 		line += "  bytes " + formatBytes(read)
-		if total > 0 {
-			pct := 100 * float64(read) / float64(total)
-			if pct > 100 {
-				pct = 100
-			}
-			line += fmt.Sprintf("/%s (%.0f%%)", formatBytes(total), pct)
-			if !final && read < total && secs > 0 {
-				rate := float64(read) / secs
-				if rate > 0 {
-					eta := time.Duration(float64(total-read) / rate * float64(time.Second))
-					line += "  eta " + formatDuration(eta)
+		rate := float64(0)
+		if secs > 0 {
+			rate = float64(read) / secs
+		}
+		// A total is only trustworthy when it bounds what was read:
+		// service-mode runs (many jobs through one recorder) and growing
+		// inputs leave total unset or stale, and percent/ETA computed from
+		// a stale total are garbage. Fall back to rate-only output there.
+		if total >= read {
+			line += fmt.Sprintf("/%s (%.0f%%)", formatBytes(total), 100*float64(read)/float64(total))
+			if !final && read < total && rate > 0 {
+				if etaSecs := float64(total-read) / rate; etaSecs < maxETASeconds {
+					line += "  eta " + formatDuration(time.Duration(etaSecs*float64(time.Second)))
 				}
 			}
+		} else if rate > 0 {
+			line += fmt.Sprintf(" (%s/s)", formatBytes(int64(rate)))
 		}
 	}
 	if final {

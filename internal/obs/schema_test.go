@@ -25,3 +25,23 @@ func TestRunStatsFile(t *testing.T) {
 		t.Fatalf("stats document %s failed schema validation: %v", path, err)
 	}
 }
+
+// TestMetricsFile validates an externally scraped /metrics body with the
+// in-repo exposition linter — the CI service-smoke job scrapes the running
+// vectraced and hands the body here. Gated the same way as TestRunStatsFile:
+//
+//	curl -s http://$ADDR/metrics > metrics.txt
+//	OBS_METRICS_FILE=metrics.txt go test ./internal/obs -run TestMetricsFile
+func TestMetricsFile(t *testing.T) {
+	path := os.Getenv("OBS_METRICS_FILE")
+	if path == "" {
+		t.Skip("OBS_METRICS_FILE not set; this check validates CI-scraped exposition bodies")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading metrics body: %v", err)
+	}
+	if err := LintExposition(data); err != nil {
+		t.Fatalf("metrics body %s failed exposition lint: %v", path, err)
+	}
+}

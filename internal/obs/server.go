@@ -15,10 +15,18 @@ import (
 // The debug listener: `-debug-addr host:port` serves live run state over
 // HTTP while an analysis is in flight.
 //
-//	/metrics        expvar dump (all published vars, including the live
-//	                "vectrace_run" snapshot of the current recorder)
+//	/metrics        Prometheus text exposition (counters, gauges, latency
+//	                histograms) — scrapeable by a stock Prometheus
+//	/debug/vars     expvar dump (all published vars, including the live
+//	                "vectrace_run" snapshot of the current recorder);
+//	                /vars is a deprecated alias
+//	/debug/flight   recent lifecycle events from the flight recorder
 //	/progress       JSON snapshot: elapsed, counters, span totals
 //	/debug/pprof/*  the standard runtime profiler endpoints
+//
+// Every endpoint sets an explicit Content-Type. /metrics historically
+// served the expvar JSON; it now speaks the typed exposition format and
+// the untyped dump lives at its conventional home, /debug/vars.
 //
 // The listener binds whatever address the flag names (conventionally a
 // localhost port; an empty port picks a free one) and shuts down with the
@@ -55,6 +63,39 @@ func (r *Recorder) snapshotMap() map[string]any {
 	return m
 }
 
+// MetricsHandler serves the recorder's Prometheus text exposition — shared
+// by the CLI debug listener and vectraced's API mux.
+func MetricsHandler(rec *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		WritePrometheus(w, rec)
+	})
+}
+
+// VarsHandler serves the expvar JSON dump with its Content-Type explicit.
+// When deprecated is true (the legacy /vars alias) the response carries a
+// Deprecation header pointing at /debug/vars.
+func VarsHandler(deprecated bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if deprecated {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", `</debug/vars>; rel="successor-version"`)
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		expvar.Handler().ServeHTTP(w, req)
+	})
+}
+
+// FlightHandler serves the flight recorder's JSON dump. A nil recorder
+// serves the empty dump, so the endpoint shape is stable whether or not
+// the ring was enabled.
+func FlightHandler(f *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		f.WriteJSON(w)
+	})
+}
+
 // A Server is a running debug listener.
 type Server struct {
 	rec  *Recorder
@@ -63,10 +104,11 @@ type Server struct {
 	done chan struct{}
 }
 
-// StartServer binds addr and begins serving the debug endpoints for rec.
-// It returns after the listener is bound (so Addr is immediately valid);
-// serving continues on a background goroutine until Stop.
-func StartServer(addr string, rec *Recorder) (*Server, error) {
+// StartServer binds addr and begins serving the debug endpoints for rec
+// (and flight's event ring, which may be nil). It returns after the
+// listener is bound (so Addr is immediately valid); serving continues on
+// a background goroutine until Stop.
+func StartServer(addr string, rec *Recorder, flight *FlightRecorder) (*Server, error) {
 	if rec == nil {
 		return nil, fmt.Errorf("obs: debug server needs a recorder")
 	}
@@ -78,9 +120,12 @@ func StartServer(addr string, rec *Recorder) (*Server, error) {
 	currentRecorder.Store(rec)
 
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", expvar.Handler())
+	mux.Handle("/metrics", MetricsHandler(rec))
+	mux.Handle("/debug/vars", VarsHandler(false))
+	mux.Handle("/vars", VarsHandler(true))
+	mux.Handle("/debug/flight", FlightHandler(flight))
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		snap := rec.snapshotMap()
 		rec.mu.Lock()
 		totals := make(map[string]SpanAgg, len(rec.aggs))

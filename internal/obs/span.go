@@ -10,9 +10,12 @@ import (
 // interp/record → scan → region-analyze → tile-sweep → stride → report —
 // are recorded two ways at once:
 //
-//   - into the Recorder, as a named span with wall-clock duration and its
-//     parent stage (the innermost span open on the context when it
-//     started), aggregated per name so unbounded fan-out stays bounded;
+//   - into the Recorder, as a named span with wall-clock duration, a
+//     recorder-unique span id, and its parent stage (the innermost span
+//     open on the context when it started), aggregated per name so
+//     unbounded fan-out stays bounded; the parent links make the spans a
+//     tree (see trace.go), and every span's duration also feeds the
+//     "stage:<name>" latency histogram;
 //   - into the Go execution tracer, as a runtime/trace Task plus Region,
 //     so `vectrace analyze -exectrace` output groups goroutine activity
 //     under the logical stage names in `go tool trace`.
@@ -21,16 +24,32 @@ import (
 // worker goroutines) use the allocation-free Timer variant, which feeds
 // the same per-name aggregates without materializing a span per unit.
 
+// spanRef is the context-carried identity of an open span.
+type spanRef struct {
+	name string
+	id   uint64
+}
+
 // A Span is one open stage. The zero/nil Span is inert: End is a no-op,
 // so callers can thread the StartSpan result unconditionally.
 type Span struct {
-	rec    *Recorder
-	name   string
-	parent string
-	start  time.Time
-	task   *rtrace.Task
-	region *rtrace.Region
-	ended  bool
+	rec      *Recorder
+	name     string
+	id       uint64
+	parent   string
+	parentID uint64
+	start    time.Time
+	task     *rtrace.Task
+	region   *rtrace.Region
+	ended    bool
+}
+
+// ID returns the span's recorder-allocated id (0 on nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // StartSpan opens a named stage span as a child of the innermost span on
@@ -42,17 +61,19 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if r == nil {
 		return ctx, nil
 	}
-	parent, _ := ctx.Value(spanKey{}).(string)
+	parent, _ := ctx.Value(spanKey{}).(spanRef)
 	tctx, task := rtrace.NewTask(ctx, name)
 	s := &Span{
-		rec:    r,
-		name:   name,
-		parent: parent,
-		start:  time.Now(),
-		task:   task,
-		region: rtrace.StartRegion(tctx, name),
+		rec:      r,
+		name:     name,
+		id:       r.NewSpanID(),
+		parent:   parent.name,
+		parentID: parent.id,
+		start:    time.Now(),
+		task:     task,
+		region:   rtrace.StartRegion(tctx, name),
 	}
-	return context.WithValue(tctx, spanKey{}, name), s
+	return context.WithValue(tctx, spanKey{}, spanRef{name: name, id: s.id}), s
 }
 
 // End closes the span, recording its duration. Safe on nil and idempotent.
@@ -66,7 +87,30 @@ func (s *Span) End() {
 	d := time.Since(s.start)
 	s.region.End()
 	s.task.End()
-	s.rec.recordSpan(s.name, s.parent, s.start, d)
+	s.rec.recordSpan(s.name, s.id, s.parent, s.parentID, s.start, d)
+}
+
+// SpanContext returns ctx carrying r plus an open parent identity that was
+// allocated with NewSpanID rather than StartSpan — how the server parents
+// every pipeline stage under a job's pre-allocated root span, whose own
+// SpanStats entry is filed later with RecordSpanAt. On a nil recorder the
+// context is returned unchanged.
+func (r *Recorder) SpanContext(ctx context.Context, name string, id uint64) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(WithRecorder(ctx, r), spanKey{}, spanRef{name: name, id: id})
+}
+
+// RecordSpanAt files a span with explicit identity and timing — the
+// companion of NewSpanID/SpanContext for spans whose lifetime is not a
+// single function scope (a job's root span, the synthetic admission-wait
+// span reconstructed from queue timestamps). No-op on a nil recorder.
+func (r *Recorder) RecordSpanAt(name string, id, parentID uint64, parentName string, start time.Time, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.recordSpan(name, id, parentName, parentID, start, d)
 }
 
 // A Timer is the context-free, allocation-free span for per-unit inner
@@ -87,20 +131,25 @@ func (r *Recorder) StartTimer(name string) Timer {
 	return Timer{rec: r, name: name, start: time.Now()}
 }
 
-// Stop records the elapsed time into the per-name aggregates (not the
-// individual span list — inner stages fan out per tile/region and only
-// their distribution matters). No-op on the zero Timer.
+// Stop records the elapsed time into the per-name aggregates and the
+// stage histogram (not the individual span list — inner stages fan out
+// per tile/region and only their distribution matters). No-op on the zero
+// Timer.
 func (t Timer) Stop() {
 	if t.rec == nil {
 		return
 	}
-	t.rec.recordAgg(t.name, time.Since(t.start))
+	d := time.Since(t.start)
+	t.rec.recordAgg(t.name, d)
+	t.rec.Hist("stage:" + t.name).Observe(d)
 }
 
-// recordSpan files one finished span: always into the per-name aggregate,
-// and into the individual list while under the global and per-name caps.
-func (r *Recorder) recordSpan(name, parent string, start time.Time, d time.Duration) {
+// recordSpan files one finished span: always into the per-name aggregate
+// and the "stage:<name>" histogram, and into the individual list while
+// under the global and per-name caps.
+func (r *Recorder) recordSpan(name string, id uint64, parent string, parentID uint64, start time.Time, d time.Duration) {
 	rel := start.Sub(r.start).Nanoseconds()
+	r.Hist("stage:" + name).Observe(d)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	agg := r.agg(name)
@@ -114,10 +163,12 @@ func (r *Recorder) recordSpan(name, parent string, start time.Time, d time.Durat
 		return
 	}
 	r.spans = append(r.spans, SpanStats{
-		Name:    name,
-		Parent:  parent,
-		StartNs: rel,
-		DurNs:   d.Nanoseconds(),
+		Name:     name,
+		ID:       id,
+		Parent:   parent,
+		ParentID: parentID,
+		StartNs:  rel,
+		DurNs:    d.Nanoseconds(),
 	})
 }
 

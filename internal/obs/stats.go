@@ -35,6 +35,13 @@ type RunStats struct {
 	SpanTotals map[string]SpanAgg `json:"span_totals"`
 	// SpansDropped counts spans elided from Spans by the caps.
 	SpansDropped int64 `json:"spans_dropped"`
+	// Histograms holds every named latency histogram ("stage:<name>",
+	// "http:<endpoint>", "job") with estimated p50/p95/p99, zero-length when
+	// nothing was observed (a missing key means a schema mismatch).
+	Histograms map[string]HistogramStats `json:"histograms"`
+	// TraceID is the run's W3C trace id when one was set or generated
+	// (vectraced jobs always carry one; CLI runs usually omit it).
+	TraceID string `json:"trace_id,omitempty"`
 	// Failures summarizes what went wrong, if anything.
 	Failures FailureSummary `json:"failures"`
 }
@@ -55,16 +62,27 @@ type RunStats struct {
 // mark (queue_depth_peak). CLI runs export them as zeros; vecbench -serve
 // additionally folds serve_p99_ms and serve_cache_hit_rate into the stats
 // config, so the BENCH_<rev>.json trajectory tracks service latency next
-// to analysis throughput.
-const RunStatsVersion = 4
+// to analysis throughput. Version 5 added the required "histograms" key
+// (per-stage and per-endpoint log-bucket latency distributions with
+// p50/p95/p99 estimates), span ids and parent links on span entries
+// (span_id / parent_span_id — the trace-tree form served at
+// /v1/jobs/{id}/trace), and the optional trace_id; vecbench -serve folds
+// the server-observed serve_server_p50_ms / serve_server_p99_ms beside
+// the client-observed latencies.
+const RunStatsVersion = 5
 
 // SpanStats is one recorded stage span. StartNs is relative to the
-// recorder's start, so spans order and nest without absolute clocks.
+// recorder's start, so spans order and nest without absolute clocks. ID
+// and ParentID are the recorder-allocated span ids that link the spans
+// into a trace tree (0 = none; Timer-fed aggregates never materialize
+// ids).
 type SpanStats struct {
-	Name    string `json:"name"`
-	Parent  string `json:"parent,omitempty"`
-	StartNs int64  `json:"start_ns"`
-	DurNs   int64  `json:"dur_ns"`
+	Name     string `json:"name"`
+	ID       uint64 `json:"span_id,omitempty"`
+	Parent   string `json:"parent,omitempty"`
+	ParentID uint64 `json:"parent_span_id,omitempty"`
+	StartNs  int64  `json:"start_ns"`
+	DurNs    int64  `json:"dur_ns"`
 }
 
 // SpanAgg aggregates the spans and timers of one stage name.
@@ -72,6 +90,32 @@ type SpanAgg struct {
 	Count   int64 `json:"count"`
 	TotalNs int64 `json:"total_ns"`
 	MaxNs   int64 `json:"max_ns"`
+}
+
+// HistogramStats is the exported form of one latency histogram: the raw
+// bucket counts (log-spaced; see HistBucketUpperNs) plus the quantile
+// estimates dashboards actually read.
+type HistogramStats struct {
+	Count   int64   `json:"count"`
+	SumNs   int64   `json:"sum_ns"`
+	MaxNs   int64   `json:"max_ns"`
+	P50Ns   int64   `json:"p50_ns"`
+	P95Ns   int64   `json:"p95_ns"`
+	P99Ns   int64   `json:"p99_ns"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// Stats converts a snapshot to its exported form.
+func (s HistogramSnapshot) Stats() HistogramStats {
+	return HistogramStats{
+		Count:   s.Count,
+		SumNs:   s.SumNs,
+		MaxNs:   s.MaxNs,
+		P50Ns:   s.Quantile(0.50).Nanoseconds(),
+		P95Ns:   s.Quantile(0.95).Nanoseconds(),
+		P99Ns:   s.Quantile(0.99).Nanoseconds(),
+		Buckets: s.Buckets,
+	}
 }
 
 // FailureSummary condenses a run's failures: the per-region failure count,
@@ -94,6 +138,7 @@ func (r *Recorder) Stats(tool string, config map[string]any) *RunStats {
 		Counters:      make(map[string]int64, numCounters),
 		SpanTotals:    map[string]SpanAgg{},
 		Spans:         []SpanStats{},
+		Histograms:    map[string]HistogramStats{},
 		Failures:      FailureSummary{CorruptAtByte: -1},
 	}
 	for c := Counter(0); c < numCounters; c++ {
@@ -103,6 +148,10 @@ func (r *Recorder) Stats(tool string, config map[string]any) *RunStats {
 		return rs
 	}
 	rs.DurationNs = r.Elapsed().Nanoseconds()
+	rs.TraceID = r.TraceID()
+	r.eachHist(func(name string, h *Histogram) {
+		rs.Histograms[name] = h.Snapshot().Stats()
+	})
 	r.mu.Lock()
 	rs.Spans = append(rs.Spans, r.spans...)
 	for name, agg := range r.aggs {
@@ -169,7 +218,7 @@ func ValidateRunStats(data []byte) error {
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return fmt.Errorf("obs: stats document is not JSON: %w", err)
 	}
-	for _, key := range []string{"schema_version", "tool", "duration_ns", "counters", "spans", "span_totals", "failures"} {
+	for _, key := range []string{"schema_version", "tool", "duration_ns", "counters", "spans", "span_totals", "histograms", "failures"} {
 		if _, ok := raw[key]; !ok {
 			return fmt.Errorf("obs: stats document missing required key %q", key)
 		}
@@ -202,6 +251,18 @@ func ValidateRunStats(data []byte) error {
 		}
 		if s.DurNs < 0 || s.StartNs < 0 {
 			return fmt.Errorf("obs: span %d (%s) has negative timing", i, s.Name)
+		}
+	}
+	var hists map[string]HistogramStats
+	if err := json.Unmarshal(raw["histograms"], &hists); err != nil {
+		return fmt.Errorf("obs: histograms malformed: %w", err)
+	}
+	for name, h := range hists {
+		if h.Count < 0 {
+			return fmt.Errorf("obs: histogram %q has negative count", name)
+		}
+		if len(h.Buckets) != 0 && len(h.Buckets) != histBuckets {
+			return fmt.Errorf("obs: histogram %q has %d buckets, want %d", name, len(h.Buckets), histBuckets)
 		}
 	}
 	var failures FailureSummary

@@ -39,6 +39,8 @@ type submitDoc struct {
 	State     string `json:"state"`
 	StatusURL string `json:"status_url"`
 	ResultURL string `json:"result_url"`
+	TraceID   string `json:"trace_id"`
+	TraceURL  string `json:"trace_url"`
 }
 
 // statusDoc is one observation of a job: its state machine position plus
@@ -104,10 +106,17 @@ func (j *Job) result() resultDoc {
 //	GET    /v1/jobs/{id}        status snapshot
 //	GET    /v1/jobs/{id}/result result (?wait=1 blocks until terminal)
 //	GET    /v1/jobs/{id}/progress  status stream (NDJSON until terminal)
+//	GET    /v1/jobs/{id}/trace  per-job trace tree (spans with durations)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/tables/{n}       Tables 1-3 as a synchronous job
 //	GET    /healthz             liveness + queue depth
 //	GET    /statsz              service RunStats document
+//	GET    /metrics             Prometheus text exposition
+//	GET    /debug/vars          expvar JSON (/vars is a deprecated alias)
+//	GET    /debug/flight        flight-recorder event dump
+//
+// The whole mux is wrapped by withObs: per-endpoint latency histograms
+// plus sampled structured access records.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -115,11 +124,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/tables/{n}", s.handleTable)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
-	return mux
+	mux.Handle("GET /metrics", obs.MetricsHandler(s.rec))
+	mux.Handle("GET /debug/vars", obs.VarsHandler(false))
+	mux.Handle("GET /vars", obs.VarsHandler(true))
+	mux.Handle("GET /debug/flight", obs.FlightHandler(s.flight))
+	return s.withObs(mux)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -186,7 +200,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j, err := s.submitReserved(sub.spec, sub.source, sub.payload)
+	// Trace ingress: a valid W3C traceparent makes the job join the
+	// caller's trace; a malformed one is ignored (observability must not
+	// reject work). The response echoes the job's own traceparent — trace
+	// id plus the root span id the trace tree hangs under.
+	traceID, parentSpan, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+
+	j, err := s.submitReserved(sub.spec, sub.source, sub.payload, traceID, parentSpan)
 	if err != nil {
 		if errors.Is(err, ErrDraining) {
 			s.writeAdmissionError(w, err)
@@ -195,11 +215,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
+	w.Header().Set("traceparent", j.Traceparent())
 	writeJSON(w, http.StatusAccepted, submitDoc{
 		ID:        j.ID,
 		State:     j.State(),
 		StatusURL: "/v1/jobs/" + j.ID,
 		ResultURL: "/v1/jobs/" + j.ID + "/result",
+		TraceID:   j.TraceID(),
+		TraceURL:  "/v1/jobs/" + j.ID + "/trace",
 	})
 }
 
@@ -360,6 +383,38 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 		case <-tick.C:
 		}
 	}
+}
+
+// traceDoc is the GET /v1/jobs/{id}/trace response: the job's span tree
+// plus enough job identity to read it standalone.
+type traceDoc struct {
+	ID    string         `json:"id"`
+	State string         `json:"state"`
+	Tree  *obs.TraceTree `json:"trace"`
+}
+
+// handleTrace serves the job's trace tree. For a terminal job this is the
+// complete decomposition (root "job" span = admission-wait + stages +
+// report); for a live one it is the spans recorded so far — ?wait=1
+// blocks until terminal like the result endpoints do.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no job %q", r.PathValue("id"))
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+			return
+		}
+	}
+	code := http.StatusOK
+	if !terminal(j.State()) {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, traceDoc{ID: j.ID, State: j.State(), Tree: j.TraceTree()})
 }
 
 // errClientCancel is the cause recorded for DELETE-initiated cancels. It

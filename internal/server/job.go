@@ -173,6 +173,12 @@ type Job struct {
 	ctx     context.Context
 	cancel  context.CancelCauseFunc
 
+	// rootSpan is the pre-allocated id of the job's root "job" span: it
+	// exists from admission (so the submit response can echo a complete
+	// traceparent) but its SpanStats entry is only filed when the job
+	// terminates, covering submit→terminal.
+	rootSpan uint64
+
 	submitted time.Time
 
 	mu       sync.Mutex
@@ -188,8 +194,10 @@ type Job struct {
 
 // newJob builds an admitted job rooted at base (the server's lifetime
 // context): cancelling the job — client DELETE, drain checkpoint-fail —
-// cancels ctx with a cause naming why.
-func newJob(base context.Context, id string, spec JobSpec, source string, payload []byte) *Job {
+// cancels ctx with a cause naming why. A non-empty traceID joins the
+// caller's trace (parentSpan becomes the remote parent of the root span);
+// otherwise the job starts a trace of its own.
+func newJob(base context.Context, id string, spec JobSpec, source string, payload []byte, traceID, parentSpan string) *Job {
 	j := &Job{
 		ID:        id,
 		Spec:      spec,
@@ -200,9 +208,26 @@ func newJob(base context.Context, id string, spec JobSpec, source string, payloa
 		state:     StateQueued,
 		done:      make(chan struct{}),
 	}
+	if traceID != "" {
+		j.rec.SetTraceParent(traceID, parentSpan)
+	}
+	j.rec.EnsureTraceID()
+	j.rootSpan = j.rec.NewSpanID()
 	j.ctx, j.cancel = context.WithCancelCause(base)
 	return j
 }
+
+// TraceID returns the job's W3C trace id.
+func (j *Job) TraceID() string { return j.rec.TraceID() }
+
+// Traceparent returns the traceparent header value identifying the job's
+// root span — what the submit response echoes back to the client.
+func (j *Job) Traceparent() string {
+	return obs.Traceparent(j.TraceID(), j.rootSpan)
+}
+
+// TraceTree returns the job's span tree as recorded so far.
+func (j *Job) TraceTree() *obs.TraceTree { return j.rec.TraceTree() }
 
 // State returns the job's current state.
 func (j *Job) State() string {
@@ -324,7 +349,9 @@ func (j *Job) run(ctx context.Context, ceil core.Budget) ([]byte, error) {
 		if len(regs) == 0 {
 			return nil, err
 		}
+		_, sp := obs.StartSpan(ctx, "report")
 		js, jerr := report.RegionsJSON(regs)
+		sp.End()
 		if jerr != nil {
 			return nil, jerr
 		}

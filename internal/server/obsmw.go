@@ -1,0 +1,92 @@
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTP-layer observability: one middleware around the API mux that feeds
+// the per-endpoint latency histograms ("http:<METHOD> <route>") and emits
+// structured access records. Everything is nil-safe — with no logger and
+// a shared no-op recorder the wrapper's cost is a time.Now pair — and the
+// response writer wrapper implements Unwrap so http.ResponseController
+// (Flush in the progress stream, SetReadDeadline in submit) keeps
+// reaching the real connection.
+
+// statusWriter captures the status code and byte count of one response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Unwrap lets http.NewResponseController reach the underlying writer's
+// Flusher / deadline controls through this wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// routeLabel normalizes a request path to its route pattern, so the
+// per-endpoint histograms have bounded label cardinality no matter how
+// many job ids flow through. Unknown paths collapse into one label.
+func routeLabel(r *http.Request) string {
+	path := r.URL.Path
+	switch {
+	case path == "/v1/jobs" || path == "/healthz" || path == "/statsz" ||
+		path == "/metrics" || path == "/debug/vars" || path == "/vars" || path == "/debug/flight":
+		// Fixed routes keep their own label.
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		rest := strings.TrimPrefix(path, "/v1/jobs/")
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			path = "/v1/jobs/{id}/" + rest[i+1:]
+		} else {
+			path = "/v1/jobs/{id}"
+		}
+	case strings.HasPrefix(path, "/v1/tables/"):
+		path = "/v1/tables/{n}"
+	default:
+		path = "other"
+	}
+	return r.Method + " " + path
+}
+
+// withObs wraps the API mux with per-endpoint latency recording and
+// structured access logging.
+func (s *Server) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		dur := time.Since(start)
+		label := routeLabel(r)
+		s.rec.ObserveDur("http:"+label, dur)
+		if s.logger != nil {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			// Access records are the hottest log event; sample per route so
+			// an overloaded endpoint cannot flood the log.
+			s.logger.Sampled("access:"+label, slog.LevelInfo, "http_access",
+				"method", r.Method, "path", r.URL.Path, "route", label,
+				"status", status, "bytes", sw.bytes, "dur_ms", dur.Milliseconds(),
+				"remote", r.RemoteAddr, "traceparent", r.Header.Get("traceparent"))
+		}
+	})
+}

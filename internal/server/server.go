@@ -3,6 +3,9 @@ package server
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
+	"os"
 	"sync"
 	"time"
 
@@ -32,6 +35,14 @@ type Config struct {
 	// Recorder receives the service-level counters (admission, cache,
 	// queue depth). Nil allocates a private one.
 	Recorder *obs.Recorder
+	// Logger receives structured lifecycle and access records. Nil means
+	// no structured logging (every log site keeps its nil fast path).
+	Logger *obs.Logger
+	// Flight receives lifecycle events for postmortem dumps (nil = off).
+	Flight *obs.FlightRecorder
+	// FlightDump is where an in-job panic dumps the flight ring (nil =
+	// os.Stderr). Tests inject a buffer here.
+	FlightDump io.Writer
 }
 
 func (c *Config) fillDefaults() {
@@ -52,8 +63,10 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// FromServeFlags builds a Config from the diag.Serve flag group.
-func FromServeFlags(sf *diag.Serve, rec *obs.Recorder) Config {
+// FromServeFlags builds a Config from the diag.Serve flag group. The
+// logger and flight ring come from the caller (cmd/vectraced builds both
+// from its own flags so the diag debug listener can share the ring).
+func FromServeFlags(sf *diag.Serve, rec *obs.Recorder, lg *obs.Logger, flight *obs.FlightRecorder) Config {
 	return Config{
 		Queue:          sf.Queue,
 		Workers:        sf.JobWorkers,
@@ -66,6 +79,8 @@ func FromServeFlags(sf *diag.Serve, rec *obs.Recorder) Config {
 			MaxAnalysisBytes: sf.MaxAnalysisBytes,
 		},
 		Recorder: rec,
+		Logger:   lg,
+		Flight:   flight,
 	}
 }
 
@@ -74,10 +89,12 @@ func FromServeFlags(sf *diag.Serve, rec *obs.Recorder) Config {
 // handlers.go; Server itself is transport-agnostic and fully exercisable
 // in-process.
 type Server struct {
-	cfg   Config
-	rec   *obs.Recorder
-	queue *jobQueue
-	cache *resultCache
+	cfg    Config
+	rec    *obs.Recorder
+	logger *obs.Logger
+	flight *obs.FlightRecorder
+	queue  *jobQueue
+	cache  *resultCache
 
 	// base is the ancestor of every job context; baseCancel checkpoints
 	// outstanding jobs when the drain budget expires.
@@ -111,11 +128,13 @@ func retainedJobs(queue int) int {
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
 	s := &Server{
-		cfg:   cfg,
-		rec:   cfg.Recorder,
-		queue: newJobQueue(cfg.Queue),
-		cache: newResultCache(cfg.CacheEntries),
-		jobs:  make(map[string]*Job),
+		cfg:    cfg,
+		rec:    cfg.Recorder,
+		logger: cfg.Logger,
+		flight: cfg.Flight,
+		queue:  newJobQueue(cfg.Queue),
+		cache:  newResultCache(cfg.CacheEntries),
+		jobs:   make(map[string]*Job),
 	}
 	s.base, s.baseCancel = context.WithCancelCause(context.Background())
 	for i := 0; i < cfg.Workers; i++ {
@@ -133,8 +152,9 @@ func New(cfg Config) *Server {
 // Submit validates a parsed submission, admits it against the queue
 // bound, and returns the queued job. The caller must already hold a
 // reservation (see reserveSlot); Submit consumes it on success and on
-// failure alike.
-func (s *Server) submitReserved(spec JobSpec, source string, payload []byte) (*Job, error) {
+// failure alike. A non-empty traceID (from an ingress traceparent) makes
+// the job join the caller's trace with parentSpan as its remote parent.
+func (s *Server) submitReserved(spec JobSpec, source string, payload []byte, traceID, parentSpan string) (*Job, error) {
 	if err := spec.validate(source != "", len(payload) > 0); err != nil {
 		s.releaseSlot()
 		return nil, err
@@ -142,7 +162,7 @@ func (s *Server) submitReserved(spec JobSpec, source string, payload []byte) (*J
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
-	j := newJob(s.base, id, spec, source, payload)
+	j := newJob(s.base, id, spec, source, payload, traceID, parentSpan)
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.evictJobsLocked()
@@ -153,9 +173,13 @@ func (s *Server) submitReserved(spec JobSpec, source string, payload []byte) (*J
 		s.rec.GaugeDec(obs.QueueDepth)
 		s.rec.Add(obs.JobsRejected, 1)
 		j.finish(StateCancelled, nil, err)
+		s.flight.Record("reject", j.ID, j.TraceID(), "draining")
 		return nil, err
 	}
 	s.rec.Add(obs.JobsAdmitted, 1)
+	s.flight.Record("admit", j.ID, j.TraceID(), spec.Kind)
+	s.logger.Info("job_admitted",
+		"job", j.ID, "trace_id", j.TraceID(), "kind", spec.Kind, "queue_depth", s.queue.Depth())
 	return j, nil
 }
 
@@ -165,7 +189,7 @@ func (s *Server) Submit(spec JobSpec, source string, payload []byte) (*Job, erro
 	if err := s.reserveSlot(); err != nil {
 		return nil, err
 	}
-	return s.submitReserved(spec, source, payload)
+	return s.submitReserved(spec, source, payload, "", "")
 }
 
 // reserveSlot claims a queue slot and maintains the depth gauge; the
@@ -174,6 +198,10 @@ func (s *Server) Submit(spec JobSpec, source string, payload []byte) (*Job, erro
 func (s *Server) reserveSlot() error {
 	if err := s.queue.reserve(); err != nil {
 		s.rec.Add(obs.JobsRejected, 1)
+		s.flight.Record("reject", "", "", err.Error())
+		// Rejections are the hot event under overload; sample them.
+		s.logger.Sampled("reject", slog.LevelWarn, "job_rejected",
+			"reason", err.Error(), "queue_depth", s.queue.Depth())
 		return err
 	}
 	s.rec.GaugeInc(obs.QueueDepth, obs.QueueDepthPeak)
@@ -241,6 +269,8 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.flight.Record("drain", "", "", "")
+	s.logger.Info("drain_started", "queue_depth", s.queue.Depth())
 	s.queue.close()
 
 	done := make(chan struct{})
@@ -299,11 +329,20 @@ func (s *Server) runJob(j *Job) {
 		s.rec.GaugeDec(obs.QueueDepth)
 	}()
 
+	// The queue wait becomes a synthetic span under the job's root: the
+	// trace tree decomposes submit→terminal into admission-wait plus the
+	// pipeline stages, so "slow because queued" is visible as a span, not
+	// an inference.
+	started := j.startedLocked()
+	wait := started.Sub(j.submitted)
+	j.rec.RecordSpanAt("admission-wait", j.rec.NewSpanID(), j.rootSpan, "job", j.submitted, wait)
+	s.flight.Record("start", j.ID, j.TraceID(), "")
+
 	// Compose the context stack: job lifetime (client cancel, drain
-	// checkpoint) → per-job recorder → server deadline ceiling → the
-	// job's own deadline. Shortest deadline wins natively; the causes
-	// name which one fired.
-	ctx := obs.WithRecorder(j.ctx, j.rec)
+	// checkpoint) → per-job recorder parented under the job's root span →
+	// server deadline ceiling → the job's own deadline. Shortest deadline
+	// wins natively; the causes name which one fired.
+	ctx := j.rec.SpanContext(j.ctx, "job", j.rootSpan)
 	ctx, cancelSrv := diag.DeadlineContext(ctx, s.cfg.JobTimeout, "server job deadline")
 	defer cancelSrv()
 	ctx, cancelJob := diag.DeadlineContext(ctx, time.Duration(j.Spec.TimeoutMs)*time.Millisecond, "job deadline")
@@ -365,6 +404,59 @@ func (s *Server) runJob(j *Job) {
 		}
 	}
 	dur = j.elapsedLocked()
+
+	// Close the trace tree: the root "job" span covers submit→terminal, so
+	// its duration is the sum of admission-wait plus the executed stages
+	// (within scheduling slack). The job duration feeds the job recorder's
+	// "job" histogram, and the merge below folds it — with every per-stage
+	// histogram — into the service-wide ones (mergeable by construction),
+	// so each job lands exactly once in the service distributions.
+	total := time.Since(j.submitted)
+	j.rec.RecordSpanAt("job", j.rootSpan, 0, "", j.submitted, total)
+	j.rec.ObserveDur("job", total)
+	s.rec.MergeHistsFrom(j.rec)
+
+	kind := flightKind(state)
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	if err != nil && errorKind(err) == "panic" {
+		// A panicking job is the postmortem case the flight recorder
+		// exists for: record it, then dump the ring while it still holds
+		// the surrounding events.
+		s.flight.Record("panic", j.ID, j.TraceID(), detail)
+		s.dumpFlight()
+	}
+	s.flight.Record(kind, j.ID, j.TraceID(), detail)
+	s.logger.Info("job_done",
+		"job", j.ID, "trace_id", j.TraceID(), "state", state,
+		"cache_hit", hit, "wait_ms", wait.Milliseconds(), "run_ms", dur.Milliseconds(),
+		"error", detail)
+}
+
+// flightKind maps a terminal state to its flight-event kind.
+func flightKind(state string) string {
+	switch state {
+	case StateDone:
+		return "complete"
+	case StateCancelled:
+		return "cancel"
+	default:
+		return "fail"
+	}
+}
+
+// dumpFlight writes the flight ring's text dump to the configured sink.
+func (s *Server) dumpFlight() {
+	if s.flight == nil {
+		return
+	}
+	w := s.cfg.FlightDump
+	if w == nil {
+		w = os.Stderr
+	}
+	s.flight.WriteText(w) //nolint:errcheck
 }
 
 // elapsedLocked reads the job's elapsed time under its lock.
@@ -372,4 +464,11 @@ func (j *Job) elapsedLocked() time.Duration {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.elapsed
+}
+
+// startedLocked reads the job's run start time under its lock.
+func (j *Job) startedLocked() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.started
 }
